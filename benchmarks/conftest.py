@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Every experiment benchmark runs the corresponding experiment once (pedantic
+mode, one round) at the ``small`` scale, prints the resulting table — this is
+the "regenerate the paper's figure/table" output — and asserts the
+qualitative shape the paper predicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture
+def experiment_runner(benchmark):
+    """Run an experiment once under pytest-benchmark and print its report."""
+
+    def _run(experiment_id: str, scale: str = "small", seed: int = 0):
+        report = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": scale, "seed": seed},
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(report.render())
+        return report
+
+    return _run

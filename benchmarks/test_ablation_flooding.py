@@ -1,0 +1,75 @@
+"""Ablation — union-find component flooding vs a networkx BFS oracle.
+
+The simulation core labels visibility-graph components with a union-find over
+spatial-hash candidate pairs; the obvious alternative is to materialise a
+networkx graph and run BFS/connected-components per step.  This benchmark
+quantifies the difference and checks both produce the same informed sets.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.connectivity.spatial_hash import neighbor_pairs
+from repro.connectivity.visibility import visibility_components
+from repro.core.protocol import flood_informed
+from repro.grid.lattice import Grid2D
+
+N_AGENTS = 400
+RADIUS = 2.0
+N_ROUNDS = 20
+
+
+def _setup():
+    grid = Grid2D(64)
+    rng = np.random.default_rng(3)
+    positions = [grid.random_positions(N_AGENTS, rng) for _ in range(N_ROUNDS)]
+    informed = np.zeros(N_AGENTS, dtype=bool)
+    informed[0] = True
+    return positions, informed
+
+
+def unionfind_flood(positions_list, informed):
+    informed = informed.copy()
+    for positions in positions_list:
+        labels = visibility_components(positions, RADIUS)
+        informed = flood_informed(informed, labels)
+    return informed
+
+
+def networkx_flood(positions_list, informed):
+    informed = informed.copy()
+    for positions in positions_list:
+        graph = nx.Graph()
+        graph.add_nodes_from(range(N_AGENTS))
+        graph.add_edges_from(map(tuple, neighbor_pairs(positions, RADIUS)))
+        new_informed = informed.copy()
+        for component in nx.connected_components(graph):
+            members = list(component)
+            if informed[members].any():
+                new_informed[members] = True
+        informed = new_informed
+    return informed
+
+
+@pytest.mark.benchmark(group="ablation-flooding")
+def test_ablation_unionfind_flooding(benchmark):
+    positions_list, informed = _setup()
+    result = benchmark(lambda: unionfind_flood(positions_list, informed))
+    assert result.any()
+
+
+@pytest.mark.benchmark(group="ablation-flooding")
+def test_ablation_networkx_flooding(benchmark):
+    positions_list, informed = _setup()
+    result = benchmark(lambda: networkx_flood(positions_list, informed))
+    assert result.any()
+
+
+def test_ablation_flooding_results_identical():
+    positions_list, informed = _setup()
+    assert np.array_equal(
+        unionfind_flood(positions_list, informed), networkx_flood(positions_list, informed)
+    )

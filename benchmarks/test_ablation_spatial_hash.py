@@ -1,0 +1,52 @@
+"""Ablation — spatial hashing vs all-pairs visibility-graph construction.
+
+DESIGN.md calls out the spatial hash as the mechanism that keeps per-step
+connectivity queries near-linear in the sparse regime.  This benchmark
+compares it against the quadratic all-pairs construction and checks that both
+yield exactly the same edge set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.connectivity.spatial_hash import neighbor_pairs
+from repro.grid.geometry import pairwise_manhattan
+from repro.grid.lattice import Grid2D
+
+N_AGENTS = 600
+RADIUS = 2.0
+
+
+def all_pairs_edges(positions: np.ndarray, radius: float) -> np.ndarray:
+    dists = pairwise_manhattan(positions)
+    i_idx, j_idx = np.triu_indices(positions.shape[0], k=1)
+    close = dists[i_idx, j_idx] <= radius
+    return np.stack([i_idx[close], j_idx[close]], axis=1)
+
+
+def _positions() -> np.ndarray:
+    grid = Grid2D(96)
+    return grid.random_positions(N_AGENTS, np.random.default_rng(7))
+
+
+@pytest.mark.benchmark(group="ablation-spatial-hash")
+def test_ablation_spatial_hash(benchmark):
+    positions = _positions()
+    edges = benchmark(lambda: neighbor_pairs(positions, RADIUS))
+    assert edges.shape[1] == 2
+
+
+@pytest.mark.benchmark(group="ablation-spatial-hash")
+def test_ablation_all_pairs(benchmark):
+    positions = _positions()
+    edges = benchmark(lambda: all_pairs_edges(positions, RADIUS))
+    assert edges.shape[1] == 2
+
+
+def test_ablation_edge_sets_identical():
+    positions = _positions()
+    fast = {tuple(e) for e in neighbor_pairs(positions, RADIUS).tolist()}
+    slow = {tuple(e) for e in all_pairs_edges(positions, RADIUS).tolist()}
+    assert fast == slow

@@ -1,0 +1,13 @@
+"""E2 benchmark — broadcast time vs grid size (Theorem 1 / Corollary 1).
+
+Paper prediction: ``T_B`` grows (quasi-)linearly in ``n`` at fixed ``k`` —
+the fitted exponent in ``n`` should be near ``+1``.
+"""
+
+
+def test_e02_broadcast_vs_n(experiment_runner):
+    report = experiment_runner("E2")
+    exponent = report.summary["fitted_exponent_in_n"]
+    assert 0.6 <= exponent <= 1.5, exponent
+    assert report.summary["monotone_increasing"]
+    assert all(row["completion_rate"] == 1.0 for row in report.rows)

@@ -1,0 +1,15 @@
+"""E3 benchmark — radius insensitivity below the percolation point.
+
+Paper prediction (the headline surprise): for every ``0 <= r < r_c`` the
+broadcast time has the same ``Θ̃(n / sqrt(k))`` behaviour, i.e. increasing
+the radius below the percolation point changes ``T_B`` by at most a modest
+constant/polylog factor (and never increases it).
+"""
+
+
+def test_e03_radius_insensitivity(experiment_runner):
+    report = experiment_runner("E3")
+    # T_B at any radius below r_c stays within a small band of the r = 0 value.
+    assert report.summary["max_ratio_to_r0"] <= 1.25
+    assert report.summary["min_ratio_to_r0"] >= 0.2
+    assert all(row["completion_rate"] == 1.0 for row in report.rows)

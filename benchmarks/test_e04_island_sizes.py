@@ -1,0 +1,16 @@
+"""E4 benchmark — maximum island size below the percolation point (Lemma 6).
+
+Paper prediction: with proximity parameter ``γ = sqrt(n/(4 e^6 k))`` the
+largest island holds at most ``log n`` agents w.h.p., so across a sweep of
+system sizes the observed maximum island stays within a small constant of
+``log n`` and far below any giant component.
+"""
+
+
+def test_e04_island_sizes(experiment_runner):
+    report = experiment_runner("E4")
+    assert report.summary["all_within_2x_log_bound"]
+    # No configuration develops a giant component at the gamma radius.
+    assert all(row["giant_fraction"] < 0.5 for row in report.rows)
+    # The max-island-to-log(n) ratio stays bounded across the size sweep.
+    assert report.summary["max_island_to_logn_ratio"] <= 2.5

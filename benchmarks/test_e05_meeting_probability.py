@@ -1,0 +1,17 @@
+"""E5 benchmark — pairwise meeting probability within d^2 steps (Lemma 3).
+
+Paper prediction: the probability that two walks at initial distance ``d``
+meet inside the lens within ``d^2`` steps is at least ``c3 / log d`` — i.e.
+it decays no faster than ``1/log d``, so the normalised value
+``P * log d`` stays bounded away from zero across the distance sweep.
+"""
+
+
+def test_e05_meeting_probability(experiment_runner):
+    report = experiment_runner("E5")
+    assert report.summary["all_probabilities_positive"]
+    # P * log d stays within roughly one order of magnitude across the sweep
+    # -- the 1/log d form; a polynomial decay (e.g. 1/d) would spread by ~16x
+    # between d = 2 and d = 32.
+    assert report.summary["normalised_spread"] <= 12.0
+    assert report.summary["min_normalised_probability"] > 0.01

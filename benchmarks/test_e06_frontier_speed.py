@@ -1,0 +1,15 @@
+"""E6 benchmark — frontier advance per observation window (Lemma 7).
+
+Paper prediction: with the radius below ``sqrt(n/(64 e^6 k))`` the informed
+frontier advances at most ``(γ log n)/2`` per window of
+``γ^2/(144 log n)`` steps, which is the engine of the Theorem 2 lower bound.
+"""
+
+
+def test_e06_frontier_speed(experiment_runner):
+    report = experiment_runner("E6")
+    assert report.summary["all_within_2x_bound"]
+    # The average frontier speed is well below one column per step -- the
+    # frontier cannot race across the grid.
+    assert report.summary["mean_advance_per_step"] < 1.0
+    assert all(row["broadcast_time"] >= 0 for row in report.rows)

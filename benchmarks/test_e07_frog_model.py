@@ -1,0 +1,20 @@
+"""E7 benchmark — Frog model broadcast time (Section 4).
+
+Paper prediction: the Frog model (only informed agents move) obeys the same
+``Θ̃(n / sqrt(k))`` broadcast-time law as the fully dynamic model, and the
+two stay within a modest factor of each other.
+"""
+
+
+def test_e07_frog_model(experiment_runner):
+    report = experiment_runner("E7")
+    exponent = report.summary["fitted_exponent_in_k"]
+    assert -1.1 <= exponent <= -0.15, exponent
+    # An 8x increase in k drops the activation time by ~sqrt(8) ~ 2.8;
+    # require at least 1.5x (per-point monotonicity is noise-sensitive).
+    times = report.column("frog_mean_T_B")
+    assert times[0] / times[-1] >= 1.5
+    # The frog model is slower than the dynamic model (fewer moving agents)
+    # but only by a bounded factor, not asymptotically.
+    for row in report.rows:
+        assert 0.5 <= row["frog_to_dynamic"] <= 12.0

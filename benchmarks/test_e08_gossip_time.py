@@ -1,0 +1,17 @@
+"""E8 benchmark — gossip time vs broadcast time (Corollary 2).
+
+Paper prediction: the gossip time (every agent learns every rumor) obeys the
+same ``Θ̃(n / sqrt(k))`` bound as the single-rumor broadcast time; their
+ratio stays bounded by a small (polylogarithmic) factor.
+"""
+
+
+def test_e08_gossip_time(experiment_runner):
+    report = experiment_runner("E8")
+    exponent = report.summary["fitted_exponent_in_k"]
+    assert -1.1 <= exponent <= -0.1, exponent
+    # Gossip is at least as slow as broadcasting a single rumor but within a
+    # small multiplicative band of it.
+    assert report.summary["min_T_G_over_T_B"] >= 0.5
+    assert report.summary["max_T_G_over_T_B"] <= 8.0
+    assert all(row["gossip_completion_rate"] == 1.0 for row in report.rows)

@@ -1,0 +1,19 @@
+"""E9 benchmark — coverage time vs broadcast time (Section 4).
+
+Paper prediction: ``T_C ≈ T_B = Õ(n / sqrt(k))`` — the coverage time (every
+node visited by an informed agent) tracks the broadcast time up to a
+polylogarithmic factor.
+"""
+
+
+def test_e09_coverage_time(experiment_runner):
+    report = experiment_runner("E9")
+    # Coverage completes in every configuration within the (doubled) horizon.
+    assert all(row["coverage_completion_rate"] == 1.0 for row in report.rows)
+    # T_C is at least T_B (coverage requires informing agents first, then
+    # sweeping the grid) but within a moderate polylog factor of it.
+    assert report.summary["min_T_C_over_T_B"] >= 0.9
+    assert report.summary["max_T_C_over_T_B"] <= 30.0
+    # And the coverage time still decreases as more agents participate.
+    exponent = report.summary["fitted_exponent_in_k"]
+    assert exponent < 0.0

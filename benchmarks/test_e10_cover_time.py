@@ -1,0 +1,17 @@
+"""E10 benchmark — cover time of k independent random walks (Section 4).
+
+Paper prediction: ``O(n log^2 n / k + n log n)`` with high probability, so
+(a) the measured cover time decreases with ``k`` (roughly ``1/k`` until the
+additive term saturates it) and (b) it stays below the theoretical bound for
+a moderate constant.
+"""
+
+
+def test_e10_cover_time(experiment_runner):
+    report = experiment_runner("E10")
+    assert report.summary["monotone_non_increasing"]
+    lo, hi = report.summary["expected_exponent_range"]
+    assert lo - 0.3 <= report.summary["fitted_exponent_in_k"] <= hi + 0.05
+    # Measured cover times stay within a small constant of the bound.
+    assert all(row["ratio_to_bound"] <= 3.0 for row in report.rows)
+    assert all(row["completion_rate"] == 1.0 for row in report.rows)

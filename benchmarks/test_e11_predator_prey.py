@@ -1,0 +1,15 @@
+"""E11 benchmark — predator-prey extinction time (Section 4).
+
+Paper prediction: with ``k`` predators the prey extinction time is
+``O(n log^2 n / k)`` w.h.p., so it decreases roughly like ``1/k`` and stays
+below the bound for a moderate constant.
+"""
+
+
+def test_e11_predator_prey(experiment_runner):
+    report = experiment_runner("E11")
+    assert report.summary["monotone_non_increasing"]
+    lo, hi = report.summary["expected_exponent_range"]
+    assert lo <= report.summary["fitted_exponent_in_k"] <= hi
+    assert all(row["ratio_to_bound"] <= 3.0 for row in report.rows)
+    assert all(row["completion_rate"] == 1.0 for row in report.rows)

@@ -1,0 +1,24 @@
+"""E12 benchmark — measured infection time vs the Wang et al. claimed bound.
+
+Paper prediction: the Wang et al. ``Θ((n log n log k)/k)`` claim is
+*incorrect* — the measured infection time scales like ``n/sqrt(k)`` (exponent
+about -1/2 in ``k``), so the measured-to-claimed ratio grows with ``k`` and
+the measured exponent is much closer to the paper's than to Wang's.
+"""
+
+
+def test_e12_wang_refutation(experiment_runner):
+    report = experiment_runner("E12")
+    measured = report.summary["measured_exponent_in_k"]
+    # The measured exponent sits in a band around the paper's -1/2.
+    assert -0.85 <= measured <= -0.2
+    # Discriminating signature: normalising the measured time by the Wang
+    # et al. claim gives a ratio that GROWS across the k sweep (the claim
+    # under-predicts at large k), whereas normalising by the paper's n/sqrt(k)
+    # stays comparatively flat.  If Wang et al. were right the two growth
+    # factors would be reversed.
+    wang_growth = report.summary["wang_ratio_growth"]
+    pettarin_growth = report.summary["pettarin_ratio_growth"]
+    assert wang_growth > 1.25
+    assert wang_growth > 1.2 * pettarin_growth
+    assert report.summary["measured_closer_to_pettarin"]

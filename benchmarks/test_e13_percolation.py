@@ -1,0 +1,19 @@
+"""E13 benchmark — giant-component fraction vs transmission radius.
+
+Paper prediction (the definition of the sparse regime): below
+``r_c ≈ sqrt(n/k)`` the largest component holds only a small fraction of the
+agents; above it a giant component emerges.  The sweep should show a clear
+transition around ``r_c``.
+"""
+
+
+def test_e13_percolation(experiment_runner):
+    report = experiment_runner("E13")
+    assert report.summary["transition_present"]
+    assert report.summary["mean_fraction_below_half_rc"] < 0.35
+    assert report.summary["mean_fraction_above_2rc"] > 0.5
+    # The estimated 50%-threshold radius lies within the swept range, i.e.
+    # within a small constant factor of the theoretical r_c.
+    threshold = report.summary["estimated_threshold_radius_at_half"]
+    r_c = report.summary["theoretical_r_c"]
+    assert threshold <= 4.0 * r_c

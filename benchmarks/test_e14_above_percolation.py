@@ -1,0 +1,16 @@
+"""E14 benchmark — broadcast below vs above the percolation point.
+
+Paper prediction: the ``Θ̃(n/sqrt(k))`` law holds below the percolation
+point; above it (the Peres et al. regime) the broadcast time collapses to a
+polylogarithmic quantity, so the below/above ratio is large.
+"""
+
+
+def test_e14_above_percolation(experiment_runner):
+    report = experiment_runner("E14")
+    assert report.summary["above_is_faster"]
+    # Above the percolation point broadcast is at least 3x faster at this size
+    # (asymptotically the gap is polynomial vs polylog).
+    assert report.summary["mean_speedup"] >= 3.0
+    # Above-threshold broadcast completes in a time comparable to polylog(k).
+    assert report.summary["mean_T_B_above"] <= 20.0 * report.summary["polylog_reference_log2_k"]

@@ -1,0 +1,17 @@
+"""E15 benchmark — range and displacement of a single walk (Lemma 2).
+
+Paper prediction: a walk of length ``ℓ`` visits ``Θ(ℓ/log ℓ)`` distinct
+nodes (with probability > 1/2 it exceeds a constant fraction of that form)
+and its displacement concentrates around ``sqrt(ℓ)``.
+"""
+
+
+def test_e15_walk_range(experiment_runner):
+    report = experiment_runner("E15")
+    lo, hi = report.summary["expected_range_exponent_range"]
+    assert lo <= report.summary["fitted_range_exponent"] <= hi
+    assert report.summary["all_median_above_quarter_form"]
+    # Max displacement over l steps stays within a small factor of sqrt(l).
+    band_lo, band_hi = report.summary["displacement_ratio_band"]
+    assert band_lo > 0.3
+    assert band_hi < 6.0

@@ -1,0 +1,16 @@
+"""E16 benchmark — the dense-model baseline of Clementi et al.
+
+Baseline prediction: in the dense regime (``k = Θ(n)``) the broadcast time is
+``Θ(sqrt(n)/R)`` — it *does* depend on the exchange radius, decreasing
+roughly like ``1/R``.  This is the contrast with the sparse regime's radius
+insensitivity (E3).
+"""
+
+
+def test_e16_dense_baseline(experiment_runner):
+    report = experiment_runner("E16")
+    assert report.summary["monotone_decreasing_in_R"]
+    exponent = report.summary["fitted_exponent_in_R"]
+    # Clearly decreasing in R (the sparse regime would give ~0).
+    assert exponent < -0.4
+    assert all(row["completion_rate"] == 1.0 for row in report.rows)

@@ -1,0 +1,17 @@
+"""E17 benchmark — broadcast through a bottleneck wall (barrier extension).
+
+Expectation (extension, not a paper claim): a wall with a narrow gap slows
+broadcast relative to a wide gap, and the widest gap behaves like the open
+grid.
+"""
+
+
+def test_e17_barriers(experiment_runner):
+    report = experiment_runner("E17")
+    # The narrowest bottleneck is clearly slower than the widest one.
+    assert report.summary["bottleneck_slowdown"] >= 1.3
+    # The widest gap (a full opening) stays within a modest factor of the
+    # open grid at the same n and k.
+    assert 0.4 <= report.summary["widest_gap_close_to_open"] <= 3.0
+    # All configurations completed within the horizon.
+    assert all(row["completion_rate"] == 1.0 for row in report.rows)

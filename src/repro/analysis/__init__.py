@@ -1,0 +1,26 @@
+"""Analysis toolkit: statistics, scaling fits, sweeps, tables and reports."""
+
+from repro.analysis.statistics import SummaryStats, summarize, bootstrap_ci
+from repro.analysis.fitting import (
+    PowerLawFit,
+    fit_power_law,
+    fit_power_law_with_log_correction,
+)
+from repro.analysis.sweep import ParameterSweep, SweepPoint
+from repro.analysis.tables import render_table, format_float
+from repro.analysis.report import ExperimentReport, ExperimentRow
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "bootstrap_ci",
+    "PowerLawFit",
+    "fit_power_law",
+    "fit_power_law_with_log_correction",
+    "ParameterSweep",
+    "SweepPoint",
+    "render_table",
+    "format_float",
+    "ExperimentReport",
+    "ExperimentRow",
+]

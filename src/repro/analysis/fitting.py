@@ -1,0 +1,98 @@
+"""Scaling fits: power laws with optional logarithmic corrections.
+
+The paper's bounds predict power-law scaling with known exponents
+(``T_B ~ n^1 k^{-1/2}`` up to polylog factors).  These helpers fit
+
+* a pure power law ``y = a * x^b`` by least squares in log–log space, and
+* a log-corrected power law ``y = a * x^b * log(x)^c``
+
+and report the exponent together with the coefficient of determination in
+log space, which is what the experiment harness compares against theory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of a least-squares power-law fit ``y = prefactor * x^exponent``."""
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+    log_exponent: float = 0.0
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted ``y`` values at the given ``x``."""
+        x = np.asarray(x, dtype=np.float64)
+        logs = np.where(x > 1, np.log(x), 1.0)
+        return self.prefactor * np.power(x, self.exponent) * np.power(logs, self.log_exponent)
+
+
+def _validate_xy(x: Sequence[float], y: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    x_arr = np.asarray(list(x), dtype=np.float64)
+    y_arr = np.asarray(list(y), dtype=np.float64)
+    if x_arr.shape != y_arr.shape:
+        raise ValueError(f"x and y must have the same length, got {x_arr.shape} and {y_arr.shape}")
+    if x_arr.size < 2:
+        raise ValueError("at least two points are required for a fit")
+    if np.any(x_arr <= 0) or np.any(y_arr <= 0):
+        raise ValueError("power-law fits require strictly positive x and y values")
+    return x_arr, y_arr
+
+
+def _r_squared(log_y: np.ndarray, log_y_hat: np.ndarray) -> float:
+    ss_res = float(np.sum((log_y - log_y_hat) ** 2))
+    ss_tot = float(np.sum((log_y - log_y.mean()) ** 2))
+    if ss_tot < 1e-12:
+        # Constant data: the fit is perfect iff the residuals vanish too.
+        return 1.0 if ss_res < 1e-10 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = a * x^b`` by ordinary least squares in log–log space."""
+    x_arr, y_arr = _validate_xy(x, y)
+    log_x = np.log(x_arr)
+    log_y = np.log(y_arr)
+    design = np.stack([np.ones_like(log_x), log_x], axis=1)
+    coeffs, *_ = np.linalg.lstsq(design, log_y, rcond=None)
+    intercept, slope = coeffs
+    log_y_hat = design @ coeffs
+    return PowerLawFit(
+        exponent=float(slope),
+        prefactor=float(np.exp(intercept)),
+        r_squared=_r_squared(log_y, log_y_hat),
+    )
+
+
+def fit_power_law_with_log_correction(
+    x: Sequence[float], y: Sequence[float]
+) -> PowerLawFit:
+    """Fit ``y = a * x^b * (log x)^c`` by least squares in log–log space.
+
+    Requires all ``x > 1`` so that ``log log x`` is defined; the log-corrected
+    model is what "tight up to polylogarithmic factors" suggests when fitting
+    finite-size data.
+    """
+    x_arr, y_arr = _validate_xy(x, y)
+    if np.any(x_arr <= 1):
+        raise ValueError("log-corrected fits require all x > 1")
+    log_x = np.log(x_arr)
+    log_log_x = np.log(log_x)
+    log_y = np.log(y_arr)
+    design = np.stack([np.ones_like(log_x), log_x, log_log_x], axis=1)
+    coeffs, *_ = np.linalg.lstsq(design, log_y, rcond=None)
+    intercept, slope, log_slope = coeffs
+    log_y_hat = design @ coeffs
+    return PowerLawFit(
+        exponent=float(slope),
+        prefactor=float(np.exp(intercept)),
+        r_squared=_r_squared(log_y, log_y_hat),
+        log_exponent=float(log_slope),
+    )

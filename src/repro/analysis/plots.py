@@ -1,0 +1,98 @@
+"""Lightweight ASCII plotting for terminal-friendly experiment output.
+
+The library deliberately avoids a plotting dependency; these helpers render
+small sparklines and log-log scatter plots as text so that examples and the
+CLI can show the *shape* of a sweep (e.g. the ``n/sqrt(k)`` decay) directly
+in the terminal and in EXPERIMENTS.md code blocks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a sequence of values as a unicode sparkline.
+
+    NaNs are rendered as spaces; a constant sequence renders at mid-height.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    finite = [v for v in vals if v == v]
+    if not finite:
+        return " " * len(vals)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    chars = []
+    for v in vals:
+        if v != v:
+            chars.append(" ")
+        elif span == 0:
+            chars.append(_SPARK_LEVELS[len(_SPARK_LEVELS) // 2])
+        else:
+            level = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+            chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def ascii_scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 60,
+    height: int = 16,
+    logx: bool = False,
+    logy: bool = False,
+    marker: str = "*",
+) -> str:
+    """Render ``(x, y)`` points as an ASCII scatter plot.
+
+    Parameters
+    ----------
+    x, y:
+        The data; must have equal, non-zero length and (when the log options
+        are set) strictly positive values on the corresponding axis.
+    width, height:
+        Plot size in characters (excluding axes).
+    logx, logy:
+        Use logarithmic scaling on the corresponding axis — the natural choice
+        for power-law sweeps.
+    """
+    xs = [float(v) for v in x]
+    ys = [float(v) for v in y]
+    if len(xs) != len(ys):
+        raise ValueError(f"x and y must have the same length, got {len(xs)} and {len(ys)}")
+    if not xs:
+        raise ValueError("cannot plot an empty series")
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be at least 2")
+    if logx and any(v <= 0 for v in xs):
+        raise ValueError("logx requires strictly positive x values")
+    if logy and any(v <= 0 for v in ys):
+        raise ValueError("logy requires strictly positive y values")
+
+    def transform(values: list[float], log: bool) -> list[float]:
+        return [math.log(v) for v in values] if log else list(values)
+
+    tx = transform(xs, logx)
+    ty = transform(ys, logy)
+    x_lo, x_hi = min(tx), max(tx)
+    y_lo, y_hi = min(ty), max(ty)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    cells = [[" "] * width for _ in range(height)]
+    for px, py in zip(tx, ty):
+        col = int((px - x_lo) / x_span * (width - 1))
+        row = int((py - y_lo) / y_span * (height - 1))
+        cells[height - 1 - row][col] = marker
+
+    lines = ["|" + "".join(row) for row in cells]
+    lines.append("+" + "-" * width)
+    x_label = f"x: [{min(xs):.3g}, {max(xs):.3g}]" + (" (log)" if logx else "")
+    y_label = f"y: [{min(ys):.3g}, {max(ys):.3g}]" + (" (log)" if logy else "")
+    lines.append(f" {x_label}   {y_label}")
+    return "\n".join(lines)

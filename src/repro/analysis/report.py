@@ -1,0 +1,70 @@
+"""Experiment reports: the rows/series an experiment produces.
+
+Every experiment module returns an :class:`ExperimentReport`, which carries a
+tabular payload (one :class:`ExperimentRow` per sweep point), scalar summary
+metrics (e.g. a fitted exponent) and a human-readable rendering used by the
+benchmark harness and by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.tables import render_table
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One row of an experiment table (an ordered mapping of column -> value)."""
+
+    values: Mapping[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.values[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Value of a column, or ``default`` if absent."""
+        return self.values.get(key, default)
+
+
+@dataclass(frozen=True)
+class ExperimentReport:
+    """The output of one experiment: identification, rows and summary metrics."""
+
+    experiment_id: str
+    title: str
+    parameters: Mapping[str, Any]
+    rows: Sequence[ExperimentRow]
+    summary: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def columns(self) -> list[str]:
+        """Column names, taken from the first row (empty if there are no rows)."""
+        if not self.rows:
+            return []
+        return list(self.rows[0].values.keys())
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return [row[name] for row in self.rows]
+
+    def to_table(self, digits: int = 4) -> str:
+        """Render the rows as an aligned plain-text table."""
+        columns = self.columns
+        data = [[row.get(col) for col in columns] for row in self.rows]
+        return render_table(columns, data, digits=digits)
+
+    def render(self, digits: int = 4) -> str:
+        """Full human-readable rendering: header, parameters, table, summary."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.parameters:
+            params = ", ".join(f"{k}={v}" for k, v in self.parameters.items())
+            lines.append(f"parameters: {params}")
+        if self.rows:
+            lines.append(self.to_table(digits=digits))
+        if self.summary:
+            lines.append("summary:")
+            for key, value in self.summary.items():
+                lines.append(f"  {key} = {value}")
+        return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Summary statistics and bootstrap confidence intervals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.rng import RandomState, default_rng
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-style summary of a sample of scalar measurements."""
+
+    n: int
+    mean: float
+    std: float
+    median: float
+    min: float
+    max: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.n <= 1:
+            return 0.0
+        return self.std / np.sqrt(self.n)
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: RandomState | int | None = None,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval of the mean."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return (float("nan"), float("nan"))
+    if arr.size == 1:
+        return (float(arr[0]), float(arr[0]))
+    if not (0 < confidence < 1):
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    rng = default_rng(rng)
+    indices = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    means = arr[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )
+
+
+def summarize(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    rng: RandomState | int | None = None,
+) -> SummaryStats:
+    """Summarise a sample: mean, std, median, min/max and a bootstrap CI."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        nan = float("nan")
+        return SummaryStats(0, nan, nan, nan, nan, nan, nan, nan)
+    lo, hi = bootstrap_ci(arr, confidence=confidence, rng=rng)
+    return SummaryStats(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        median=float(np.median(arr)),
+        min=float(arr.min()),
+        max=float(arr.max()),
+        ci_low=lo,
+        ci_high=hi,
+    )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (NaN if any value is non-positive)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0 or np.any(arr <= 0):
+        return float("nan")
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,56 @@
+"""Parameter-sweep definitions.
+
+Each experiment sweeps one or two system parameters (``k``, ``n``, ``r`` …)
+and measures a scalar per point.  :class:`ParameterSweep` is a small,
+serialisable description of such a sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep: the varied value plus fixed parameters."""
+
+    parameter: str
+    value: Any
+    fixed: Mapping[str, Any] = field(default_factory=dict)
+
+    def as_kwargs(self) -> dict[str, Any]:
+        """All parameters of this point as keyword arguments."""
+        kwargs = dict(self.fixed)
+        kwargs[self.parameter] = self.value
+        return kwargs
+
+
+@dataclass(frozen=True)
+class ParameterSweep:
+    """A one-dimensional sweep over ``values`` of ``parameter``.
+
+    Attributes
+    ----------
+    parameter:
+        Name of the varied parameter (e.g. ``"n_agents"``).
+    values:
+        The values the parameter takes, in the order they are run.
+    fixed:
+        Parameters held constant across the sweep.
+    """
+
+    parameter: str
+    values: Sequence[Any]
+    fixed: Mapping[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[SweepPoint]:
+        for value in self.values:
+            yield SweepPoint(parameter=self.parameter, value=value, fixed=self.fixed)
+
+    def points(self) -> list[SweepPoint]:
+        """All points of the sweep as a list."""
+        return list(self)

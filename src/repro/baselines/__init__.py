@@ -1,0 +1,34 @@
+"""Baselines and comparison models from the paper's Related Work section.
+
+* :mod:`repro.baselines.dense_model` — the dense ``R/ρ`` model of Clementi et
+  al. (broadcast time ``Θ(sqrt(n)/R)`` when ``k = Θ(n)``).
+* :mod:`repro.baselines.wang_bound` — the ``Θ((n log n log k)/k)`` infection
+  time claimed by Wang et al., which the paper shows to be incorrect.
+* :mod:`repro.baselines.dimitriou_bound` — the general ``O(t* log k)`` bound
+  of Dimitriou et al., which specialises to ``O(n log n log k)`` on the grid.
+* :mod:`repro.baselines.peres_above` — broadcast above the percolation point
+  (the regime of Peres et al., SODA 2011), where the broadcast time becomes
+  polylogarithmic in ``k``.
+* :mod:`repro.baselines.static_pushpull` — classical push–pull rumor
+  spreading on a static graph, for contrast with the mobile setting.
+"""
+
+from repro.baselines.dense_model import DenseModelSimulation, DenseModelResult
+from repro.baselines.wang_bound import wang_claimed_infection_time
+from repro.baselines.dimitriou_bound import (
+    dimitriou_infection_time_bound,
+    grid_maximum_meeting_time,
+)
+from repro.baselines.peres_above import above_percolation_broadcast
+from repro.baselines.static_pushpull import push_pull_rounds, PushPullResult
+
+__all__ = [
+    "DenseModelSimulation",
+    "DenseModelResult",
+    "wang_claimed_infection_time",
+    "dimitriou_infection_time_bound",
+    "grid_maximum_meeting_time",
+    "above_percolation_broadcast",
+    "push_pull_rounds",
+    "PushPullResult",
+]

@@ -1,0 +1,29 @@
+"""The general infection-time bound of Dimitriou, Nikoletseas and Spirakis (2006).
+
+For ``k`` agents moving in an ``n``-node graph, the average infection time is
+``O(t* log k)`` where ``t*`` is the maximum average meeting time of two
+random walks on the graph.  On the grid ``t* = O(n log n)`` (Aldous & Fill),
+so the bound specialises to ``O(n log n log k)`` — note that it does *not*
+improve as ``k`` grows, unlike the paper's ``Õ(n / sqrt(k))``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import check_positive_int
+
+
+def grid_maximum_meeting_time(n_nodes: int, constant: float = 1.0) -> float:
+    """The maximum average meeting time ``t* = O(n log n)`` on the grid."""
+    n_nodes = check_positive_int(n_nodes, "n_nodes")
+    log_n = max(math.log(n_nodes), 1.0)
+    return constant * n_nodes * log_n
+
+
+def dimitriou_infection_time_bound(n_nodes: int, n_agents: int, constant: float = 1.0) -> float:
+    """The Dimitriou et al. bound ``O(t* log k) = O(n log n log k)`` on the grid."""
+    n_nodes = check_positive_int(n_nodes, "n_nodes")
+    n_agents = check_positive_int(n_agents, "n_agents")
+    log_k = max(math.log(n_agents), 1.0)
+    return constant * grid_maximum_meeting_time(n_nodes) * log_k

@@ -1,0 +1,39 @@
+"""The infection-time bound claimed by Wang, Kapadia and Krishnamachari (2008).
+
+Wang et al. claim a tight bound of ``Θ((n log n log k) / k)`` on the
+infection time on the grid, based on an informal argument with unwarranted
+independence assumptions.  The paper's Theorem 2 shows that the true
+broadcast/infection time is ``Ω(n / (sqrt(k) log^2 n))``, which grows much
+faster than the claimed bound as ``k`` increases — the claimed bound is
+therefore incorrect.  Experiment E12 plots the measured infection time
+against both formulas.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import check_positive_int
+
+
+def wang_claimed_infection_time(n_nodes: int, n_agents: int, constant: float = 1.0) -> float:
+    """The (incorrect) claimed infection time ``(n log n log k) / k``."""
+    n_nodes = check_positive_int(n_nodes, "n_nodes")
+    n_agents = check_positive_int(n_agents, "n_agents")
+    log_n = max(math.log(n_nodes), 1.0)
+    log_k = max(math.log(n_agents), 1.0)
+    return constant * n_nodes * log_n * log_k / n_agents
+
+
+def wang_vs_true_ratio(n_nodes: int, n_agents: int) -> float:
+    """Ratio of the true lower bound to the Wang et al. claim.
+
+    The ratio grows like ``sqrt(k) / (log^3 n log k)``; once it exceeds 1 the
+    claimed bound is provably violated.
+    """
+    n_nodes = check_positive_int(n_nodes, "n_nodes")
+    n_agents = check_positive_int(n_agents, "n_agents")
+    log_n = max(math.log(n_nodes), 1.0)
+    true_lower = n_nodes / (math.sqrt(n_agents) * log_n**2)
+    claimed = wang_claimed_infection_time(n_nodes, n_agents)
+    return true_lower / claimed

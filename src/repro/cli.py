@@ -1,0 +1,91 @@
+"""Command-line interface: run experiments and inspect workloads.
+
+Usage::
+
+    python -m repro list
+    python -m repro run E1 --scale small --seed 0
+    python -m repro run all --scale tiny --json results.json
+    python -m repro workload E3 --scale paper
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.report import ExperimentReport
+from repro.experiments import available_experiments, experiment_description, run_experiment
+from repro.util.serialization import dump_json, to_jsonable
+from repro.workloads import SCALES, get_workload
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction harness for 'Tight Bounds on Information Dissemination "
+            "in Sparse Mobile Networks' (Pettarin et al., PODC 2011)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list the available experiments")
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id (E1..E16) or 'all'")
+    run_parser.add_argument("--scale", choices=SCALES, default="small")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--json", metavar="PATH", help="also write the report(s) as JSON")
+    run_parser.set_defaults(func=_cmd_run)
+
+    workload_parser = subparsers.add_parser("workload", help="show an experiment's workload")
+    workload_parser.add_argument("experiment", help="experiment id (E1..E16)")
+    workload_parser.add_argument("--scale", choices=SCALES, default="small")
+    workload_parser.set_defaults(func=_cmd_workload)
+
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for experiment_id in available_experiments():
+        print(f"{experiment_id:>4}  {experiment_description(experiment_id)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.experiment.lower() == "all":
+        experiment_ids = available_experiments()
+    else:
+        experiment_ids = [args.experiment.upper()]
+    reports: list[ExperimentReport] = []
+    for experiment_id in experiment_ids:
+        report = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+        reports.append(report)
+        print(report.render())
+        print()
+    if args.json:
+        payload = [to_jsonable(report) for report in reports]
+        dump_json(payload if len(payload) > 1 else payload[0], args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    workload = get_workload(args.experiment, args.scale)
+    print(f"{workload.experiment_id} @ {workload.scale}")
+    for key, value in workload.params.items():
+        print(f"  {key} = {value}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro`` command-line interface."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Visibility graph with communication barriers (line-of-sight constraint).
+
+Two agents are adjacent iff they are within the transmission radius *and*
+the straight segment between them does not cross a blocked node of the
+domain.  This models radio-opaque obstacles (the "communication barriers" of
+the paper's future-work list) on top of the mobility barriers handled by
+:class:`repro.mobility.obstacle_walk.ObstacleWalkMobility`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.connectivity.spatial_hash import neighbor_pairs
+from repro.connectivity.unionfind import UnionFind
+from repro.grid.obstacles import ObstacleGrid
+
+
+def barrier_visibility_components(
+    positions: np.ndarray,
+    radius: float,
+    domain: ObstacleGrid,
+    block_communication: bool = True,
+) -> np.ndarray:
+    """Dense component labels of the visibility graph with barriers.
+
+    Parameters
+    ----------
+    positions:
+        ``(k, 2)`` agent positions (on free nodes of the domain).
+    radius:
+        Transmission radius (Manhattan metric), exactly as in the open grid.
+    domain:
+        The obstacle domain providing the line-of-sight test.
+    block_communication:
+        If False, obstacles only restrict mobility and the visibility graph
+        is the ordinary radius graph (useful for ablations).
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError(f"positions must have shape (k, 2), got {positions.shape}")
+    k = positions.shape[0]
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+
+    uf = UnionFind(k)
+    pairs = neighbor_pairs(positions, radius)
+    for a, b in pairs:
+        if block_communication and not domain.line_of_sight(positions[a], positions[b]):
+            continue
+        uf.union(int(a), int(b))
+    return uf.labels()

@@ -1,0 +1,94 @@
+"""Island (connected-component) statistics of the visibility graph.
+
+Lemma 6 of the paper bounds the size of the largest *island* — the connected
+component of the proximity graph with parameter ``γ = sqrt(n / (4 e^6 k))`` —
+by ``log n`` with high probability.  These helpers summarise component-size
+distributions from the dense labels produced by
+:func:`repro.connectivity.visibility.visibility_components`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.connectivity.visibility import visibility_components
+from repro.util.rng import RandomState, default_rng
+from repro.grid.lattice import Grid2D
+
+
+def component_sizes(labels: np.ndarray) -> np.ndarray:
+    """Sizes of each component given dense labels (sorted descending)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.size == 0:
+        return np.empty(0, dtype=np.int64)
+    sizes = np.bincount(labels)
+    return np.sort(sizes)[::-1]
+
+
+def largest_component_size(labels: np.ndarray) -> int:
+    """Number of agents in the largest component (0 for an empty system)."""
+    sizes = component_sizes(labels)
+    return int(sizes[0]) if sizes.size else 0
+
+
+def largest_component_fraction(labels: np.ndarray) -> float:
+    """Fraction of agents belonging to the largest component."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.size == 0:
+        return 0.0
+    return largest_component_size(labels) / labels.size
+
+
+@dataclass(frozen=True)
+class IslandStatistics:
+    """Summary of island sizes observed over a number of configurations."""
+
+    n_agents: int
+    radius: float
+    samples: int
+    max_island_size: int
+    mean_max_island_size: float
+    mean_island_size: float
+    giant_fraction: float
+
+    def exceeds(self, threshold: float) -> bool:
+        """Whether the largest observed island exceeds ``threshold`` agents."""
+        return self.max_island_size > threshold
+
+
+def island_statistics(
+    grid: Grid2D,
+    n_agents: int,
+    radius: float,
+    samples: int,
+    rng: RandomState | int | None = None,
+) -> IslandStatistics:
+    """Island statistics over ``samples`` independent uniform placements.
+
+    Because the agent positions are uniform and independent at every time
+    step under the lazy walk, sampling fresh uniform placements is
+    distributionally equivalent to observing the running system at
+    ``samples`` (well-separated) time instants.
+    """
+    rng = default_rng(rng)
+    max_sizes = np.empty(samples, dtype=np.int64)
+    mean_sizes = np.empty(samples, dtype=np.float64)
+    giant_fractions = np.empty(samples, dtype=np.float64)
+    for i in range(samples):
+        positions = grid.random_positions(n_agents, rng)
+        labels = visibility_components(positions, radius)
+        sizes = component_sizes(labels)
+        max_sizes[i] = sizes[0]
+        mean_sizes[i] = float(sizes.mean())
+        giant_fractions[i] = sizes[0] / n_agents
+    return IslandStatistics(
+        n_agents=n_agents,
+        radius=float(radius),
+        samples=samples,
+        max_island_size=int(max_sizes.max()),
+        mean_max_island_size=float(max_sizes.mean()),
+        mean_island_size=float(mean_sizes.mean()),
+        giant_fraction=float(giant_fractions.mean()),
+    )

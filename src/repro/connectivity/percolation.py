@@ -1,0 +1,94 @@
+"""Percolation structure of the visibility graph.
+
+The paper's sparse regime is defined by transmission radii below the
+percolation point ``r_c ≈ sqrt(n / k)``: below it all components are small
+(logarithmic), above it a giant component containing a constant fraction of
+the agents appears.  This module provides the theoretical radii used in the
+paper's statements and a sweep utility that locates the empirical transition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.connectivity.components import largest_component_fraction
+from repro.connectivity.visibility import visibility_components
+from repro.grid.lattice import Grid2D
+from repro.util.rng import RandomState, default_rng
+from repro.util.validation import check_positive_int
+
+
+def percolation_radius(n_nodes: int, n_agents: int) -> float:
+    """The percolation point ``r_c ≈ sqrt(n / k)``."""
+    n_nodes = check_positive_int(n_nodes, "n_nodes")
+    n_agents = check_positive_int(n_agents, "n_agents")
+    return math.sqrt(n_nodes / n_agents)
+
+
+def island_parameter_gamma(n_nodes: int, n_agents: int) -> float:
+    """The island parameter ``γ = sqrt(n / (4 e^6 k))`` of Lemma 6."""
+    n_nodes = check_positive_int(n_nodes, "n_nodes")
+    n_agents = check_positive_int(n_agents, "n_agents")
+    return math.sqrt(n_nodes / (4.0 * math.exp(6.0) * n_agents))
+
+
+def lower_bound_radius(n_nodes: int, n_agents: int) -> float:
+    """The radius ``sqrt(n / (64 e^6 k))`` below which Theorem 2 applies."""
+    n_nodes = check_positive_int(n_nodes, "n_nodes")
+    n_agents = check_positive_int(n_agents, "n_agents")
+    return math.sqrt(n_nodes / (64.0 * math.exp(6.0) * n_agents))
+
+
+@dataclass(frozen=True)
+class PercolationSweepResult:
+    """Result of sweeping the transmission radius around the percolation point."""
+
+    n_nodes: int
+    n_agents: int
+    radii: np.ndarray
+    giant_fractions: np.ndarray
+    theoretical_radius: float
+
+    def estimated_threshold(self, target_fraction: float = 0.5) -> float:
+        """Smallest swept radius whose giant-component fraction reaches the target.
+
+        Returns ``inf`` if the target is never reached within the sweep.
+        """
+        above = np.flatnonzero(self.giant_fractions >= target_fraction)
+        if above.size == 0:
+            return float("inf")
+        return float(self.radii[above[0]])
+
+
+def giant_component_sweep(
+    grid: Grid2D,
+    n_agents: int,
+    radii: np.ndarray,
+    samples: int = 10,
+    rng: RandomState | int | None = None,
+) -> PercolationSweepResult:
+    """Measure the mean giant-component fraction for each radius in ``radii``."""
+    n_agents = check_positive_int(n_agents, "n_agents")
+    samples = check_positive_int(samples, "samples")
+    rng = default_rng(rng)
+    radii = np.asarray(radii, dtype=np.float64)
+    fractions = np.empty(radii.shape[0], dtype=np.float64)
+    for idx, radius in enumerate(radii):
+        if radius < 0:
+            raise ValueError(f"radii must be non-negative, got {radius}")
+        acc = 0.0
+        for _ in range(samples):
+            positions = grid.random_positions(n_agents, rng)
+            labels = visibility_components(positions, float(radius))
+            acc += largest_component_fraction(labels)
+        fractions[idx] = acc / samples
+    return PercolationSweepResult(
+        n_nodes=grid.n_nodes,
+        n_agents=n_agents,
+        radii=radii,
+        giant_fractions=fractions,
+        theoretical_radius=percolation_radius(grid.n_nodes, n_agents),
+    )

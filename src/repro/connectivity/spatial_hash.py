@@ -1,0 +1,120 @@
+"""Spatial hashing for radius-bounded neighbour queries.
+
+To build the visibility graph ``G_t(r)`` we need all pairs of agents within
+Manhattan distance ``r``.  The naive all-pairs approach costs ``O(k^2)`` per
+step; the spatial hash bins agents into square buckets of side
+``max(r, 1)`` so that any pair within distance ``r`` falls into the same or
+adjacent buckets, reducing the cost to roughly
+``O(k + sum_b |b|^2)`` where the sums are over occupied buckets — small in the
+sparse regime where bucket occupancy is O(1) on average.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.grid.geometry import distance
+
+
+class SpatialHash:
+    """Bucket agents into square cells of a given side for neighbour queries."""
+
+    def __init__(self, positions: np.ndarray, cell_side: int) -> None:
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError(f"positions must have shape (k, 2), got {positions.shape}")
+        if cell_side < 1:
+            raise ValueError(f"cell_side must be >= 1, got {cell_side}")
+        self._positions = positions
+        self._cell_side = int(cell_side)
+        cells = positions // self._cell_side
+        # Map each occupied bucket (cx, cy) to the agent indices inside it.
+        self._buckets: dict[tuple[int, int], np.ndarray] = {}
+        if positions.shape[0]:
+            order = np.lexsort((cells[:, 1], cells[:, 0]))
+            sorted_cells = cells[order]
+            boundaries = np.flatnonzero(np.any(np.diff(sorted_cells, axis=0) != 0, axis=1)) + 1
+            groups = np.split(order, boundaries)
+            for group in groups:
+                key = (int(cells[group[0], 0]), int(cells[group[0], 1]))
+                self._buckets[key] = group
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_points(self) -> int:
+        """Number of points in the hash."""
+        return self._positions.shape[0]
+
+    @property
+    def cell_side(self) -> int:
+        """Bucket side length."""
+        return self._cell_side
+
+    @property
+    def n_buckets(self) -> int:
+        """Number of occupied buckets."""
+        return len(self._buckets)
+
+    def bucket_of(self, index: int) -> tuple[int, int]:
+        """Bucket coordinates of the point with the given index."""
+        x, y = self._positions[index]
+        return (int(x) // self._cell_side, int(y) // self._cell_side)
+
+    # ------------------------------------------------------------------ #
+    def candidate_pairs(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(indices_a, indices_b)`` arrays of candidate close pairs.
+
+        Pairs within the same bucket and pairs between a bucket and its
+        "forward" neighbours (east, north, north-east, north-west) are
+        yielded once each; every pair of points within distance
+        ``cell_side`` is covered.
+        """
+        forward = ((0, 1), (1, 0), (1, 1), (1, -1))
+        for (cx, cy), members in self._buckets.items():
+            if members.size > 1:
+                ia, ib = np.triu_indices(members.size, k=1)
+                yield members[ia], members[ib]
+            for dx, dy in forward:
+                other = self._buckets.get((cx + dx, cy + dy))
+                if other is not None:
+                    grid_a, grid_b = np.meshgrid(members, other, indexing="ij")
+                    yield grid_a.ravel(), grid_b.ravel()
+
+    def pairs_within(self, radius: float, metric: str = "manhattan") -> np.ndarray:
+        """All pairs ``(i, j)`` with ``i < j`` and distance at most ``radius``.
+
+        Returns an ``(m, 2)`` integer array (possibly empty).
+        """
+        pos = self._positions
+        out: list[np.ndarray] = []
+        for ia, ib in self.candidate_pairs():
+            dists = distance(pos[ia], pos[ib], metric=metric)
+            close = np.atleast_1d(dists) <= radius
+            if np.any(close):
+                pairs = np.stack([ia[close], ib[close]], axis=1)
+                out.append(pairs)
+        if not out:
+            return np.empty((0, 2), dtype=np.int64)
+        pairs = np.concatenate(out, axis=0)
+        # Normalise orientation (i < j) and deduplicate for safety.
+        lo = np.minimum(pairs[:, 0], pairs[:, 1])
+        hi = np.maximum(pairs[:, 0], pairs[:, 1])
+        pairs = np.unique(np.stack([lo, hi], axis=1), axis=0)
+        return pairs
+
+
+def neighbor_pairs(
+    positions: np.ndarray, radius: float, metric: str = "manhattan"
+) -> np.ndarray:
+    """All index pairs of points within ``radius`` of each other.
+
+    Radius 0 pairs are points sharing the exact same node; the spatial hash
+    still works because bucket side is clamped to at least 1.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    if positions.shape[0] < 2:
+        return np.empty((0, 2), dtype=np.int64)
+    cell_side = max(int(np.ceil(radius)), 1)
+    return SpatialHash(positions, cell_side).pairs_within(radius, metric=metric)

@@ -1,0 +1,77 @@
+"""Union–find (disjoint-set union) with path compression and union by size."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+
+class UnionFind:
+    """Disjoint-set union over the integers ``0 .. n-1``.
+
+    Used to label connected components of the visibility graph: agents are
+    the elements and an edge between two agents merges their sets.
+    """
+
+    __slots__ = ("_parent", "_size", "_n_components")
+
+    def __init__(self, n_elements: int) -> None:
+        n_elements = check_positive_int(n_elements, "n_elements")
+        self._parent = np.arange(n_elements, dtype=np.int64)
+        self._size = np.ones(n_elements, dtype=np.int64)
+        self._n_components = n_elements
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_elements(self) -> int:
+        """Number of elements in the universe."""
+        return self._parent.shape[0]
+
+    @property
+    def n_components(self) -> int:
+        """Current number of disjoint sets."""
+        return self._n_components
+
+    # ------------------------------------------------------------------ #
+    def find(self, element: int) -> int:
+        """Representative of the set containing ``element`` (with path compression)."""
+        parent = self._parent
+        root = element
+        while parent[root] != root:
+            root = parent[root]
+        # Path compression.
+        while parent[element] != root:
+            parent[element], element = root, parent[element]
+        return int(root)
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; returns True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._n_components -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """Whether ``a`` and ``b`` currently belong to the same set."""
+        return self.find(a) == self.find(b)
+
+    def component_size(self, element: int) -> int:
+        """Size of the set containing ``element``."""
+        return int(self._size[self.find(element)])
+
+    def labels(self) -> np.ndarray:
+        """Dense component labels in ``0 .. n_components-1`` for every element.
+
+        Elements in the same set share a label; labels are assigned in order
+        of first appearance so the output is deterministic.
+        """
+        n = self.n_elements
+        roots = np.fromiter((self.find(i) for i in range(n)), dtype=np.int64, count=n)
+        _, labels = np.unique(roots, return_inverse=True)
+        return labels

@@ -1,0 +1,71 @@
+"""Construction of the visibility graph ``G_t(r)`` and its components.
+
+Two agents are adjacent in ``G_t(r)`` iff their Manhattan distance at time
+``t`` is at most the transmission radius ``r``.  The special case ``r = 0``
+(agents must share a node) is handled by grouping identical positions, which
+is both exact and faster than the general path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+
+from repro.connectivity.spatial_hash import neighbor_pairs
+from repro.connectivity.unionfind import UnionFind
+
+
+def visibility_edges(
+    positions: np.ndarray, radius: float, metric: str = "manhattan"
+) -> np.ndarray:
+    """Edge list ``(m, 2)`` of the visibility graph at the given positions."""
+    positions = np.asarray(positions, dtype=np.int64)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError(f"positions must have shape (k, 2), got {positions.shape}")
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    return neighbor_pairs(positions, radius, metric=metric)
+
+
+def visibility_components(
+    positions: np.ndarray, radius: float, metric: str = "manhattan"
+) -> np.ndarray:
+    """Dense component labels (length ``k``) of the visibility graph ``G_t(r)``.
+
+    Agents in the same connected component share a label; labels are
+    contiguous integers starting at 0.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError(f"positions must have shape (k, 2), got {positions.shape}")
+    k = positions.shape[0]
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    if radius == 0:
+        # Agents co-located on the same node form a clique; group by node.
+        _, labels = np.unique(positions, axis=0, return_inverse=True)
+        # Re-densify so labels are deterministic in order of first appearance.
+        _, dense = np.unique(labels, return_inverse=True)
+        return dense.astype(np.int64)
+    uf = UnionFind(k)
+    for a, b in visibility_edges(positions, radius, metric=metric):
+        uf.union(int(a), int(b))
+    return uf.labels()
+
+
+def visibility_graph(
+    positions: np.ndarray, radius: float, metric: str = "manhattan"
+) -> nx.Graph:
+    """The visibility graph as a ``networkx.Graph`` (one node per agent).
+
+    Primarily intended as a test oracle and for small-scale inspection; the
+    simulation core uses :func:`visibility_components` directly.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(positions.shape[0]))
+    for a, b in visibility_edges(positions, radius, metric=metric):
+        graph.add_edge(int(a), int(b))
+    return graph

@@ -1,0 +1,126 @@
+"""Measurement trackers used by the simulation core.
+
+* :class:`InformedCurve` — the number of informed agents over time;
+* :class:`FrontierTracker` — the rightmost grid column touched by an informed
+  agent (the quantity ``x(t)`` of the lower-bound argument, Section 3.2);
+* :class:`CoverageTracker` — the set of nodes visited by informed agents,
+  whose completion time is the coverage time ``T_C`` of Section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grid.lattice import Grid2D
+
+
+@dataclass
+class InformedCurve:
+    """Sequence of informed-agent counts, one entry per simulated time step."""
+
+    counts: list[int] = field(default_factory=list)
+
+    def record(self, informed: np.ndarray) -> None:
+        """Append the current number of informed agents."""
+        self.counts.append(int(np.count_nonzero(informed)))
+
+    def as_array(self) -> np.ndarray:
+        """The curve as an integer numpy array."""
+        return np.asarray(self.counts, dtype=np.int64)
+
+    def time_to_fraction(self, n_agents: int, fraction: float) -> int:
+        """First time at which at least ``fraction`` of the agents are informed.
+
+        Returns ``-1`` if the fraction is never reached.
+        """
+        target = fraction * n_agents
+        for t, count in enumerate(self.counts):
+            if count >= target:
+                return t
+        return -1
+
+
+class FrontierTracker:
+    """Tracks the rightmost grid column ever touched by an informed agent.
+
+    Section 3.2 defines the informed area ``I(t)`` as the set of nodes visited
+    by informed agents up to time ``t`` and ``x(t)`` as its rightmost node;
+    Lemma 7 bounds how fast ``x(t)`` can advance.  Only the x-coordinate is
+    needed for the experiment, so the tracker stores the running maximum and
+    its history.
+    """
+
+    def __init__(self) -> None:
+        self._frontier = -1
+        self._history: list[int] = []
+
+    @property
+    def frontier(self) -> int:
+        """Current rightmost informed column (``-1`` before any observation)."""
+        return self._frontier
+
+    @property
+    def history(self) -> np.ndarray:
+        """Frontier value after every recorded step."""
+        return np.asarray(self._history, dtype=np.int64)
+
+    def record(self, positions: np.ndarray, informed: np.ndarray) -> None:
+        """Update the frontier with the current positions of informed agents."""
+        informed = np.asarray(informed, dtype=bool)
+        if informed.any():
+            rightmost = int(np.max(np.asarray(positions)[informed, 0]))
+            if rightmost > self._frontier:
+                self._frontier = rightmost
+        self._history.append(self._frontier)
+
+    def max_advance_per_window(self, window: int) -> int:
+        """Largest advance of the frontier over any window of ``window`` steps."""
+        hist = self.history
+        if hist.size <= window:
+            return int(hist[-1] - hist[0]) if hist.size else 0
+        diffs = hist[window:] - hist[:-window]
+        return int(diffs.max())
+
+
+class CoverageTracker:
+    """Tracks the set of grid nodes visited by informed agents.
+
+    The coverage time ``T_C`` (Section 4) is the first time at which every
+    grid node has been visited by an informed agent.
+    """
+
+    def __init__(self, grid: Grid2D) -> None:
+        self._grid = grid
+        self._visited = np.zeros(grid.n_nodes, dtype=bool)
+        self._coverage_time = -1
+
+    @property
+    def n_visited(self) -> int:
+        """Number of distinct nodes visited so far."""
+        return int(np.count_nonzero(self._visited))
+
+    @property
+    def fraction_visited(self) -> float:
+        """Fraction of the grid covered so far."""
+        return self.n_visited / self._grid.n_nodes
+
+    @property
+    def complete(self) -> bool:
+        """Whether every node has been visited."""
+        return self._coverage_time >= 0
+
+    @property
+    def coverage_time(self) -> int:
+        """The coverage time (``-1`` if coverage is not yet complete)."""
+        return self._coverage_time
+
+    def record(self, positions: np.ndarray, informed: np.ndarray, time: int) -> None:
+        """Mark the nodes currently occupied by informed agents as visited."""
+        informed = np.asarray(informed, dtype=bool)
+        if informed.any():
+            node_ids = self._grid.node_id(np.asarray(positions)[informed])
+            self._visited[np.atleast_1d(node_ids)] = True
+        if self._coverage_time < 0 and bool(self._visited.all()):
+            self._coverage_time = time

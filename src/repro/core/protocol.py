@@ -1,0 +1,76 @@
+"""Rumor-exchange protocol: instantaneous flooding within components.
+
+Following the paper's model (and the common assumption, justified by the
+physical reality that radio transmission is much faster than agent motion),
+within one time step a rumor reaches *every* agent of the connected component
+of ``G_t(r)`` that contains an informed agent; formally, for every component
+``C`` and agent ``a ∈ C``, ``M_a(t) = ∪_{a' ∈ C} M_{a'}(t-1)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def flood_informed(informed: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """One flooding round for a single rumor.
+
+    Parameters
+    ----------
+    informed:
+        Boolean array of length ``k``: which agents know the rumor before the
+        exchange.
+    labels:
+        Dense component labels of the visibility graph at the current time.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean array of length ``k``: agents informed after the exchange
+        (every agent sharing a component with an informed agent).
+    """
+    informed = np.asarray(informed, dtype=bool)
+    labels = np.asarray(labels, dtype=np.int64)
+    if informed.shape != labels.shape:
+        raise ValueError(
+            f"informed and labels must have the same shape, got {informed.shape} and {labels.shape}"
+        )
+    if informed.size == 0:
+        return informed.copy()
+    n_components = int(labels.max()) + 1
+    component_informed = np.zeros(n_components, dtype=bool)
+    np.logical_or.at(component_informed, labels, informed)
+    return component_informed[labels]
+
+
+def flood_rumors(rumors: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """One flooding round for multiple rumors (gossip).
+
+    Parameters
+    ----------
+    rumors:
+        Boolean matrix of shape ``(k, m)``: ``rumors[a, j]`` is True iff agent
+        ``a`` knows rumor ``j`` before the exchange.
+    labels:
+        Dense component labels of the visibility graph at the current time.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean matrix of shape ``(k, m)`` after the exchange: every agent
+        knows the union of the rumors known within its component.
+    """
+    rumors = np.asarray(rumors, dtype=bool)
+    labels = np.asarray(labels, dtype=np.int64)
+    if rumors.ndim != 2:
+        raise ValueError(f"rumors must be a 2-D boolean matrix, got shape {rumors.shape}")
+    if rumors.shape[0] != labels.shape[0]:
+        raise ValueError(
+            f"rumors has {rumors.shape[0]} rows but labels has {labels.shape[0]} entries"
+        )
+    if rumors.size == 0:
+        return rumors.copy()
+    n_components = int(labels.max()) + 1
+    component_rumors = np.zeros((n_components, rumors.shape[1]), dtype=bool)
+    np.logical_or.at(component_rumors, labels, rumors)
+    return component_rumors[labels]

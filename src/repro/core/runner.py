@@ -1,0 +1,122 @@
+"""Replication runner: repeat a stochastic experiment and summarise it.
+
+All headline quantities of the paper are "with high probability" statements,
+so every experiment is replicated with independent random streams and the
+harness reports means, medians and bootstrap confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.config import BroadcastConfig, GossipConfig
+from repro.core.gossip import GossipResult, GossipSimulation
+from repro.core.simulation import BroadcastResult, BroadcastSimulation
+from repro.util.rng import SeedLike, spawn_rngs
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class ReplicationSummary:
+    """Summary of a replicated scalar measurement (e.g. broadcast times)."""
+
+    values: np.ndarray
+    n_replications: int
+    n_completed: int
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of replications that completed within the horizon."""
+        if self.n_replications == 0:
+            return 0.0
+        return self.n_completed / self.n_replications
+
+    @property
+    def completed_values(self) -> np.ndarray:
+        """Values of the completed replications only."""
+        return self.values[self.values >= 0]
+
+    @property
+    def mean(self) -> float:
+        """Mean over completed replications (NaN if none completed)."""
+        vals = self.completed_values
+        return float(vals.mean()) if vals.size else float("nan")
+
+    @property
+    def median(self) -> float:
+        """Median over completed replications (NaN if none completed)."""
+        vals = self.completed_values
+        return float(np.median(vals)) if vals.size else float("nan")
+
+    @property
+    def std(self) -> float:
+        """Standard deviation over completed replications (NaN if none)."""
+        vals = self.completed_values
+        return float(vals.std(ddof=1)) if vals.size > 1 else 0.0 if vals.size else float("nan")
+
+    @property
+    def min(self) -> float:
+        """Minimum over completed replications."""
+        vals = self.completed_values
+        return float(vals.min()) if vals.size else float("nan")
+
+    @property
+    def max(self) -> float:
+        """Maximum over completed replications."""
+        vals = self.completed_values
+        return float(vals.max()) if vals.size else float("nan")
+
+
+def summarise_values(values: Sequence[float]) -> ReplicationSummary:
+    """Build a :class:`ReplicationSummary` from raw values (``-1`` = incomplete)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    return ReplicationSummary(
+        values=arr,
+        n_replications=arr.size,
+        n_completed=int(np.count_nonzero(arr >= 0)),
+    )
+
+
+def replicate(
+    factory: Callable[[np.random.Generator], float],
+    n_replications: int,
+    seed: SeedLike = None,
+) -> ReplicationSummary:
+    """Run ``factory(rng)`` with independent streams and summarise the results.
+
+    ``factory`` must return a scalar measurement (``-1`` meaning "did not
+    complete").
+    """
+    n_replications = check_positive_int(n_replications, "n_replications")
+    rngs = spawn_rngs(seed, n_replications)
+    values = [float(factory(rng)) for rng in rngs]
+    return summarise_values(values)
+
+
+def run_broadcast_replications(
+    config: BroadcastConfig,
+    n_replications: int,
+    seed: SeedLike = None,
+) -> tuple[ReplicationSummary, list[BroadcastResult]]:
+    """Run ``n_replications`` broadcast simulations and summarise ``T_B``."""
+    n_replications = check_positive_int(n_replications, "n_replications")
+    rngs = spawn_rngs(seed, n_replications)
+    results = [BroadcastSimulation(config, rng=rng).run() for rng in rngs]
+    summary = summarise_values([res.broadcast_time for res in results])
+    return summary, results
+
+
+def run_gossip_replications(
+    config: GossipConfig,
+    n_replications: int,
+    seed: SeedLike = None,
+) -> tuple[ReplicationSummary, list[GossipResult]]:
+    """Run ``n_replications`` gossip simulations and summarise ``T_G``."""
+    n_replications = check_positive_int(n_replications, "n_replications")
+    rngs = spawn_rngs(seed, n_replications)
+    results = [GossipSimulation(config, rng=rng).run() for rng in rngs]
+    summary = summarise_values([res.gossip_time for res in results])
+    return summary, results

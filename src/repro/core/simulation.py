@@ -1,0 +1,206 @@
+"""Single-rumor broadcast simulation.
+
+The dynamics follow Section 2 of the paper:
+
+1. At time 0 the agents are placed uniformly and independently at random on
+   the grid nodes and one agent (the *source*) holds the rumor.
+2. At every time step ``t`` the visibility graph ``G_t(r)`` is formed from
+   the current positions and the rumor floods instantaneously through every
+   connected component containing an informed agent.
+3. The agents then perform one step of their mobility model (independent
+   lazy random walks in the paper's model).
+
+The broadcast time ``T_B`` is the first time step at which every agent is
+informed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.connectivity.visibility import visibility_components
+from repro.core.config import BroadcastConfig
+from repro.core.metrics import CoverageTracker, FrontierTracker, InformedCurve
+from repro.core.protocol import flood_informed
+from repro.grid.lattice import Grid2D
+from repro.mobility import make_mobility
+from repro.mobility.base import MobilityModel
+from repro.util.rng import RandomState, default_rng
+
+
+@dataclass(frozen=True)
+class BroadcastResult:
+    """Outcome of a broadcast simulation run."""
+
+    config: BroadcastConfig
+    broadcast_time: int
+    completed: bool
+    n_steps: int
+    n_informed: int
+    informed_curve: np.ndarray
+    frontier_history: Optional[np.ndarray] = None
+    coverage_time: int = -1
+    coverage_fraction: float = 0.0
+
+    @property
+    def n_agents(self) -> int:
+        """Number of agents in the simulated system."""
+        return self.config.n_agents
+
+    def time_to_fraction(self, fraction: float) -> int:
+        """First time at which at least ``fraction`` of the agents were informed."""
+        target = fraction * self.config.n_agents
+        reached = np.flatnonzero(self.informed_curve >= target)
+        return int(reached[0]) if reached.size else -1
+
+
+class BroadcastSimulation:
+    """Simulator of a single-rumor broadcast among mobile agents.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.core.config.BroadcastConfig` describing the system.
+    rng:
+        Random generator or integer seed.
+    mobility:
+        Optional pre-built mobility model; by default the model named in the
+        configuration is instantiated.
+    """
+
+    def __init__(
+        self,
+        config: BroadcastConfig,
+        rng: RandomState | int | None = None,
+        mobility: MobilityModel | None = None,
+    ) -> None:
+        self._config = config
+        self._rng = default_rng(rng)
+        self._grid = Grid2D.from_nodes(config.n_nodes)
+        if mobility is None:
+            mobility = make_mobility(config.mobility, self._grid, **dict(config.mobility_kwargs))
+        self._mobility = mobility
+        self._mobility.reset(config.n_agents, self._rng)
+
+        self._positions = self._mobility.initial_positions(config.n_agents, self._rng)
+        self._informed = np.zeros(config.n_agents, dtype=bool)
+        source = config.source
+        if source is None:
+            source = int(self._rng.integers(0, config.n_agents))
+        self._source = int(source)
+        self._informed[self._source] = True
+
+        self._time = 0
+        self._broadcast_time = -1
+        self._informed_curve = InformedCurve()
+        self._frontier: Optional[FrontierTracker] = (
+            FrontierTracker() if config.record_frontier else None
+        )
+        self._coverage: Optional[CoverageTracker] = (
+            CoverageTracker(self._grid) if config.record_coverage else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> BroadcastConfig:
+        """The simulation configuration."""
+        return self._config
+
+    @property
+    def grid(self) -> Grid2D:
+        """The underlying lattice."""
+        return self._grid
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Current agent positions (copy)."""
+        return self._positions.copy()
+
+    @property
+    def informed(self) -> np.ndarray:
+        """Boolean mask of currently informed agents (copy)."""
+        return self._informed.copy()
+
+    @property
+    def source(self) -> int:
+        """Index of the source agent."""
+        return self._source
+
+    @property
+    def time(self) -> int:
+        """Number of completed time steps."""
+        return self._time
+
+    @property
+    def n_informed(self) -> int:
+        """Number of currently informed agents."""
+        return int(np.count_nonzero(self._informed))
+
+    @property
+    def all_informed(self) -> bool:
+        """Whether every agent is informed."""
+        return bool(self._informed.all())
+
+    @property
+    def broadcast_time(self) -> int:
+        """The broadcast time ``T_B`` (``-1`` while broadcast is incomplete)."""
+        return self._broadcast_time
+
+    # ------------------------------------------------------------------ #
+    # Dynamics
+    # ------------------------------------------------------------------ #
+    def _exchange(self) -> None:
+        """Flood the rumor within components of the current visibility graph."""
+        labels = visibility_components(self._positions, self._config.radius)
+        self._informed = flood_informed(self._informed, labels)
+
+    def _record(self) -> None:
+        self._informed_curve.record(self._informed)
+        if self._frontier is not None:
+            self._frontier.record(self._positions, self._informed)
+        if self._coverage is not None:
+            self._coverage.record(self._positions, self._informed, self._time)
+        if self._broadcast_time < 0 and self._informed.all():
+            self._broadcast_time = self._time
+
+    def step(self) -> None:
+        """Perform one full time step: rumor exchange, recording, then motion."""
+        self._exchange()
+        self._record()
+        self._positions = self._mobility.step(self._positions, self._rng)
+        self._time += 1
+
+    def run(self, max_steps: Optional[int] = None) -> BroadcastResult:
+        """Run until every agent is informed or the horizon is exhausted.
+
+        When ``record_coverage`` is set the run continues (up to the horizon)
+        until coverage also completes, so that both ``T_B`` and ``T_C`` are
+        measured from a single trajectory.
+        """
+        horizon = int(max_steps) if max_steps is not None else self._config.horizon
+        while self._time < horizon:
+            self.step()
+            if self._broadcast_time >= 0:
+                if self._coverage is None or self._coverage.complete:
+                    break
+        return self._result()
+
+    def _result(self) -> BroadcastResult:
+        return BroadcastResult(
+            config=self._config,
+            broadcast_time=self._broadcast_time,
+            completed=self._broadcast_time >= 0,
+            n_steps=self._time,
+            n_informed=self.n_informed,
+            informed_curve=self._informed_curve.as_array(),
+            frontier_history=self._frontier.history if self._frontier is not None else None,
+            coverage_time=self._coverage.coverage_time if self._coverage is not None else -1,
+            coverage_fraction=(
+                self._coverage.fraction_visited if self._coverage is not None else 0.0
+            ),
+        )

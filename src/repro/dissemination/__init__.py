@@ -1,0 +1,26 @@
+"""Derived dissemination processes studied in Section 4 of the paper.
+
+* :class:`FrogModelSimulation` — only informed agents move; uninformed agents
+  stay at their initial positions until activated.
+* :class:`PredatorPreySimulation` — ``k`` predators performing independent
+  random walks catch moving preys; the extinction time is bounded by
+  ``O(n log^2 n / k)``.
+* :func:`multi_walk_cover_time` — cover time of ``k`` independent random
+  walks on the grid, bounded by ``O(n log^2 n / k + n log n)``.
+"""
+
+from repro.dissemination.frog import FrogModelSimulation, FrogModelResult
+from repro.dissemination.predator_prey import PredatorPreySimulation, PredatorPreyResult
+from repro.dissemination.coverage import multi_walk_cover_time, CoverTimeResult
+from repro.dissemination.infection import infection_time, InfectionResult
+
+__all__ = [
+    "FrogModelSimulation",
+    "FrogModelResult",
+    "PredatorPreySimulation",
+    "PredatorPreyResult",
+    "multi_walk_cover_time",
+    "CoverTimeResult",
+    "infection_time",
+    "InfectionResult",
+]

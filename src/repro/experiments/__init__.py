@@ -1,0 +1,18 @@
+"""Experiment harness: one module per reproduced result.
+
+Every experiment exposes ``run(scale="small", seed=...) -> ExperimentReport``
+and is registered in :mod:`repro.experiments.registry`, so the whole
+benchmark suite can be driven with::
+
+    from repro.experiments import run_experiment
+    report = run_experiment("E1", scale="small", seed=0)
+    print(report.render())
+"""
+
+from repro.experiments.registry import (
+    run_experiment,
+    available_experiments,
+    experiment_description,
+)
+
+__all__ = ["run_experiment", "available_experiments", "experiment_description"]

@@ -1,0 +1,70 @@
+"""E1 — broadcast time vs number of agents (Theorem 1 / Corollary 1).
+
+Fixing the grid size ``n`` and the transmission radius ``r = 0``, the
+broadcast time should scale as ``Θ̃(n / sqrt(k))``: doubling the number of
+agents should reduce ``T_B`` by roughly ``sqrt(2)``, and a power-law fit of
+``T_B`` against ``k`` should give an exponent close to ``-1/2``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.report import ExperimentReport, ExperimentRow
+from repro.core.config import BroadcastConfig
+from repro.core.runner import run_broadcast_replications
+from repro.theory.bounds import broadcast_time_scale
+from repro.theory.scaling import theoretical_exponent_in_k
+from repro.util.rng import SeedLike, spawn_rngs
+from repro.workloads.configs import get_workload
+
+EXPERIMENT_ID = "E1"
+TITLE = "Broadcast time vs number of agents (T_B ~ n / sqrt(k))"
+
+
+def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
+    """Run the E1 sweep and return its report."""
+    workload = get_workload(EXPERIMENT_ID, scale)
+    n_nodes = workload["n_nodes"]
+    agent_counts = list(workload["agent_counts"])
+    replications = workload["replications"]
+
+    rngs = spawn_rngs(seed, len(agent_counts))
+    rows: list[ExperimentRow] = []
+    mean_times: list[float] = []
+    for rng, k in zip(rngs, agent_counts):
+        config = BroadcastConfig(n_nodes=n_nodes, n_agents=k, radius=0.0)
+        summary, _ = run_broadcast_replications(config, replications, seed=rng)
+        predicted = broadcast_time_scale(n_nodes, k)
+        mean_times.append(summary.mean)
+        rows.append(
+            ExperimentRow(
+                {
+                    "n": n_nodes,
+                    "k": k,
+                    "replications": replications,
+                    "mean_T_B": summary.mean,
+                    "median_T_B": summary.median,
+                    "std_T_B": summary.std,
+                    "predicted_scale": predicted,
+                    "ratio": summary.mean / predicted if predicted else float("nan"),
+                    "completion_rate": summary.completion_rate,
+                }
+            )
+        )
+
+    fit = fit_power_law(agent_counts, mean_times)
+    summary = {
+        "fitted_exponent_in_k": fit.exponent,
+        "theoretical_exponent_in_k": theoretical_exponent_in_k(),
+        "fit_r_squared": fit.r_squared,
+        "monotone_decreasing": all(
+            mean_times[i] >= mean_times[i + 1] for i in range(len(mean_times) - 1)
+        ),
+    }
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        parameters={"n_nodes": n_nodes, "radius": 0.0, "scale": scale},
+        rows=rows,
+        summary=summary,
+    )

@@ -1,0 +1,68 @@
+"""E2 — broadcast time vs grid size (Theorem 1 / Corollary 1).
+
+Fixing ``k`` and ``r = 0``, the broadcast time should grow (quasi-)linearly
+in the number of grid nodes ``n``; a power-law fit of ``T_B`` against ``n``
+should give an exponent close to ``+1``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.report import ExperimentReport, ExperimentRow
+from repro.core.config import BroadcastConfig
+from repro.core.runner import run_broadcast_replications
+from repro.theory.bounds import broadcast_time_scale
+from repro.theory.scaling import theoretical_exponent_in_n
+from repro.util.rng import SeedLike, spawn_rngs
+from repro.workloads.configs import get_workload
+
+EXPERIMENT_ID = "E2"
+TITLE = "Broadcast time vs grid size (T_B ~ n at fixed k)"
+
+
+def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
+    """Run the E2 sweep and return its report."""
+    workload = get_workload(EXPERIMENT_ID, scale)
+    n_agents = workload["n_agents"]
+    node_counts = list(workload["node_counts"])
+    replications = workload["replications"]
+
+    rngs = spawn_rngs(seed, len(node_counts))
+    rows: list[ExperimentRow] = []
+    mean_times: list[float] = []
+    for rng, n_nodes in zip(rngs, node_counts):
+        config = BroadcastConfig(n_nodes=n_nodes, n_agents=n_agents, radius=0.0)
+        summary, _ = run_broadcast_replications(config, replications, seed=rng)
+        predicted = broadcast_time_scale(n_nodes, n_agents)
+        mean_times.append(summary.mean)
+        rows.append(
+            ExperimentRow(
+                {
+                    "n": n_nodes,
+                    "k": n_agents,
+                    "replications": replications,
+                    "mean_T_B": summary.mean,
+                    "median_T_B": summary.median,
+                    "predicted_scale": predicted,
+                    "ratio": summary.mean / predicted if predicted else float("nan"),
+                    "completion_rate": summary.completion_rate,
+                }
+            )
+        )
+
+    fit = fit_power_law(node_counts, mean_times)
+    summary = {
+        "fitted_exponent_in_n": fit.exponent,
+        "theoretical_exponent_in_n": theoretical_exponent_in_n(),
+        "fit_r_squared": fit.r_squared,
+        "monotone_increasing": all(
+            mean_times[i] <= mean_times[i + 1] for i in range(len(mean_times) - 1)
+        ),
+    }
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        parameters={"n_agents": n_agents, "radius": 0.0, "scale": scale},
+        rows=rows,
+        summary=summary,
+    )

@@ -1,0 +1,74 @@
+"""E3 — the broadcast time does not depend on the transmission radius below r_c.
+
+The paper's headline surprise: for every ``0 <= r < r_c`` the broadcast time
+is ``Θ̃(n / sqrt(k))`` — increasing the radius (while staying below the
+percolation point) does not change the asymptotics.  We sweep the radius as a
+fraction of ``r_c`` and report the ratio of each measured ``T_B`` to the
+``r = 0`` value; all ratios should stay within a small constant /
+polylogarithmic band.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport, ExperimentRow
+from repro.connectivity.percolation import percolation_radius
+from repro.core.config import BroadcastConfig
+from repro.core.runner import run_broadcast_replications
+from repro.util.rng import SeedLike, spawn_rngs
+from repro.workloads.configs import get_workload
+
+EXPERIMENT_ID = "E3"
+TITLE = "Radius insensitivity below the percolation point"
+
+
+def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
+    """Run the E3 sweep and return its report."""
+    workload = get_workload(EXPERIMENT_ID, scale)
+    n_nodes = workload["n_nodes"]
+    n_agents = workload["n_agents"]
+    fractions = list(workload["radius_fractions"])
+    replications = workload["replications"]
+    r_c = percolation_radius(n_nodes, n_agents)
+
+    rngs = spawn_rngs(seed, len(fractions))
+    rows: list[ExperimentRow] = []
+    mean_times: list[float] = []
+    for rng, fraction in zip(rngs, fractions):
+        radius = fraction * r_c
+        config = BroadcastConfig(n_nodes=n_nodes, n_agents=n_agents, radius=radius)
+        summary, _ = run_broadcast_replications(config, replications, seed=rng)
+        mean_times.append(summary.mean)
+        rows.append(
+            ExperimentRow(
+                {
+                    "n": n_nodes,
+                    "k": n_agents,
+                    "radius_fraction_of_rc": fraction,
+                    "radius": radius,
+                    "mean_T_B": summary.mean,
+                    "median_T_B": summary.median,
+                    "completion_rate": summary.completion_rate,
+                }
+            )
+        )
+
+    baseline = mean_times[0] if mean_times else float("nan")
+    ratios = [t / baseline if baseline else float("nan") for t in mean_times]
+    summary = {
+        "percolation_radius": r_c,
+        "baseline_T_B_at_r0": baseline,
+        "max_ratio_to_r0": max(ratios) if ratios else float("nan"),
+        "min_ratio_to_r0": min(ratios) if ratios else float("nan"),
+        # T_B is non-increasing in r, so the largest slowdown factor relative
+        # to r = 0 should be about 1 and the smallest bounded away from 0.
+        "monotone_non_increasing": all(
+            mean_times[i] + 1e-9 >= mean_times[i + 1] for i in range(len(mean_times) - 1)
+        ),
+    }
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        parameters={"n_nodes": n_nodes, "n_agents": n_agents, "scale": scale},
+        rows=rows,
+        summary=summary,
+    )

@@ -1,0 +1,85 @@
+"""E7 — broadcast time in the Frog model (Section 4).
+
+In the Frog model only informed agents move; the paper argues that the
+broadcast time is nevertheless ``Θ̃(n / sqrt(k))``, the same as in the fully
+dynamic model.  We sweep ``k`` and fit the scaling exponent, and also compare
+against the dynamic model at the same parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.report import ExperimentReport, ExperimentRow
+from repro.core.config import BroadcastConfig
+from repro.core.runner import run_broadcast_replications
+from repro.dissemination.frog import FrogModelSimulation
+from repro.theory.bounds import broadcast_time_scale
+from repro.theory.scaling import theoretical_exponent_in_k
+from repro.util.rng import SeedLike, spawn_rngs
+from repro.workloads.configs import get_workload
+
+EXPERIMENT_ID = "E7"
+TITLE = "Frog model broadcast time (T_B ~ n / sqrt(k))"
+
+
+def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
+    """Run the E7 sweep and return its report."""
+    workload = get_workload(EXPERIMENT_ID, scale)
+    n_nodes = workload["n_nodes"]
+    agent_counts = list(workload["agent_counts"])
+    replications = workload["replications"]
+    rngs = spawn_rngs(seed, len(agent_counts))
+
+    rows: list[ExperimentRow] = []
+    frog_means: list[float] = []
+    for rng, k in zip(rngs, agent_counts):
+        rep_rngs = spawn_rngs(rng, replications + 1)
+        frog_times = []
+        for rep_rng in rep_rngs[:replications]:
+            result = FrogModelSimulation(n_nodes, k, radius=0.0, rng=rep_rng).run()
+            frog_times.append(result.activation_time)
+        completed = [t for t in frog_times if t >= 0]
+        frog_mean = float(np.mean(completed)) if completed else float("nan")
+        frog_means.append(frog_mean)
+
+        # The fully dynamic model at the same parameters, for comparison.
+        config = BroadcastConfig(n_nodes=n_nodes, n_agents=k, radius=0.0)
+        dyn_summary, _ = run_broadcast_replications(config, replications, seed=rep_rngs[-1])
+
+        predicted = broadcast_time_scale(n_nodes, k)
+        rows.append(
+            ExperimentRow(
+                {
+                    "n": n_nodes,
+                    "k": k,
+                    "replications": replications,
+                    "frog_mean_T_B": frog_mean,
+                    "dynamic_mean_T_B": dyn_summary.mean,
+                    "predicted_scale": predicted,
+                    "frog_ratio": frog_mean / predicted if predicted else float("nan"),
+                    "frog_to_dynamic": (
+                        frog_mean / dyn_summary.mean if dyn_summary.mean else float("nan")
+                    ),
+                    "completion_rate": len(completed) / replications,
+                }
+            )
+        )
+
+    fit = fit_power_law(agent_counts, frog_means)
+    summary = {
+        "fitted_exponent_in_k": fit.exponent,
+        "theoretical_exponent_in_k": theoretical_exponent_in_k(),
+        "fit_r_squared": fit.r_squared,
+        "monotone_decreasing": all(
+            frog_means[i] >= frog_means[i + 1] for i in range(len(frog_means) - 1)
+        ),
+    }
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        parameters={"n_nodes": n_nodes, "radius": 0.0, "scale": scale},
+        rows=rows,
+        summary=summary,
+    )

@@ -1,0 +1,78 @@
+"""E8 — gossip time vs broadcast time (Corollary 2).
+
+When every agent starts with its own rumor, the gossip time ``T_G`` (first
+time everyone knows everything) obeys the same ``Θ̃(n / sqrt(k))`` bound as
+the single-rumor broadcast time.  We measure both on the same sweep and
+report the ratio ``T_G / T_B``, which should stay bounded by a small
+polylogarithmic factor.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.report import ExperimentReport, ExperimentRow
+from repro.core.config import BroadcastConfig, GossipConfig
+from repro.core.runner import run_broadcast_replications, run_gossip_replications
+from repro.theory.bounds import broadcast_time_scale
+from repro.theory.scaling import theoretical_exponent_in_k
+from repro.util.rng import SeedLike, spawn_rngs
+from repro.workloads.configs import get_workload
+
+EXPERIMENT_ID = "E8"
+TITLE = "Gossip time vs broadcast time (Corollary 2)"
+
+
+def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
+    """Run the E8 sweep and return its report."""
+    workload = get_workload(EXPERIMENT_ID, scale)
+    n_nodes = workload["n_nodes"]
+    agent_counts = list(workload["agent_counts"])
+    replications = workload["replications"]
+    rngs = spawn_rngs(seed, len(agent_counts))
+
+    rows: list[ExperimentRow] = []
+    gossip_means: list[float] = []
+    for rng, k in zip(rngs, agent_counts):
+        pair = spawn_rngs(rng, 2)
+        gossip_config = GossipConfig(n_nodes=n_nodes, n_agents=k, radius=0.0)
+        gossip_summary, _ = run_gossip_replications(gossip_config, replications, seed=pair[0])
+        broadcast_config = BroadcastConfig(n_nodes=n_nodes, n_agents=k, radius=0.0)
+        broadcast_summary, _ = run_broadcast_replications(
+            broadcast_config, replications, seed=pair[1]
+        )
+        predicted = broadcast_time_scale(n_nodes, k)
+        gossip_means.append(gossip_summary.mean)
+        rows.append(
+            ExperimentRow(
+                {
+                    "n": n_nodes,
+                    "k": k,
+                    "replications": replications,
+                    "mean_T_G": gossip_summary.mean,
+                    "mean_T_B": broadcast_summary.mean,
+                    "T_G_over_T_B": (
+                        gossip_summary.mean / broadcast_summary.mean
+                        if broadcast_summary.mean
+                        else float("nan")
+                    ),
+                    "predicted_scale": predicted,
+                    "gossip_completion_rate": gossip_summary.completion_rate,
+                }
+            )
+        )
+
+    fit = fit_power_law(agent_counts, gossip_means)
+    ratios = [row["T_G_over_T_B"] for row in rows]
+    summary = {
+        "fitted_exponent_in_k": fit.exponent,
+        "theoretical_exponent_in_k": theoretical_exponent_in_k(),
+        "max_T_G_over_T_B": max(ratios) if ratios else float("nan"),
+        "min_T_G_over_T_B": min(ratios) if ratios else float("nan"),
+    }
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        parameters={"n_nodes": n_nodes, "radius": 0.0, "scale": scale},
+        rows=rows,
+        summary=summary,
+    )

@@ -1,0 +1,91 @@
+"""E11 — predator–prey extinction time (Section 4 by-product).
+
+With ``k = Ω(log n)`` predators performing independent random walks, the
+extinction time of the preys is ``O(n log^2 n / k)`` w.h.p.  We sweep the
+number of predators and check that the measured extinction time decreases
+roughly like ``1/k`` and stays below the theoretical bound for a moderate
+constant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.report import ExperimentReport, ExperimentRow
+from repro.dissemination.predator_prey import PredatorPreySimulation
+from repro.theory.bounds import predator_prey_extinction_bound
+from repro.util.rng import SeedLike, spawn_rngs
+from repro.workloads.configs import get_workload
+
+EXPERIMENT_ID = "E11"
+TITLE = "Predator-prey extinction time vs number of predators"
+
+
+def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
+    """Run the E11 sweep and return its report."""
+    workload = get_workload(EXPERIMENT_ID, scale)
+    n_nodes = workload["n_nodes"]
+    n_preys = workload["n_preys"]
+    predator_counts = list(workload["predator_counts"])
+    replications = workload["replications"]
+    rngs = spawn_rngs(seed, len(predator_counts))
+
+    rows: list[ExperimentRow] = []
+    means: list[float] = []
+    for rng, k in zip(rngs, predator_counts):
+        rep_rngs = spawn_rngs(rng, replications)
+        times = []
+        for rep_rng in rep_rngs:
+            sim = PredatorPreySimulation(
+                n_nodes=n_nodes,
+                n_predators=k,
+                n_preys=n_preys,
+                capture_radius=0.0,
+                rng=rep_rng,
+            )
+            result = sim.run()
+            if result.completed:
+                times.append(result.extinction_time)
+        mean_ext = float(np.mean(times)) if times else float("nan")
+        means.append(mean_ext)
+        bound = predator_prey_extinction_bound(n_nodes, k)
+        rows.append(
+            ExperimentRow(
+                {
+                    "n": n_nodes,
+                    "k_predators": k,
+                    "n_preys": n_preys,
+                    "replications": replications,
+                    "mean_extinction_time": mean_ext,
+                    "theory_bound": bound,
+                    "ratio_to_bound": mean_ext / bound if bound else float("nan"),
+                    "completion_rate": len(times) / replications,
+                }
+            )
+        )
+
+    valid = [(k, t) for k, t in zip(predator_counts, means) if t == t]
+    fitted = (
+        fit_power_law([k for k, _ in valid], [t for _, t in valid]).exponent
+        if len(valid) >= 2
+        else float("nan")
+    )
+    summary = {
+        "fitted_exponent_in_k": fitted,
+        # More predators kill faster; the bound predicts roughly 1/k decay,
+        # softened at small k by the prey's own motion.
+        "expected_exponent_range": (-1.5, 0.0),
+        "monotone_non_increasing": all(
+            means[i] + 1e-9 >= means[i + 1]
+            for i in range(len(means) - 1)
+            if means[i] == means[i] and means[i + 1] == means[i + 1]
+        ),
+    }
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        parameters={"n_nodes": n_nodes, "n_preys": n_preys, "scale": scale},
+        rows=rows,
+        summary=summary,
+    )

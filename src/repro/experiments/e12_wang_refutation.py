@@ -1,0 +1,91 @@
+"""E12 — the Wang et al. claimed infection-time bound vs measurement.
+
+Wang, Kapadia and Krishnamachari (2008) claim an infection time of
+``Θ((n log n log k) / k)`` on the grid.  The paper proves the true broadcast
+time is ``Θ̃(n / sqrt(k))``, so the claimed bound decays too fast in ``k``:
+its predicted exponent is ``-1`` (up to logs), not ``-1/2``.  We measure the
+infection time across a ``k`` sweep and compare the measured scaling exponent
+against both predictions, and also report the measured-to-claimed ratio which
+should *grow* with ``k`` if the claim is wrong.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.report import ExperimentReport, ExperimentRow
+from repro.baselines.dimitriou_bound import dimitriou_infection_time_bound
+from repro.baselines.wang_bound import wang_claimed_infection_time
+from repro.core.config import BroadcastConfig
+from repro.core.runner import run_broadcast_replications
+from repro.theory.bounds import broadcast_time_scale
+from repro.util.rng import SeedLike, spawn_rngs
+from repro.workloads.configs import get_workload
+
+EXPERIMENT_ID = "E12"
+TITLE = "Measured infection time vs the Wang et al. claimed bound"
+
+
+def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
+    """Run the E12 sweep and return its report."""
+    workload = get_workload(EXPERIMENT_ID, scale)
+    n_nodes = workload["n_nodes"]
+    agent_counts = list(workload["agent_counts"])
+    replications = workload["replications"]
+    rngs = spawn_rngs(seed, len(agent_counts))
+
+    rows: list[ExperimentRow] = []
+    means: list[float] = []
+    wang_ratios: list[float] = []
+    pettarin_ratios: list[float] = []
+    for rng, k in zip(rngs, agent_counts):
+        config = BroadcastConfig(n_nodes=n_nodes, n_agents=k, radius=0.0)
+        summary, _ = run_broadcast_replications(config, replications, seed=rng)
+        means.append(summary.mean)
+        wang = wang_claimed_infection_time(n_nodes, k)
+        pettarin = broadcast_time_scale(n_nodes, k)
+        dimitriou = dimitriou_infection_time_bound(n_nodes, k)
+        wang_ratio = summary.mean / wang if wang else float("nan")
+        pettarin_ratio = summary.mean / pettarin if pettarin else float("nan")
+        wang_ratios.append(wang_ratio)
+        pettarin_ratios.append(pettarin_ratio)
+        rows.append(
+            ExperimentRow(
+                {
+                    "n": n_nodes,
+                    "k": k,
+                    "mean_T_B": summary.mean,
+                    "wang_claimed": wang,
+                    "pettarin_scale": pettarin,
+                    "dimitriou_bound": dimitriou,
+                    "measured_over_wang": wang_ratio,
+                    "measured_over_pettarin": pettarin_ratio,
+                }
+            )
+        )
+
+    fit = fit_power_law(agent_counts, means)
+    wang_fit = fit_power_law(agent_counts, [row["wang_claimed"] for row in rows])
+    summary = {
+        "measured_exponent_in_k": fit.exponent,
+        "pettarin_exponent_in_k": -0.5,
+        "wang_exponent_in_k": wang_fit.exponent,
+        # If the Wang et al. claim were right the measured/claimed ratio would
+        # stay constant; the paper predicts it grows roughly like sqrt(k)/log k.
+        # The measured/(n/sqrt(k)) ratio, in contrast, stays flat (up to logs).
+        "wang_ratio_growth": (
+            wang_ratios[-1] / wang_ratios[0] if wang_ratios and wang_ratios[0] else float("nan")
+        ),
+        "pettarin_ratio_growth": (
+            pettarin_ratios[-1] / pettarin_ratios[0]
+            if pettarin_ratios and pettarin_ratios[0]
+            else float("nan")
+        ),
+        "measured_closer_to_pettarin": abs(fit.exponent + 0.5) < abs(fit.exponent - wang_fit.exponent),
+    }
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        parameters={"n_nodes": n_nodes, "radius": 0.0, "scale": scale},
+        rows=rows,
+        summary=summary,
+    )

@@ -1,0 +1,90 @@
+"""E14 — broadcast below vs above the percolation point (Peres et al. regime).
+
+The paper's ``Θ̃(n / sqrt(k))`` bound holds below the percolation point;
+Peres et al. show that above it the broadcast time becomes polylogarithmic in
+``k``.  We run the same simulator with a radius well below and a radius above
+``r_c`` and report the speed-up, which should be large (growing with the
+system size).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import ExperimentReport, ExperimentRow
+from repro.baselines.peres_above import above_percolation_broadcast
+from repro.connectivity.percolation import percolation_radius
+from repro.core.config import BroadcastConfig
+from repro.core.simulation import BroadcastSimulation
+from repro.util.rng import SeedLike, spawn_rngs
+from repro.workloads.configs import get_workload
+
+EXPERIMENT_ID = "E14"
+TITLE = "Broadcast time below vs above the percolation point"
+
+#: Radius factors (relative to r_c) used for the two regimes.
+BELOW_FACTOR = 0.25
+ABOVE_FACTOR = 2.0
+
+
+def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
+    """Run the E14 replications and return the report."""
+    workload = get_workload(EXPERIMENT_ID, scale)
+    n_nodes = workload["n_nodes"]
+    n_agents = workload["n_agents"]
+    replications = workload["replications"]
+    rngs = spawn_rngs(seed, replications)
+
+    r_c = percolation_radius(n_nodes, n_agents)
+    radius_below = BELOW_FACTOR * r_c
+
+    rows: list[ExperimentRow] = []
+    below_times: list[float] = []
+    above_times: list[float] = []
+    for rep, rng in enumerate(rngs):
+        pair = spawn_rngs(rng, 2)
+        below_config = BroadcastConfig(n_nodes=n_nodes, n_agents=n_agents, radius=radius_below)
+        below_result = BroadcastSimulation(below_config, rng=pair[0]).run()
+        above_time = above_percolation_broadcast(
+            n_nodes, n_agents, radius_factor=ABOVE_FACTOR, rng=pair[1]
+        )
+        below_times.append(below_result.broadcast_time)
+        above_times.append(above_time)
+        rows.append(
+            ExperimentRow(
+                {
+                    "replication": rep,
+                    "n": n_nodes,
+                    "k": n_agents,
+                    "radius_below": radius_below,
+                    "radius_above": ABOVE_FACTOR * r_c,
+                    "T_B_below": below_result.broadcast_time,
+                    "T_B_above": above_time,
+                    "speedup": (
+                        below_result.broadcast_time / max(above_time, 1)
+                        if below_result.broadcast_time >= 0 and above_time >= 0
+                        else float("nan")
+                    ),
+                }
+            )
+        )
+
+    below_ok = [t for t in below_times if t >= 0]
+    above_ok = [t for t in above_times if t >= 0]
+    mean_below = float(np.mean(below_ok)) if below_ok else float("nan")
+    mean_above = float(np.mean(above_ok)) if above_ok else float("nan")
+    summary = {
+        "percolation_radius": r_c,
+        "mean_T_B_below": mean_below,
+        "mean_T_B_above": mean_above,
+        "mean_speedup": mean_below / max(mean_above, 1.0) if mean_below == mean_below else float("nan"),
+        "above_is_faster": bool(mean_above < mean_below) if mean_above == mean_above else False,
+        "polylog_reference_log2_k": float(np.log(max(n_agents, 2)) ** 2),
+    }
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        parameters={"n_nodes": n_nodes, "n_agents": n_agents, "scale": scale},
+        rows=rows,
+        summary=summary,
+    )

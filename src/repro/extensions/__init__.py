@@ -1,0 +1,15 @@
+"""Extensions beyond the paper's core model.
+
+The paper's Section 4 closes by listing, as future work, the extension of the
+model "to handle more complex planar domains that include both communication
+and mobility barriers".  :mod:`repro.extensions.barriers` implements that
+extension on top of the library's substrates: obstacle domains
+(:class:`repro.grid.obstacles.ObstacleGrid`), barrier-aware mobility
+(:class:`repro.mobility.obstacle_walk.ObstacleWalkMobility`) and
+line-of-sight-constrained visibility
+(:func:`repro.connectivity.barriers.barrier_visibility_components`).
+"""
+
+from repro.extensions.barriers import BarrierBroadcastSimulation, BarrierBroadcastResult
+
+__all__ = ["BarrierBroadcastSimulation", "BarrierBroadcastResult"]

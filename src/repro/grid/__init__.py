@@ -1,0 +1,27 @@
+"""Grid substrate: 2-D lattice geometry, distances and the proof tessellation.
+
+The paper models the domain where agents wander as an ``n``-node
+2-dimensional square grid ``G_n``.  This subpackage provides the lattice
+itself (:class:`~repro.grid.lattice.Grid2D`), vectorised distance functions
+(:mod:`repro.grid.geometry`) and the cell tessellation used in the proof of
+Theorem 1 (:class:`~repro.grid.tessellation.Tessellation`).
+"""
+
+from repro.grid.lattice import Grid2D
+from repro.grid.geometry import (
+    manhattan_distance,
+    chebyshev_distance,
+    euclidean_distance,
+    pairwise_manhattan,
+)
+from repro.grid.tessellation import Tessellation, paper_cell_side
+
+__all__ = [
+    "Grid2D",
+    "manhattan_distance",
+    "chebyshev_distance",
+    "euclidean_distance",
+    "pairwise_manhattan",
+    "Tessellation",
+    "paper_cell_side",
+]

@@ -1,0 +1,84 @@
+"""Vectorised distance functions on the 2-D lattice.
+
+Positions are represented throughout the library as integer numpy arrays of
+shape ``(k, 2)`` holding ``(x, y)`` coordinates, or ``(2,)`` for a single
+point.  The paper measures distances in the Manhattan (L1) metric; the
+Chebyshev and Euclidean metrics are provided for the baseline models and for
+cross-checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_points(points: np.ndarray) -> np.ndarray:
+    arr = np.asarray(points)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.shape[-1] != 2:
+        raise ValueError(f"points must have shape (..., 2), got {arr.shape}")
+    return arr
+
+
+def _maybe_scalar(values: np.ndarray) -> np.ndarray:
+    """Collapse a length-1 result to a 0-d array so ``int()``/``float()`` work."""
+    return values.reshape(()) if values.size == 1 else values
+
+
+def manhattan_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Manhattan (L1) distance between points ``a`` and ``b`` (broadcasting)."""
+    a = _as_points(a)
+    b = _as_points(b)
+    return _maybe_scalar(np.abs(a[..., 0] - b[..., 0]) + np.abs(a[..., 1] - b[..., 1]))
+
+
+def chebyshev_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Chebyshev (L-infinity) distance between points ``a`` and ``b``."""
+    a = _as_points(a)
+    b = _as_points(b)
+    return _maybe_scalar(
+        np.maximum(np.abs(a[..., 0] - b[..., 0]), np.abs(a[..., 1] - b[..., 1]))
+    )
+
+
+def euclidean_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Euclidean (L2) distance between points ``a`` and ``b``."""
+    a = _as_points(a)
+    b = _as_points(b)
+    dx = a[..., 0].astype(np.float64) - b[..., 0]
+    dy = a[..., 1].astype(np.float64) - b[..., 1]
+    return _maybe_scalar(np.sqrt(dx * dx + dy * dy))
+
+
+_METRICS = {
+    "manhattan": manhattan_distance,
+    "chebyshev": chebyshev_distance,
+    "euclidean": euclidean_distance,
+}
+
+
+def distance(a: np.ndarray, b: np.ndarray, metric: str = "manhattan") -> np.ndarray:
+    """Distance between ``a`` and ``b`` under the named metric."""
+    try:
+        func = _METRICS[metric]
+    except KeyError as exc:
+        raise ValueError(f"unknown metric {metric!r}; choose from {sorted(_METRICS)}") from exc
+    return func(a, b)
+
+
+def pairwise_manhattan(points: np.ndarray) -> np.ndarray:
+    """Full ``(k, k)`` matrix of pairwise Manhattan distances.
+
+    Quadratic in the number of points; used only by tests and as the oracle
+    for the spatial-hash neighbour search.
+    """
+    pts = _as_points(points).astype(np.int64)
+    dx = np.abs(pts[:, None, 0] - pts[None, :, 0])
+    dy = np.abs(pts[:, None, 1] - pts[None, :, 1])
+    return dx + dy
+
+
+def displacement(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Signed displacement vector(s) ``b - a``."""
+    return _as_points(b).astype(np.int64) - _as_points(a).astype(np.int64)

@@ -1,0 +1,164 @@
+"""The 2-D square lattice ``G_n`` on which the agents perform random walks."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.grid.geometry import manhattan_distance
+from repro.util.rng import RandomState, default_rng
+from repro.util.validation import check_positive_int
+
+
+class Grid2D:
+    """An ``side x side`` square grid with 4-neighbour (von Neumann) adjacency.
+
+    Nodes are addressed either by integer coordinates ``(x, y)`` with
+    ``0 <= x, y < side`` or by a flat node identifier
+    ``node_id = x * side + y``.
+
+    The grid is *not* a torus: boundary nodes have degree 2 or 3, exactly as
+    in the paper, and the lazy random walk of
+    :class:`repro.walks.engine.WalkEngine` compensates for the missing
+    neighbours by staying put, which keeps the uniform distribution
+    stationary.
+    """
+
+    __slots__ = ("_side",)
+
+    def __init__(self, side: int) -> None:
+        self._side = check_positive_int(side, "side")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_nodes(cls, n_nodes: int) -> "Grid2D":
+        """Build the largest square grid with at most ``n_nodes`` nodes.
+
+        The paper speaks of an "n-node grid"; experiments usually specify
+        ``n`` and we round down to the nearest perfect square.
+        """
+        n_nodes = check_positive_int(n_nodes, "n_nodes")
+        side = int(math.isqrt(n_nodes))
+        return cls(side)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def side(self) -> int:
+        """Number of nodes per row/column."""
+        return self._side
+
+    @property
+    def n_nodes(self) -> int:
+        """Total number of nodes ``n = side * side``."""
+        return self._side * self._side
+
+    @property
+    def diameter(self) -> int:
+        """Manhattan diameter of the grid, ``2 * (side - 1)``."""
+        return 2 * (self._side - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Grid2D(side={self._side})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Grid2D) and other._side == self._side
+
+    def __hash__(self) -> int:
+        return hash(("Grid2D", self._side))
+
+    # ------------------------------------------------------------------ #
+    # Coordinates and node identifiers
+    # ------------------------------------------------------------------ #
+    def contains(self, positions: np.ndarray) -> np.ndarray:
+        """Boolean mask of which ``(x, y)`` positions lie inside the grid."""
+        pts = np.asarray(positions)
+        if pts.ndim == 1:
+            pts = pts.reshape(1, 2)
+        inside = (
+            (pts[:, 0] >= 0)
+            & (pts[:, 0] < self._side)
+            & (pts[:, 1] >= 0)
+            & (pts[:, 1] < self._side)
+        )
+        return inside if inside.size > 1 else inside.reshape(())
+
+    def node_id(self, positions: np.ndarray) -> np.ndarray:
+        """Flat node identifier(s) for ``(x, y)`` position(s)."""
+        pts = np.asarray(positions, dtype=np.int64)
+        single = pts.ndim == 1
+        if single:
+            pts = pts.reshape(1, 2)
+        if np.any((pts < 0) | (pts >= self._side)):
+            raise ValueError("position outside the grid")
+        ids = pts[:, 0] * self._side + pts[:, 1]
+        return int(ids[0]) if single else ids
+
+    def coords(self, node_ids: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`node_id`: ``(x, y)`` coordinates of node id(s)."""
+        ids = np.asarray(node_ids, dtype=np.int64)
+        single = ids.ndim == 0
+        ids = np.atleast_1d(ids)
+        if np.any((ids < 0) | (ids >= self.n_nodes)):
+            raise ValueError("node id outside the grid")
+        coords = np.stack([ids // self._side, ids % self._side], axis=1)
+        return coords[0] if single else coords
+
+    # ------------------------------------------------------------------ #
+    # Neighbourhood structure
+    # ------------------------------------------------------------------ #
+    def neighbors(self, position: Tuple[int, int]) -> list[Tuple[int, int]]:
+        """List of the grid neighbours of a single node (2, 3 or 4 of them)."""
+        x, y = int(position[0]), int(position[1])
+        if not (0 <= x < self._side and 0 <= y < self._side):
+            raise ValueError(f"position {(x, y)} outside the grid")
+        candidates = [(x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)]
+        return [
+            (cx, cy)
+            for cx, cy in candidates
+            if 0 <= cx < self._side and 0 <= cy < self._side
+        ]
+
+    def degree(self, position: Tuple[int, int]) -> int:
+        """Number of grid neighbours of a node (``n_v`` in the paper)."""
+        return len(self.neighbors(position))
+
+    def iter_nodes(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over all node coordinates in row-major order."""
+        for x in range(self._side):
+            for y in range(self._side):
+                yield (x, y)
+
+    # ------------------------------------------------------------------ #
+    # Distances
+    # ------------------------------------------------------------------ #
+    def manhattan(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Manhattan distance between positions ``a`` and ``b``."""
+        return manhattan_distance(a, b)
+
+    # ------------------------------------------------------------------ #
+    # Random placement
+    # ------------------------------------------------------------------ #
+    def random_positions(self, count: int, rng: RandomState | None = None) -> np.ndarray:
+        """``count`` positions drawn uniformly and independently at random.
+
+        This is the paper's initial condition: agents are placed uniformly
+        and independently on grid nodes (several agents may share a node).
+        """
+        count = check_positive_int(count, "count")
+        rng = default_rng(rng)
+        return rng.integers(0, self._side, size=(count, 2), dtype=np.int64)
+
+    def center(self) -> np.ndarray:
+        """Coordinates of the (lower-left of the) central node."""
+        mid = self._side // 2
+        return np.array([mid, mid], dtype=np.int64)
+
+    def clip(self, positions: np.ndarray) -> np.ndarray:
+        """Clip positions element-wise into the grid (used by Brownian mobility)."""
+        return np.clip(np.asarray(positions, dtype=np.int64), 0, self._side - 1)

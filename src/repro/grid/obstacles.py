@@ -1,0 +1,224 @@
+"""Planar domains with obstacles (mobility and communication barriers).
+
+Section 4 of the paper lists, as future work, extending the analysis "to
+handle more complex planar domains that include both communication and
+mobility barriers".  :class:`ObstacleGrid` implements that domain: a square
+lattice in which a subset of nodes is *blocked*.  Blocked nodes cannot be
+occupied or traversed by agents (mobility barrier) and, optionally, block
+radio transmission between agents whose line of sight crosses them
+(communication barrier, see :mod:`repro.connectivity.barriers`).
+
+Factory helpers build the two canonical scenarios used by experiment E17:
+
+* :meth:`ObstacleGrid.with_wall` — a vertical wall with a narrow gap, the
+  classic "bottleneck" domain;
+* :meth:`ObstacleGrid.with_random_obstacles` — a fixed density of uniformly
+  random blocked nodes ("cluttered" domain).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.lattice import Grid2D
+from repro.util.rng import RandomState, default_rng
+from repro.util.validation import check_positive_int, check_probability
+
+
+class ObstacleGrid:
+    """A :class:`Grid2D` together with a boolean mask of blocked nodes.
+
+    The mask has shape ``(side, side)`` and ``mask[x, y] = True`` means node
+    ``(x, y)`` is blocked.  The free region is expected (but not required) to
+    be connected; :meth:`free_region_is_connected` checks it.
+    """
+
+    def __init__(self, grid: Grid2D, blocked: np.ndarray) -> None:
+        blocked = np.asarray(blocked, dtype=bool)
+        if blocked.shape != (grid.side, grid.side):
+            raise ValueError(
+                f"blocked mask must have shape {(grid.side, grid.side)}, got {blocked.shape}"
+            )
+        if blocked.all():
+            raise ValueError("the obstacle mask blocks every node of the grid")
+        self._grid = grid
+        self._blocked = blocked.copy()
+
+    # ------------------------------------------------------------------ #
+    # Factories
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, side: int) -> "ObstacleGrid":
+        """An obstacle grid with no obstacles (behaves like a plain grid)."""
+        grid = Grid2D(side)
+        return cls(grid, np.zeros((side, side), dtype=bool))
+
+    @classmethod
+    def with_wall(cls, side: int, gap_width: int = 1, column: int | None = None) -> "ObstacleGrid":
+        """A vertical wall with a centred gap of ``gap_width`` nodes.
+
+        The wall occupies the column ``column`` (default: the middle column)
+        and blocks every node except the ``gap_width`` central ones, creating
+        a bottleneck between the left and right halves of the domain.
+        """
+        side = check_positive_int(side, "side")
+        gap_width = check_positive_int(gap_width, "gap_width")
+        if gap_width > side:
+            raise ValueError(f"gap_width {gap_width} exceeds the grid side {side}")
+        grid = Grid2D(side)
+        column = side // 2 if column is None else int(column)
+        if not (0 <= column < side):
+            raise ValueError(f"column must lie in [0, {side}), got {column}")
+        blocked = np.zeros((side, side), dtype=bool)
+        blocked[column, :] = True
+        gap_start = (side - gap_width) // 2
+        blocked[column, gap_start : gap_start + gap_width] = False
+        return cls(grid, blocked)
+
+    @classmethod
+    def with_random_obstacles(
+        cls, side: int, density: float, rng: RandomState | int | None = None
+    ) -> "ObstacleGrid":
+        """Block each node independently with probability ``density``.
+
+        Nodes are re-drawn (up to a few attempts) if the sampled mask blocks
+        everything; the free region may still be disconnected at high
+        densities — callers should check :meth:`free_region_is_connected`.
+        """
+        side = check_positive_int(side, "side")
+        density = check_probability(density, "density")
+        rng = default_rng(rng)
+        grid = Grid2D(side)
+        for _ in range(10):
+            blocked = rng.random((side, side)) < density
+            if not blocked.all():
+                return cls(grid, blocked)
+        # Degenerate density ~1.0: keep one free node.
+        blocked = np.ones((side, side), dtype=bool)
+        blocked[0, 0] = False
+        return cls(grid, blocked)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def grid(self) -> Grid2D:
+        """The underlying plain lattice."""
+        return self._grid
+
+    @property
+    def side(self) -> int:
+        """Grid side length."""
+        return self._grid.side
+
+    @property
+    def blocked_mask(self) -> np.ndarray:
+        """Copy of the ``(side, side)`` blocked-node mask."""
+        return self._blocked.copy()
+
+    @property
+    def n_blocked(self) -> int:
+        """Number of blocked nodes."""
+        return int(self._blocked.sum())
+
+    @property
+    def n_free(self) -> int:
+        """Number of free (occupiable) nodes."""
+        return self._grid.n_nodes - self.n_blocked
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ObstacleGrid(side={self.side}, blocked={self.n_blocked})"
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def is_blocked(self, positions: np.ndarray) -> np.ndarray:
+        """Boolean mask of which positions are blocked (positions must be in-grid)."""
+        pts = np.asarray(positions, dtype=np.int64)
+        single = pts.ndim == 1
+        if single:
+            pts = pts.reshape(1, 2)
+        if np.any((pts < 0) | (pts >= self.side)):
+            raise ValueError("position outside the grid")
+        result = self._blocked[pts[:, 0], pts[:, 1]]
+        return bool(result[0]) if single else result
+
+    def is_free(self, positions: np.ndarray) -> np.ndarray:
+        """Boolean mask of which positions are free."""
+        blocked = self.is_blocked(positions)
+        if isinstance(blocked, (bool, np.bool_)):
+            return not blocked
+        return ~blocked
+
+    def free_nodes(self) -> np.ndarray:
+        """``(n_free, 2)`` array of the coordinates of all free nodes."""
+        xs, ys = np.nonzero(~self._blocked)
+        return np.stack([xs, ys], axis=1).astype(np.int64)
+
+    def random_free_positions(self, count: int, rng: RandomState | int | None = None) -> np.ndarray:
+        """``count`` positions drawn uniformly at random among the free nodes."""
+        count = check_positive_int(count, "count")
+        rng = default_rng(rng)
+        free = self.free_nodes()
+        idx = rng.integers(0, free.shape[0], size=count)
+        return free[idx]
+
+    def free_region_is_connected(self) -> bool:
+        """Whether the free nodes form a single 4-connected region."""
+        free = ~self._blocked
+        total_free = int(free.sum())
+        if total_free == 0:
+            return False
+        start = tuple(np.argwhere(free)[0])
+        seen = np.zeros_like(free)
+        stack = [start]
+        seen[start] = True
+        count = 0
+        while stack:
+            x, y = stack.pop()
+            count += 1
+            for nx, ny in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+                if 0 <= nx < self.side and 0 <= ny < self.side:
+                    if free[nx, ny] and not seen[nx, ny]:
+                        seen[nx, ny] = True
+                        stack.append((nx, ny))
+        return count == total_free
+
+    # ------------------------------------------------------------------ #
+    # Line of sight (communication barriers)
+    # ------------------------------------------------------------------ #
+    def line_of_sight(self, a: np.ndarray, b: np.ndarray) -> bool:
+        """Whether the straight segment from ``a`` to ``b`` avoids blocked nodes.
+
+        Uses a conservative supercover (Bresenham-like) traversal: every grid
+        node whose unit cell the segment passes through is checked.  The two
+        endpoints themselves are not required to be free (they host agents,
+        which are only placed on free nodes anyway).
+        """
+        a = np.asarray(a, dtype=np.int64).reshape(2)
+        b = np.asarray(b, dtype=np.int64).reshape(2)
+        x0, y0 = int(a[0]), int(a[1])
+        x1, y1 = int(b[0]), int(b[1])
+        dx, dy = abs(x1 - x0), abs(y1 - y0)
+        x, y = x0, y0
+        sx = 1 if x1 > x0 else -1
+        sy = 1 if y1 > y0 else -1
+        err = dx - dy
+        while True:
+            if (x, y) != (x0, y0) and (x, y) != (x1, y1):
+                if self._blocked[x, y]:
+                    return False
+            if x == x1 and y == y1:
+                return True
+            e2 = 2 * err
+            moved = False
+            if e2 > -dy:
+                err -= dy
+                x += sx
+                moved = True
+            if e2 < dx:
+                err += dx
+                y += sy
+                moved = True
+            if not moved:  # pragma: no cover - defensive; cannot happen
+                return True

@@ -1,0 +1,61 @@
+"""Mobility models.
+
+The paper's agents perform independent lazy random walks
+(:class:`RandomWalkMobility`).  The other models implement the substrates of
+the works the paper compares against:
+
+* :class:`StaticMobility` — agents that never move (the uninformed agents of
+  the Frog model);
+* :class:`JumpMobility` — the dense "move anywhere within distance ρ" model
+  of Clementi et al.;
+* :class:`BrownianMobility` — a discretised version of the Brownian motions
+  used by Peres et al.;
+* :class:`RandomWaypointMobility` — a classical MANET mobility model,
+  provided as an extension for exploring robustness of the results.
+"""
+
+from repro.mobility.base import MobilityModel
+from repro.mobility.random_walk import RandomWalkMobility
+from repro.mobility.static import StaticMobility
+from repro.mobility.jump import JumpMobility
+from repro.mobility.brownian import BrownianMobility
+from repro.mobility.waypoint import RandomWaypointMobility
+
+__all__ = [
+    "MobilityModel",
+    "RandomWalkMobility",
+    "StaticMobility",
+    "JumpMobility",
+    "BrownianMobility",
+    "RandomWaypointMobility",
+    "make_mobility",
+]
+
+_REGISTRY = {
+    "random_walk": RandomWalkMobility,
+    "static": StaticMobility,
+    "jump": JumpMobility,
+    "brownian": BrownianMobility,
+    "waypoint": RandomWaypointMobility,
+}
+
+
+def make_mobility(name: str, grid, **kwargs) -> MobilityModel:
+    """Instantiate a mobility model by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``"random_walk"``, ``"static"``, ``"jump"``, ``"brownian"``,
+        ``"waypoint"``.
+    grid:
+        The :class:`repro.grid.Grid2D` the agents live on.
+    kwargs:
+        Forwarded to the model constructor (e.g. ``jump_radius`` for
+        :class:`JumpMobility`).
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown mobility model {name!r}; choose from {sorted(_REGISTRY)}") from exc
+    return cls(grid, **kwargs)

@@ -1,0 +1,52 @@
+"""Abstract interface of a mobility model."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.grid.lattice import Grid2D
+from repro.util.rng import RandomState
+
+
+class MobilityModel(abc.ABC):
+    """A rule for placing agents initially and moving them at each time step.
+
+    Subclasses must be *stateless with respect to individual simulations*
+    except for configuration: the simulation core passes the positions array
+    explicitly so that one model instance can be shared across replications.
+    Models that need per-agent auxiliary state (e.g. waypoints) may keep it
+    keyed on the positions array identity via :meth:`reset`.
+    """
+
+    def __init__(self, grid: Grid2D) -> None:
+        self._grid = grid
+
+    @property
+    def grid(self) -> Grid2D:
+        """The lattice on which agents move."""
+        return self._grid
+
+    # ------------------------------------------------------------------ #
+    def initial_positions(self, n_agents: int, rng: RandomState) -> np.ndarray:
+        """Initial placement: uniform and independent over the grid nodes.
+
+        All models in the paper and its baselines share this initial
+        condition; override only if a different placement is required.
+        """
+        return self._grid.random_positions(n_agents, rng)
+
+    def reset(self, n_agents: int, rng: RandomState) -> None:
+        """Reset any per-simulation auxiliary state (default: nothing)."""
+
+    @abc.abstractmethod
+    def step(self, positions: np.ndarray, rng: RandomState) -> np.ndarray:
+        """Return the positions after one movement step.
+
+        Must not mutate ``positions`` in place.
+        """
+
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(grid={self._grid!r})"

@@ -1,0 +1,49 @@
+"""Discretised Brownian mobility (the substrate of Peres et al., SODA 2011).
+
+Peres et al. study agents following independent Brownian motions in ``R^d``.
+On the grid we approximate one Brownian step of standard deviation ``sigma``
+by a rounded Gaussian displacement, reflected at the boundary so agents stay
+inside the domain (reflection preserves the uniform stationary distribution).
+Only the qualitative behaviour (diffusive motion with a tunable speed) is
+needed for the above-percolation comparison experiment (E14).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.lattice import Grid2D
+from repro.mobility.base import MobilityModel
+from repro.util.rng import RandomState
+from repro.util.validation import check_non_negative
+
+
+class BrownianMobility(MobilityModel):
+    """Rounded-Gaussian displacement of standard deviation ``sigma`` per step."""
+
+    def __init__(self, grid: Grid2D, sigma: float = 1.0) -> None:
+        super().__init__(grid)
+        self._sigma = check_non_negative(sigma, "sigma")
+
+    @property
+    def sigma(self) -> float:
+        """Per-step displacement standard deviation."""
+        return self._sigma
+
+    def step(self, positions: np.ndarray, rng: RandomState) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.int64)
+        if self._sigma == 0:
+            return positions.copy()
+        displacement = np.rint(rng.normal(0.0, self._sigma, size=positions.shape)).astype(np.int64)
+        proposed = positions + displacement
+        return _reflect(proposed, self._grid.side)
+
+
+def _reflect(positions: np.ndarray, side: int) -> np.ndarray:
+    """Reflect coordinates into ``[0, side - 1]`` (billiard boundary)."""
+    if side == 1:
+        return np.zeros_like(positions)
+    period = 2 * (side - 1)
+    coords = np.mod(positions, period)
+    coords = np.where(coords >= side, period - coords, coords)
+    return coords.astype(np.int64)

@@ -1,0 +1,57 @@
+"""Lazy random walk on a domain with mobility barriers.
+
+The kernel is the paper's lazy walk restricted to the free region of an
+:class:`~repro.grid.obstacles.ObstacleGrid`: a proposal that would move the
+agent onto a blocked node (or off the grid) is rejected and the agent stays.
+As with the boundary behaviour of the plain grid, this keeps the uniform
+distribution over *free* nodes stationary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.obstacles import ObstacleGrid
+from repro.mobility.base import MobilityModel
+from repro.util.rng import RandomState
+
+_PROPOSALS = np.array(
+    [[0, 0], [1, 0], [-1, 0], [0, 1], [0, -1]],
+    dtype=np.int64,
+)
+
+
+class ObstacleWalkMobility(MobilityModel):
+    """Independent lazy random walks confined to the free region of a domain."""
+
+    def __init__(self, domain: ObstacleGrid) -> None:
+        super().__init__(domain.grid)
+        self._domain = domain
+
+    @property
+    def domain(self) -> ObstacleGrid:
+        """The obstacle domain the agents move in."""
+        return self._domain
+
+    def initial_positions(self, n_agents: int, rng: RandomState) -> np.ndarray:
+        """Uniform random placement over the *free* nodes."""
+        return self._domain.random_free_positions(n_agents, rng)
+
+    def step(self, positions: np.ndarray, rng: RandomState) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.int64)
+        k = positions.shape[0]
+        choice = rng.integers(0, 5, size=k)
+        proposed = positions + _PROPOSALS[choice]
+        side = self._grid.side
+        inside = (
+            (proposed[:, 0] >= 0)
+            & (proposed[:, 0] < side)
+            & (proposed[:, 1] >= 0)
+            & (proposed[:, 1] < side)
+        )
+        allowed = inside.copy()
+        if np.any(inside):
+            clipped = proposed[inside]
+            allowed_inside = np.asarray(self._domain.is_free(clipped))
+            allowed[inside] = allowed_inside
+        return np.where(allowed[:, None], proposed, positions)

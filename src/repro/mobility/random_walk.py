@@ -1,0 +1,40 @@
+"""The paper's mobility model: independent lazy random walks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.lattice import Grid2D
+from repro.mobility.base import MobilityModel
+from repro.walks.engine import lazy_step, simple_step, StepRule
+from repro.util.rng import RandomState
+
+
+class RandomWalkMobility(MobilityModel):
+    """Independent random walks on the grid.
+
+    Parameters
+    ----------
+    grid:
+        The lattice.
+    rule:
+        ``"lazy"`` (default) reproduces the paper's transition kernel, which
+        keeps the uniform distribution stationary; ``"simple"`` moves to a
+        uniformly random neighbour at every step.
+    """
+
+    def __init__(self, grid: Grid2D, rule: StepRule = "lazy") -> None:
+        super().__init__(grid)
+        if rule not in ("lazy", "simple"):
+            raise ValueError(f"rule must be 'lazy' or 'simple', got {rule!r}")
+        self._rule = rule
+
+    @property
+    def rule(self) -> StepRule:
+        """The step rule ('lazy' or 'simple')."""
+        return self._rule
+
+    def step(self, positions: np.ndarray, rng: RandomState) -> np.ndarray:
+        if self._rule == "lazy":
+            return lazy_step(self._grid, positions, rng)
+        return simple_step(self._grid, positions, rng)

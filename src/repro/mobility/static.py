@@ -1,0 +1,15 @@
+"""Static (non-moving) agents, used for the uninformed agents of the Frog model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+from repro.util.rng import RandomState
+
+
+class StaticMobility(MobilityModel):
+    """Agents that never move."""
+
+    def step(self, positions: np.ndarray, rng: RandomState) -> np.ndarray:
+        return np.asarray(positions, dtype=np.int64).copy()

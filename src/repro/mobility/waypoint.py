@@ -1,0 +1,57 @@
+"""Random-waypoint mobility (a classical MANET model, provided as an extension).
+
+Each agent picks a uniformly random waypoint and moves one grid step towards
+it per time step (in the Manhattan sense); when the waypoint is reached a new
+one is drawn.  This model is *not* analysed by the paper — it is included so
+that users can check how robust the Θ̃(n/√k) broadcast-time scaling is to the
+mobility model, one of the future-research directions listed in Section 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.lattice import Grid2D
+from repro.mobility.base import MobilityModel
+from repro.util.rng import RandomState
+
+
+class RandomWaypointMobility(MobilityModel):
+    """Move one step per tick toward a uniformly random waypoint."""
+
+    def __init__(self, grid: Grid2D) -> None:
+        super().__init__(grid)
+        self._waypoints: np.ndarray | None = None
+
+    def reset(self, n_agents: int, rng: RandomState) -> None:
+        """Draw a fresh waypoint for every agent."""
+        self._waypoints = self._grid.random_positions(n_agents, rng)
+
+    def step(self, positions: np.ndarray, rng: RandomState) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.int64)
+        k = positions.shape[0]
+        if self._waypoints is None or self._waypoints.shape[0] != k:
+            self.reset(k, rng)
+        assert self._waypoints is not None
+        waypoints = self._waypoints
+        new_positions = positions.copy()
+
+        dx = waypoints[:, 0] - positions[:, 0]
+        dy = waypoints[:, 1] - positions[:, 1]
+        # Move along the axis with the larger remaining distance (ties -> x).
+        move_x = np.abs(dx) >= np.abs(dy)
+        step_x = np.sign(dx) * move_x
+        step_y = np.sign(dy) * (~move_x)
+        new_positions[:, 0] += step_x.astype(np.int64)
+        new_positions[:, 1] += step_y.astype(np.int64)
+
+        # Agents that reached their waypoint draw a new one.
+        arrived = (new_positions[:, 0] == waypoints[:, 0]) & (
+            new_positions[:, 1] == waypoints[:, 1]
+        )
+        if np.any(arrived):
+            fresh = self._grid.random_positions(int(arrived.sum()), rng)
+            waypoints = waypoints.copy()
+            waypoints[arrived] = fresh
+            self._waypoints = waypoints
+        return new_positions

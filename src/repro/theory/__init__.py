@@ -1,0 +1,62 @@
+"""Closed-form theoretical predictions used as oracles by the experiments.
+
+Every bound of the paper is available as a Python function so that the
+benchmark harness can print measured-vs-predicted rows and scaling fits can
+be compared against the theoretical exponents.
+"""
+
+from repro.theory.bounds import (
+    broadcast_time_upper_bound,
+    broadcast_time_lower_bound,
+    broadcast_time_scale,
+    cover_time_bound,
+    predator_prey_extinction_bound,
+    dense_model_broadcast_bound,
+)
+from repro.theory.lemmas import (
+    lemma1_visit_probability_lower,
+    lemma2_displacement_tail_bound,
+    lemma2_range_lower,
+    lemma3_meeting_probability_lower,
+    lemma6_island_size_bound,
+    lemma7_frontier_window,
+    lemma7_frontier_advance_bound,
+)
+from repro.theory.scaling import (
+    polylog,
+    tilde_ratio,
+    theoretical_exponent_in_k,
+    theoretical_exponent_in_n,
+)
+from repro.connectivity.percolation import (
+    percolation_radius,
+    island_parameter_gamma,
+    lower_bound_radius,
+)
+from repro.baselines.wang_bound import wang_claimed_infection_time
+from repro.baselines.dimitriou_bound import dimitriou_infection_time_bound
+
+__all__ = [
+    "broadcast_time_upper_bound",
+    "broadcast_time_lower_bound",
+    "broadcast_time_scale",
+    "cover_time_bound",
+    "predator_prey_extinction_bound",
+    "dense_model_broadcast_bound",
+    "lemma1_visit_probability_lower",
+    "lemma2_displacement_tail_bound",
+    "lemma2_range_lower",
+    "lemma3_meeting_probability_lower",
+    "lemma6_island_size_bound",
+    "lemma7_frontier_window",
+    "lemma7_frontier_advance_bound",
+    "polylog",
+    "tilde_ratio",
+    "theoretical_exponent_in_k",
+    "theoretical_exponent_in_n",
+    "percolation_radius",
+    "island_parameter_gamma",
+    "lower_bound_radius",
+    "wang_claimed_infection_time",
+    "dimitriou_infection_time_bound",
+]

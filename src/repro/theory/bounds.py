@@ -1,0 +1,71 @@
+"""Headline bounds of the paper (Theorems 1 and 2 and the Section 4 by-products).
+
+All bounds are stated up to constants and polylogarithmic factors; the
+functions below expose the *leading-order scale* together with optional
+polylog corrections so that experiments can report measured-to-predicted
+ratios that should remain roughly constant across a sweep.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import check_positive_int
+
+
+def broadcast_time_scale(n_nodes: int, n_agents: int) -> float:
+    """The leading-order broadcast-time scale ``n / sqrt(k)`` (Theorems 1 and 2)."""
+    n_nodes = check_positive_int(n_nodes, "n_nodes")
+    n_agents = check_positive_int(n_agents, "n_agents")
+    return n_nodes / math.sqrt(n_agents)
+
+
+def broadcast_time_upper_bound(
+    n_nodes: int, n_agents: int, polylog_exponent: float = 0.0, constant: float = 1.0
+) -> float:
+    """Theorem 1 upper bound ``Õ(n / sqrt(k))``.
+
+    ``polylog_exponent`` adds a ``log^c n`` correction; the theorem hides such
+    factors inside the tilde.
+    """
+    scale = broadcast_time_scale(n_nodes, n_agents)
+    log_n = max(math.log(n_nodes), 1.0)
+    return constant * scale * log_n**polylog_exponent
+
+
+def broadcast_time_lower_bound(n_nodes: int, n_agents: int, constant: float = 1.0) -> float:
+    """Theorem 2 lower bound ``Ω(n / (sqrt(k) log^2 n))``."""
+    scale = broadcast_time_scale(n_nodes, n_agents)
+    log_n = max(math.log(n_nodes), 1.0)
+    return constant * scale / (log_n**2)
+
+
+def cover_time_bound(n_nodes: int, n_walkers: int, constant: float = 1.0) -> float:
+    """Section 4 cover-time bound ``O(n log^2 n / k + n log n)`` for ``k`` walks."""
+    n_nodes = check_positive_int(n_nodes, "n_nodes")
+    n_walkers = check_positive_int(n_walkers, "n_walkers")
+    log_n = max(math.log(n_nodes), 1.0)
+    return constant * (n_nodes * log_n**2 / n_walkers + n_nodes * log_n)
+
+
+def predator_prey_extinction_bound(
+    n_nodes: int, n_predators: int, constant: float = 1.0
+) -> float:
+    """Section 4 extinction-time bound ``O(n log^2 n / k)`` for ``k`` predators."""
+    n_nodes = check_positive_int(n_nodes, "n_nodes")
+    n_predators = check_positive_int(n_predators, "n_predators")
+    log_n = max(math.log(n_nodes), 1.0)
+    return constant * n_nodes * log_n**2 / n_predators
+
+
+def dense_model_broadcast_bound(n_nodes: int, transmission_radius: float, constant: float = 1.0) -> float:
+    """The Clementi et al. dense-model bound ``Θ(sqrt(n) / R)``.
+
+    Valid in the dense regime ``k = Θ(n)`` with ``ρ = O(R)`` and
+    ``R = Ω(sqrt(log n))``; used as the baseline expectation in experiment
+    E16.
+    """
+    n_nodes = check_positive_int(n_nodes, "n_nodes")
+    if transmission_radius <= 0:
+        raise ValueError(f"transmission_radius must be positive, got {transmission_radius}")
+    return constant * math.sqrt(n_nodes) / transmission_radius

@@ -1,0 +1,79 @@
+"""Quantitative predictions of the technical lemmas (Lemmas 1-3, 6, 7).
+
+The unspecified absolute constants of the lemmas (``c1 … c5``) are exposed as
+parameters with default value 1; experiments fit or normalise them away and
+only check the *functional form* (e.g. a ``1 / log d`` decay of the meeting
+probability).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.connectivity.percolation import island_parameter_gamma
+from repro.util.validation import check_positive_int
+
+
+def lemma1_visit_probability_lower(distance: int, c1: float = 1.0) -> float:
+    """Lemma 1: probability of visiting a node at distance ``d`` within ``d^2`` steps.
+
+    The bound is ``c1 / max(1, log d)``.
+    """
+    distance = check_positive_int(distance, "distance")
+    return c1 / max(1.0, math.log(distance))
+
+
+def lemma2_displacement_tail_bound(lam: float) -> float:
+    """Lemma 2 (point 1): tail bound ``2 exp(-λ^2 / 2)`` on the displacement.
+
+    The probability that at any given step within the first ``ℓ`` steps the
+    walk is at distance at least ``λ sqrt(ℓ)`` from its start is at most this.
+    """
+    if lam < 0:
+        raise ValueError(f"lam must be non-negative, got {lam}")
+    return 2.0 * math.exp(-(lam**2) / 2.0)
+
+
+def lemma2_range_lower(steps: int, c2: float = 1.0) -> float:
+    """Lemma 2 (point 2): range lower bound ``c2 * ℓ / log ℓ``.
+
+    A walk of length ``ℓ`` visits at least this many distinct nodes with
+    probability greater than 1/2.
+    """
+    steps = check_positive_int(steps, "steps")
+    return c2 * steps / max(1.0, math.log(steps))
+
+
+def lemma3_meeting_probability_lower(distance: int, c3: float = 1.0) -> float:
+    """Lemma 3: meeting probability lower bound ``c3 / max(1, log d)``."""
+    distance = check_positive_int(distance, "distance")
+    return c3 / max(1.0, math.log(distance))
+
+
+def lemma6_island_size_bound(n_nodes: int) -> float:
+    """Lemma 6: the largest island has at most ``log n`` agents w.h.p."""
+    n_nodes = check_positive_int(n_nodes, "n_nodes")
+    return math.log(n_nodes)
+
+
+def lemma7_frontier_window(n_nodes: int, n_agents: int) -> float:
+    """Lemma 7: the length ``γ^2 / (144 log n)`` of one frontier observation window."""
+    gamma = island_parameter_gamma(n_nodes, n_agents)
+    log_n = max(math.log(n_nodes), 1.0)
+    return gamma * gamma / (144.0 * log_n)
+
+
+def lemma7_frontier_advance_bound(n_nodes: int, n_agents: int) -> float:
+    """Lemma 7: maximum frontier advance ``(γ log n) / 2`` per observation window."""
+    gamma = island_parameter_gamma(n_nodes, n_agents)
+    log_n = max(math.log(n_nodes), 1.0)
+    return gamma * log_n / 2.0
+
+
+def theorem2_horizon(n_nodes: int, n_agents: int) -> float:
+    """Theorem 2: the time ``T = n / (1152 e^3 sqrt(k) log^2 n)`` before which
+    broadcast cannot complete w.h.p."""
+    n_nodes = check_positive_int(n_nodes, "n_nodes")
+    n_agents = check_positive_int(n_agents, "n_agents")
+    log_n = max(math.log(n_nodes), 1.0)
+    return n_nodes / (1152.0 * math.exp(3.0) * math.sqrt(n_agents) * log_n**2)

@@ -1,0 +1,25 @@
+"""Shared utilities: random-number management, validation, serialization."""
+
+from repro.util.rng import RandomState, default_rng, spawn_rngs
+from repro.util.validation import (
+    check_positive_int,
+    check_non_negative,
+    check_probability,
+    check_in_range,
+    ValidationError,
+)
+from repro.util.serialization import to_jsonable, dump_json, load_json
+
+__all__ = [
+    "RandomState",
+    "default_rng",
+    "spawn_rngs",
+    "check_positive_int",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "ValidationError",
+    "to_jsonable",
+    "dump_json",
+    "load_json",
+]

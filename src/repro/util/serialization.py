@@ -1,0 +1,53 @@
+"""Serialization helpers for experiment results.
+
+Experiment reports and sweep results are plain dataclasses containing numpy
+scalars and arrays.  These helpers convert them to JSON-compatible structures
+so that benchmark harness output can be archived alongside EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serialisable builtins."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(x) for x in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(x) for x in obj]
+    if isinstance(obj, Path):
+        return str(obj)
+    raise TypeError(f"Cannot serialise object of type {type(obj)!r}")
+
+
+def dump_json(obj: Any, path: Union[str, Path], indent: int = 2) -> None:
+    """Serialise ``obj`` (after :func:`to_jsonable`) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(to_jsonable(obj), handle, indent=indent)
+        handle.write("\n")
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    """Load a JSON document from ``path``."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,187 @@
+"""Vectorised stepping of many independent random walks on the grid.
+
+Two step rules are provided:
+
+* ``lazy`` — the paper's rule: an agent on a node with ``n_v`` neighbours
+  moves to each neighbour with probability ``1/5`` and stays with probability
+  ``1 - n_v / 5``.  This keeps the uniform distribution over grid nodes
+  stationary, which the upper-bound proof relies on (the "density condition").
+* ``simple`` — the classical simple random walk that moves to a uniformly
+  random neighbour at every step (used for the Lemma 3 meeting experiments,
+  which are stated for simple walks).
+
+Both rules are implemented by drawing one of five *proposals*
+(stay / +x / -x / +y / -y) per agent and rejecting proposals that would leave
+the grid (the agent stays instead), which reproduces the boundary behaviour
+exactly while remaining a single vectorised numpy operation per step.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.grid.lattice import Grid2D
+from repro.util.rng import RandomState, default_rng
+
+StepRule = Literal["lazy", "simple"]
+
+# Proposal table: row i is the displacement of proposal i.
+# Proposal 0 is "stay"; proposals 1-4 are the four axis moves.
+_PROPOSALS = np.array(
+    [[0, 0], [1, 0], [-1, 0], [0, 1], [0, -1]],
+    dtype=np.int64,
+)
+
+
+def lazy_step(grid: Grid2D, positions: np.ndarray, rng: RandomState) -> np.ndarray:
+    """Advance every walk by one *lazy* step (the paper's mobility rule).
+
+    Each agent draws one of the five proposals uniformly; off-grid proposals
+    are rejected (the agent stays).  Because each of the ``n_v`` valid
+    neighbours is selected with probability exactly ``1/5`` and the stay
+    probability absorbs the rest, this matches the transition kernel of
+    Section 2 of the paper.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    k = positions.shape[0]
+    choice = rng.integers(0, 5, size=k)
+    proposed = positions + _PROPOSALS[choice]
+    inside = (
+        (proposed[:, 0] >= 0)
+        & (proposed[:, 0] < grid.side)
+        & (proposed[:, 1] >= 0)
+        & (proposed[:, 1] < grid.side)
+    )
+    return np.where(inside[:, None], proposed, positions)
+
+
+def simple_step(grid: Grid2D, positions: np.ndarray, rng: RandomState) -> np.ndarray:
+    """Advance every walk by one *simple* (non-lazy) step.
+
+    Each agent moves to a uniformly random valid neighbour.  Implemented by
+    rejection: draw one of the four axis moves, and re-draw (vectorised) for
+    the agents whose proposal left the grid.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    k = positions.shape[0]
+    current = positions.copy()
+    pending = np.arange(k)
+    result = positions.copy()
+    # At most a handful of rounds are needed in practice: corner nodes accept
+    # half of the proposals, so the pending set shrinks geometrically.
+    while pending.size:
+        choice = rng.integers(1, 5, size=pending.size)
+        proposed = current[pending] + _PROPOSALS[choice]
+        inside = (
+            (proposed[:, 0] >= 0)
+            & (proposed[:, 0] < grid.side)
+            & (proposed[:, 1] >= 0)
+            & (proposed[:, 1] < grid.side)
+        )
+        accepted = pending[inside]
+        result[accepted] = proposed[inside]
+        pending = pending[~inside]
+    return result
+
+
+class WalkEngine:
+    """Vectorised engine advancing ``k`` independent random walks.
+
+    Parameters
+    ----------
+    grid:
+        The lattice on which the walks live.
+    positions:
+        Initial ``(k, 2)`` integer positions; if ``None``, ``k`` uniform
+        random positions are drawn (``k`` must then be given).
+    rule:
+        ``"lazy"`` (paper model, default) or ``"simple"``.
+    rng:
+        Random generator or seed.
+    """
+
+    def __init__(
+        self,
+        grid: Grid2D,
+        positions: np.ndarray | None = None,
+        *,
+        k: int | None = None,
+        rule: StepRule = "lazy",
+        rng: RandomState | int | None = None,
+    ) -> None:
+        self._grid = grid
+        self._rng = default_rng(rng)
+        if rule not in ("lazy", "simple"):
+            raise ValueError(f"rule must be 'lazy' or 'simple', got {rule!r}")
+        self._rule = rule
+        if positions is None:
+            if k is None:
+                raise ValueError("either positions or k must be given")
+            positions = grid.random_positions(k, self._rng)
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError(f"positions must have shape (k, 2), got {positions.shape}")
+        if not np.all(grid.contains(positions)):
+            raise ValueError("some initial positions lie outside the grid")
+        self._positions = positions.copy()
+        self._time = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def grid(self) -> Grid2D:
+        """The underlying lattice."""
+        return self._grid
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Current ``(k, 2)`` positions (a copy; mutating it has no effect)."""
+        return self._positions.copy()
+
+    @property
+    def n_walkers(self) -> int:
+        """Number of walks being advanced."""
+        return self._positions.shape[0]
+
+    @property
+    def time(self) -> int:
+        """Number of steps taken so far."""
+        return self._time
+
+    @property
+    def rule(self) -> StepRule:
+        """The step rule in use."""
+        return self._rule
+
+    # ------------------------------------------------------------------ #
+    def step(self) -> np.ndarray:
+        """Advance every walk by one step and return the new positions."""
+        if self._rule == "lazy":
+            self._positions = lazy_step(self._grid, self._positions, self._rng)
+        else:
+            self._positions = simple_step(self._grid, self._positions, self._rng)
+        self._time += 1
+        return self.positions
+
+    def run(self, steps: int) -> np.ndarray:
+        """Advance every walk by ``steps`` steps and return the final positions."""
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        for _ in range(steps):
+            self.step()
+        return self.positions
+
+    def trajectory(self, steps: int) -> np.ndarray:
+        """Advance ``steps`` steps recording positions; shape ``(steps+1, k, 2)``.
+
+        Index 0 of the first axis holds the positions *before* the first step.
+        """
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        out = np.empty((steps + 1, self.n_walkers, 2), dtype=np.int64)
+        out[0] = self._positions
+        for t in range(1, steps + 1):
+            self.step()
+            out[t] = self._positions
+        return out

@@ -1,0 +1,80 @@
+"""Walk-range statistics (validation of Lemma 2, point 2).
+
+Lemma 2 states that with probability greater than 1/2 a walk of length ``ℓ``
+visits at least ``c2 * ℓ / log ℓ`` distinct nodes.  This module estimates the
+distribution of the range ``R_ℓ`` (number of distinct nodes visited) and of
+the maximum displacement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.lattice import Grid2D
+from repro.walks.engine import StepRule
+from repro.walks.single import walk_trajectory, max_displacement, distinct_nodes_visited
+from repro.util.rng import RandomState, default_rng
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class RangeStatistics:
+    """Summary of the range / displacement of walks of a fixed length."""
+
+    steps: int
+    trials: int
+    mean_range: float
+    median_range: float
+    min_range: int
+    max_range: int
+    mean_max_displacement: float
+    ranges: np.ndarray
+    displacements: np.ndarray
+
+    @property
+    def normalised_range(self) -> float:
+        """``mean_range * log(steps) / steps`` — should be Θ(1) by Lemma 2."""
+        if self.steps <= 1:
+            return float(self.mean_range)
+        return self.mean_range * math.log(self.steps) / self.steps
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of trials whose range is at least ``threshold``."""
+        if self.trials == 0:
+            return 0.0
+        return float(np.count_nonzero(self.ranges >= threshold) / self.trials)
+
+
+def estimate_range_statistics(
+    grid: Grid2D,
+    steps: int,
+    trials: int,
+    rng: RandomState | int | None = None,
+    rule: StepRule = "lazy",
+    start: np.ndarray | None = None,
+) -> RangeStatistics:
+    """Monte-Carlo estimate of the range statistics of a length-``steps`` walk."""
+    steps = check_positive_int(steps, "steps")
+    trials = check_positive_int(trials, "trials")
+    rng = default_rng(rng)
+    start = grid.center() if start is None else np.asarray(start, dtype=np.int64)
+    ranges = np.empty(trials, dtype=np.int64)
+    displacements = np.empty(trials, dtype=np.int64)
+    for i in range(trials):
+        traj = walk_trajectory(grid, start, steps, rng=rng, rule=rule)
+        ranges[i] = distinct_nodes_visited(traj, grid)
+        displacements[i] = max_displacement(traj)
+    return RangeStatistics(
+        steps=steps,
+        trials=trials,
+        mean_range=float(ranges.mean()),
+        median_range=float(np.median(ranges)),
+        min_range=int(ranges.min()),
+        max_range=int(ranges.max()),
+        mean_max_displacement=float(displacements.mean()),
+        ranges=ranges,
+        displacements=displacements,
+    )

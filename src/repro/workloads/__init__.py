@@ -1,0 +1,12 @@
+"""Workload definitions: named parameter grids for every experiment.
+
+Each experiment can be run at three scales:
+
+* ``"tiny"``   — seconds; used by the integration tests.
+* ``"small"``  — tens of seconds; the default for the benchmark harness.
+* ``"paper"``  — minutes; closer to the asymptotic regime, for offline runs.
+"""
+
+from repro.workloads.configs import Workload, get_workload, SCALES
+
+__all__ = ["Workload", "get_workload", "SCALES"]

@@ -1,0 +1,181 @@
+"""Concrete workload parameters for every experiment at every scale.
+
+The grids below were sized so that the ``small`` scale finishes in a few
+seconds to a few tens of seconds per experiment on a laptop while still being
+large enough for the theoretical scaling shapes (exponents, orderings,
+thresholds) to be visible.  The ``paper`` scale pushes system sizes up by
+roughly 4x in ``n``; the ``tiny`` scale exists so that integration tests can
+exercise the full experiment path quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+SCALES = ("tiny", "small", "paper")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named bundle of experiment parameters."""
+
+    experiment_id: str
+    scale: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.params[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Parameter value, or ``default`` if absent."""
+        return self.params.get(key, default)
+
+
+# --------------------------------------------------------------------------- #
+# Per-experiment parameter grids.  Keys: experiment id -> scale -> params.
+# --------------------------------------------------------------------------- #
+_WORKLOADS: dict[str, dict[str, dict[str, Any]]] = {
+    # E1: broadcast time vs number of agents (fixed n, r = 0).
+    "E1": {
+        "tiny": {"n_nodes": 16 * 16, "agent_counts": [4, 8, 16], "replications": 2},
+        "small": {"n_nodes": 32 * 32, "agent_counts": [4, 8, 16, 32, 64], "replications": 6},
+        "paper": {"n_nodes": 64 * 64, "agent_counts": [8, 16, 32, 64, 128, 256], "replications": 8},
+    },
+    # E2: broadcast time vs number of nodes (fixed k, r = 0).
+    "E2": {
+        "tiny": {"n_agents": 8, "node_counts": [12 * 12, 16 * 16], "replications": 2},
+        "small": {"n_agents": 16, "node_counts": [16 * 16, 24 * 24, 32 * 32, 48 * 48], "replications": 4},
+        "paper": {"n_agents": 32, "node_counts": [24 * 24, 32 * 32, 48 * 48, 64 * 64, 96 * 96], "replications": 8},
+    },
+    # E3: broadcast time vs transmission radius below the percolation point.
+    "E3": {
+        "tiny": {"n_nodes": 16 * 16, "n_agents": 16, "radius_fractions": [0.0, 0.5], "replications": 2},
+        "small": {
+            "n_nodes": 32 * 32,
+            "n_agents": 32,
+            "radius_fractions": [0.0, 0.2, 0.4, 0.6, 0.8],
+            "replications": 4,
+        },
+        "paper": {
+            "n_nodes": 64 * 64,
+            "n_agents": 64,
+            "radius_fractions": [0.0, 0.1, 0.25, 0.5, 0.75, 0.9],
+            "replications": 8,
+        },
+    },
+    # E4: maximum island size below the percolation point (Lemma 6).
+    "E4": {
+        "tiny": {"node_counts": [16 * 16, 32 * 32], "density": 8, "samples": 5},
+        "small": {"node_counts": [16 * 16, 32 * 32, 64 * 64, 128 * 128], "density": 8, "samples": 20},
+        "paper": {"node_counts": [32 * 32, 64 * 64, 128 * 128, 256 * 256], "density": 8, "samples": 50},
+    },
+    # E5: meeting probability of two walks vs initial distance (Lemma 3).
+    # Distances are kept even so the simple-walk parity constraint is harmless.
+    "E5": {
+        "tiny": {"side": 32, "distances": [2, 4, 8], "trials": 60},
+        "small": {"side": 64, "distances": [2, 4, 8, 16, 32], "trials": 500},
+        "paper": {"side": 128, "distances": [2, 4, 8, 16, 32, 64], "trials": 1000},
+    },
+    # E6: frontier advance per observation window (Lemma 7).
+    "E6": {
+        "tiny": {"n_nodes": 24 * 24, "n_agents": 32, "replications": 1},
+        "small": {"n_nodes": 48 * 48, "n_agents": 64, "replications": 3},
+        "paper": {"n_nodes": 96 * 96, "n_agents": 128, "replications": 5},
+    },
+    # E7: Frog model broadcast time vs number of agents.
+    "E7": {
+        "tiny": {"n_nodes": 16 * 16, "agent_counts": [4, 8, 16], "replications": 2},
+        "small": {"n_nodes": 32 * 32, "agent_counts": [8, 16, 32, 64], "replications": 4},
+        "paper": {"n_nodes": 64 * 64, "agent_counts": [16, 32, 64, 128], "replications": 8},
+    },
+    # E8: gossip time vs number of agents and comparison with broadcast time.
+    "E8": {
+        "tiny": {"n_nodes": 12 * 12, "agent_counts": [4, 8], "replications": 2},
+        "small": {"n_nodes": 24 * 24, "agent_counts": [8, 16, 32], "replications": 3},
+        "paper": {"n_nodes": 48 * 48, "agent_counts": [16, 32, 64], "replications": 6},
+    },
+    # E9: coverage time T_C vs broadcast time T_B.
+    "E9": {
+        "tiny": {"n_nodes": 12 * 12, "agent_counts": [4, 8], "replications": 2},
+        "small": {"n_nodes": 24 * 24, "agent_counts": [8, 16, 32], "replications": 3},
+        "paper": {"n_nodes": 48 * 48, "agent_counts": [16, 32, 64], "replications": 6},
+    },
+    # E10: cover time of k independent random walks.
+    "E10": {
+        "tiny": {"n_nodes": 12 * 12, "walker_counts": [2, 4, 8], "replications": 2},
+        "small": {"n_nodes": 24 * 24, "walker_counts": [1, 2, 4, 8, 16], "replications": 3},
+        "paper": {"n_nodes": 48 * 48, "walker_counts": [2, 4, 8, 16, 32, 64], "replications": 6},
+    },
+    # E11: predator-prey extinction time vs number of predators.
+    "E11": {
+        "tiny": {"n_nodes": 12 * 12, "n_preys": 10, "predator_counts": [4, 8], "replications": 2},
+        "small": {"n_nodes": 32 * 32, "n_preys": 20, "predator_counts": [4, 8, 16, 32], "replications": 3},
+        "paper": {"n_nodes": 64 * 64, "n_preys": 40, "predator_counts": [8, 16, 32, 64], "replications": 6},
+    },
+    # E12: measured infection time vs the Wang et al. claimed bound.  The k
+    # sweep extends far enough (two decades) for the sqrt(k) vs k/log(k)
+    # decay laws to separate clearly at finite size.
+    "E12": {
+        "tiny": {"n_nodes": 16 * 16, "agent_counts": [4, 16, 64], "replications": 2},
+        "small": {"n_nodes": 32 * 32, "agent_counts": [4, 16, 64, 256], "replications": 4},
+        "paper": {"n_nodes": 64 * 64, "agent_counts": [8, 32, 128, 512, 2048], "replications": 8},
+    },
+    # E13: giant component fraction vs transmission radius (percolation).
+    "E13": {
+        "tiny": {"n_nodes": 16 * 16, "n_agents": 32, "radius_factors": [0.25, 1.0, 2.0], "samples": 5},
+        "small": {
+            "n_nodes": 32 * 32,
+            "n_agents": 64,
+            "radius_factors": [0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0],
+            "samples": 20,
+        },
+        "paper": {
+            "n_nodes": 64 * 64,
+            "n_agents": 128,
+            "radius_factors": [0.125, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0, 4.0],
+            "samples": 50,
+        },
+    },
+    # E14: broadcast time below vs above the percolation point.
+    "E14": {
+        "tiny": {"n_nodes": 16 * 16, "n_agents": 32, "replications": 2},
+        "small": {"n_nodes": 32 * 32, "n_agents": 64, "replications": 4},
+        "paper": {"n_nodes": 64 * 64, "n_agents": 128, "replications": 8},
+    },
+    # E15: walk range R_l vs walk length (Lemma 2).
+    "E15": {
+        "tiny": {"side": 32, "lengths": [64, 256], "trials": 10},
+        "small": {"side": 64, "lengths": [64, 256, 1024, 4096], "trials": 20},
+        "paper": {"side": 128, "lengths": [256, 1024, 4096, 16384], "trials": 40},
+    },
+    # E16: dense-model baseline (Clementi et al.): T_B vs exchange radius R.
+    "E16": {
+        "tiny": {"n_nodes": 12 * 12, "exchange_radii": [2, 4], "jump_radius": 1, "replications": 2},
+        "small": {"n_nodes": 24 * 24, "exchange_radii": [2, 4, 8], "jump_radius": 1, "replications": 3},
+        "paper": {"n_nodes": 48 * 48, "exchange_radii": [2, 4, 8, 16], "jump_radius": 2, "replications": 6},
+    },
+    # E17: broadcast through a bottleneck wall (barrier extension).  Gap
+    # widths are listed narrowest first.
+    "E17": {
+        "tiny": {"side": 16, "n_agents": 16, "gap_widths": [1, 16], "replications": 2},
+        "small": {"side": 32, "n_agents": 32, "gap_widths": [1, 4, 16, 32], "replications": 4},
+        "paper": {"side": 64, "n_agents": 64, "gap_widths": [1, 4, 16, 64], "replications": 8},
+    },
+}
+
+
+def get_workload(experiment_id: str, scale: str = "small") -> Workload:
+    """The workload of ``experiment_id`` at ``scale`` (tiny/small/paper)."""
+    experiment_id = experiment_id.upper()
+    if experiment_id not in _WORKLOADS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_WORKLOADS)}"
+        )
+    if scale not in SCALES:
+        raise KeyError(f"unknown scale {scale!r}; choose from {SCALES}")
+    return Workload(
+        experiment_id=experiment_id,
+        scale=scale,
+        params=dict(_WORKLOADS[experiment_id][scale]),
+    )

@@ -1,0 +1,85 @@
+"""Tests for repro.analysis.fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import fit_power_law, fit_power_law_with_log_correction
+
+
+class TestFitPowerLaw:
+    def test_recovers_exact_exponent(self):
+        x = np.array([2.0, 4.0, 8.0, 16.0, 32.0])
+        y = 3.0 * x**-0.5
+        fit = fit_power_law(x, y)
+        assert fit.exponent == pytest.approx(-0.5, abs=1e-9)
+        assert fit.prefactor == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_recovers_positive_exponent(self):
+        x = np.array([1.0, 2.0, 5.0, 10.0])
+        y = 0.7 * x**2.0
+        fit = fit_power_law(x, y)
+        assert fit.exponent == pytest.approx(2.0, abs=1e-9)
+
+    def test_noisy_data_close_exponent(self):
+        rng = np.random.default_rng(0)
+        x = np.array([4, 8, 16, 32, 64, 128], dtype=float)
+        y = 10 * x**-1.0 * np.exp(rng.normal(0, 0.05, size=x.size))
+        fit = fit_power_law(x, y)
+        assert fit.exponent == pytest.approx(-1.0, abs=0.15)
+        assert fit.r_squared > 0.95
+
+    def test_predict(self):
+        x = np.array([2.0, 4.0, 8.0])
+        y = 5.0 * x**1.5
+        fit = fit_power_law(x, y)
+        assert fit.predict(np.array([16.0]))[0] == pytest.approx(5.0 * 16**1.5, rel=1e-6)
+
+    def test_constant_data(self):
+        fit = fit_power_law([1.0, 2.0, 4.0], [3.0, 3.0, 3.0])
+        assert fit.exponent == pytest.approx(0.0, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [2.0])
+
+    def test_requires_positive_values(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [1.0, -1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([0.0, 2.0], [1.0, 1.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0, 3.0], [1.0, 2.0])
+
+
+class TestFitWithLogCorrection:
+    def test_recovers_log_corrected_form(self):
+        x = np.array([8.0, 16.0, 32.0, 64.0, 128.0, 256.0])
+        y = 2.0 * x**1.0 * np.log(x) ** 1.5
+        fit = fit_power_law_with_log_correction(x, y)
+        assert fit.exponent == pytest.approx(1.0, abs=1e-6)
+        assert fit.log_exponent == pytest.approx(1.5, abs=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict_with_log_term(self):
+        x = np.array([8.0, 16.0, 32.0, 64.0])
+        y = 1.0 * x**0.5 * np.log(x)
+        fit = fit_power_law_with_log_correction(x, y)
+        pred = fit.predict(np.array([128.0]))[0]
+        assert pred == pytest.approx(np.sqrt(128.0) * np.log(128.0), rel=0.05)
+
+    def test_requires_x_above_one(self):
+        with pytest.raises(ValueError):
+            fit_power_law_with_log_correction([1.0, 2.0, 4.0], [1.0, 2.0, 3.0])
+
+    def test_pure_power_law_gives_small_log_term(self):
+        x = np.array([8.0, 16.0, 32.0, 64.0, 128.0])
+        y = 4.0 * x**-0.5
+        fit = fit_power_law_with_log_correction(x, y)
+        assert fit.exponent == pytest.approx(-0.5, abs=1e-6)
+        assert abs(fit.log_exponent) < 1e-6

@@ -1,0 +1,69 @@
+"""Tests for repro.analysis.plots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plots import ascii_scatter, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        line = sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+
+    def test_monotone_series_ends_at_extremes(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_nan_rendered_as_space(self):
+        line = sparkline([1.0, float("nan"), 2.0])
+        assert line[1] == " "
+
+    def test_all_nan(self):
+        assert sparkline([float("nan")] * 3) == "   "
+
+
+class TestAsciiScatter:
+    def test_contains_markers_and_axis(self):
+        plot = ascii_scatter([1, 2, 3], [3, 2, 1], width=20, height=5)
+        assert plot.count("*") >= 1
+        assert "+--" in plot
+        assert "x: [1, 3]" in plot
+
+    def test_log_axes(self):
+        plot = ascii_scatter([1, 10, 100], [100, 10, 1], logx=True, logy=True)
+        assert "(log)" in plot
+
+    def test_single_point(self):
+        plot = ascii_scatter([5], [7], width=10, height=4)
+        assert plot.count("*") == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([1, 2], [1])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([], [])
+
+    def test_log_requires_positive(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([0, 1], [1, 2], logx=True)
+        with pytest.raises(ValueError):
+            ascii_scatter([1, 2], [-1, 2], logy=True)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([1, 2], [1, 2], width=1)
+
+    def test_custom_marker(self):
+        plot = ascii_scatter([1, 2], [1, 2], marker="o")
+        assert "o" in plot and "*" not in plot

@@ -1,0 +1,76 @@
+"""Tests for repro.analysis.statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import bootstrap_ci, geometric_mean, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        stats = summarize([1, 2, 3, 4, 5], rng=0)
+        assert stats.n == 5
+        assert stats.mean == pytest.approx(3.0)
+        assert stats.median == pytest.approx(3.0)
+        assert stats.min == 1
+        assert stats.max == 5
+        assert stats.ci_low <= stats.mean <= stats.ci_high
+
+    def test_empty(self):
+        stats = summarize([])
+        assert stats.n == 0
+        assert np.isnan(stats.mean)
+
+    def test_single_value(self):
+        stats = summarize([7.0], rng=0)
+        assert stats.mean == 7.0
+        assert stats.std == 0.0
+        assert stats.ci_low == stats.ci_high == 7.0
+        assert stats.sem == 0.0
+
+    def test_sem(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0], rng=0)
+        assert stats.sem == pytest.approx(stats.std / 2.0)
+
+
+class TestBootstrapCI:
+    def test_contains_mean_for_tight_sample(self):
+        lo, hi = bootstrap_ci([10.0] * 20, rng=0)
+        assert lo == pytest.approx(10.0)
+        assert hi == pytest.approx(10.0)
+
+    def test_interval_ordering(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(5.0, 1.0, size=50)
+        lo, hi = bootstrap_ci(data, rng=0)
+        assert lo < np.mean(data) < hi
+
+    def test_wider_confidence_wider_interval(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(0.0, 1.0, size=40)
+        lo95, hi95 = bootstrap_ci(data, confidence=0.95, rng=0)
+        lo50, hi50 = bootstrap_ci(data, confidence=0.50, rng=0)
+        assert (hi95 - lo95) >= (hi50 - lo50)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_empty_returns_nan(self):
+        lo, hi = bootstrap_ci([])
+        assert np.isnan(lo) and np.isnan(hi)
+
+    def test_deterministic_given_rng(self):
+        data = [1.0, 5.0, 2.0, 8.0, 3.0]
+        assert bootstrap_ci(data, rng=3) == bootstrap_ci(data, rng=3)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 4, 16]) == pytest.approx(4.0)
+
+    def test_non_positive_gives_nan(self):
+        assert np.isnan(geometric_mean([1.0, 0.0]))
+        assert np.isnan(geometric_mean([]))

@@ -1,0 +1,106 @@
+"""Tests for repro.analysis.sweep, tables and report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import ExperimentReport, ExperimentRow
+from repro.analysis.sweep import ParameterSweep, SweepPoint
+from repro.analysis.tables import format_float, render_table
+
+
+class TestParameterSweep:
+    def test_iteration(self):
+        sweep = ParameterSweep("k", [4, 8, 16], fixed={"n": 1024})
+        points = sweep.points()
+        assert len(points) == 3
+        assert len(sweep) == 3
+        assert all(isinstance(p, SweepPoint) for p in points)
+
+    def test_point_kwargs(self):
+        sweep = ParameterSweep("k", [4], fixed={"n": 1024, "r": 0})
+        kwargs = sweep.points()[0].as_kwargs()
+        assert kwargs == {"n": 1024, "r": 0, "k": 4}
+
+    def test_varied_parameter_overrides_fixed(self):
+        point = SweepPoint("k", 7, fixed={"k": 1, "n": 10})
+        assert point.as_kwargs()["k"] == 7
+
+
+class TestFormatFloat:
+    def test_int_passthrough(self):
+        assert format_float(42) == "42"
+
+    def test_bool(self):
+        assert format_float(True) == "True"
+
+    def test_float_rounding(self):
+        assert format_float(3.14159, digits=3) == "3.14"
+
+    def test_integral_float(self):
+        assert format_float(5.0) == "5"
+
+    def test_nan(self):
+        assert format_float(float("nan")) == "nan"
+
+    def test_string_passthrough(self):
+        assert format_float("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        table = render_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1].replace(" ", "")) == {"-"}
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        table = render_table(["x"], [])
+        assert "x" in table
+
+
+class TestExperimentReport:
+    def _report(self):
+        rows = [
+            ExperimentRow({"k": 4, "T_B": 100.0}),
+            ExperimentRow({"k": 8, "T_B": 70.0}),
+        ]
+        return ExperimentReport(
+            experiment_id="EX",
+            title="example",
+            parameters={"n": 256},
+            rows=rows,
+            summary={"exponent": -0.5},
+        )
+
+    def test_columns(self):
+        assert self._report().columns == ["k", "T_B"]
+
+    def test_column_values(self):
+        assert self._report().column("k") == [4, 8]
+
+    def test_row_access(self):
+        row = self._report().rows[0]
+        assert row["k"] == 4
+        assert row.get("missing", "default") == "default"
+
+    def test_to_table_contains_values(self):
+        text = self._report().to_table()
+        assert "100" in text and "70" in text
+
+    def test_render_contains_everything(self):
+        text = self._report().render()
+        assert "EX" in text
+        assert "example" in text
+        assert "n=256" in text
+        assert "exponent" in text
+
+    def test_empty_report(self):
+        report = ExperimentReport("E0", "empty", {}, rows=[])
+        assert report.columns == []
+        assert "E0" in report.render()

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListCommand:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E17" in out
+        assert "Broadcast time vs number of agents" in out
+
+
+class TestWorkloadCommand:
+    def test_shows_parameters(self, capsys):
+        assert main(["workload", "E1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "E1 @ tiny" in out
+        assert "n_nodes" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["workload", "E99"])
+
+
+class TestRunCommand:
+    def test_runs_single_experiment(self, capsys):
+        assert main(["run", "E1", "--scale", "tiny", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "E1:" in out
+        assert "fitted_exponent_in_k" in out
+
+    def test_writes_json(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        assert main(["run", "E4", "--scale", "tiny", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["experiment_id"] == "E4"
+        assert payload["rows"]
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "E1", "--scale", "huge"])

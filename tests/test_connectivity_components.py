@@ -1,0 +1,84 @@
+"""Tests for repro.connectivity.components."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.connectivity.components import (
+    IslandStatistics,
+    component_sizes,
+    island_statistics,
+    largest_component_fraction,
+    largest_component_size,
+)
+from repro.grid.lattice import Grid2D
+
+
+class TestComponentSizes:
+    def test_sizes_sorted_descending(self):
+        labels = np.array([0, 0, 1, 1, 1, 2])
+        assert component_sizes(labels).tolist() == [3, 2, 1]
+
+    def test_sum_equals_total(self, rng):
+        labels = rng.integers(0, 5, size=50)
+        assert component_sizes(labels).sum() == 50
+
+    def test_empty(self):
+        assert component_sizes(np.array([], dtype=int)).shape == (0,)
+
+    def test_largest_size_and_fraction(self):
+        labels = np.array([0, 1, 1, 1])
+        assert largest_component_size(labels) == 3
+        assert largest_component_fraction(labels) == pytest.approx(0.75)
+
+    def test_empty_largest(self):
+        assert largest_component_size(np.array([], dtype=int)) == 0
+        assert largest_component_fraction(np.array([], dtype=int)) == 0.0
+
+    def test_all_singletons(self):
+        labels = np.arange(10)
+        assert largest_component_size(labels) == 1
+        assert largest_component_fraction(labels) == pytest.approx(0.1)
+
+
+class TestIslandStatistics:
+    def test_fields_consistent(self, rng):
+        grid = Grid2D(32)
+        stats = island_statistics(grid, n_agents=40, radius=1.0, samples=8, rng=rng)
+        assert isinstance(stats, IslandStatistics)
+        assert stats.samples == 8
+        assert stats.n_agents == 40
+        assert 1 <= stats.mean_max_island_size <= stats.max_island_size <= 40
+        assert 0 < stats.giant_fraction <= 1.0
+
+    def test_zero_radius_small_islands(self, rng):
+        # With r = 0 on a big grid islands are essentially co-location events.
+        grid = Grid2D(64)
+        stats = island_statistics(grid, n_agents=30, radius=0.0, samples=10, rng=rng)
+        assert stats.max_island_size <= 5
+
+    def test_huge_radius_single_island(self, rng):
+        grid = Grid2D(16)
+        stats = island_statistics(grid, n_agents=20, radius=100.0, samples=3, rng=rng)
+        assert stats.max_island_size == 20
+        assert stats.giant_fraction == pytest.approx(1.0)
+
+    def test_larger_radius_larger_islands(self, rng):
+        grid = Grid2D(32)
+        small = island_statistics(grid, n_agents=60, radius=1.0, samples=10, rng=rng)
+        large = island_statistics(grid, n_agents=60, radius=6.0, samples=10, rng=rng)
+        assert large.mean_max_island_size >= small.mean_max_island_size
+
+    def test_exceeds(self):
+        stats = IslandStatistics(
+            n_agents=10,
+            radius=1.0,
+            samples=1,
+            max_island_size=4,
+            mean_max_island_size=4.0,
+            mean_island_size=2.0,
+            giant_fraction=0.4,
+        )
+        assert stats.exceeds(3)
+        assert not stats.exceeds(4)

@@ -1,0 +1,85 @@
+"""Tests for repro.connectivity.percolation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.connectivity.percolation import (
+    giant_component_sweep,
+    island_parameter_gamma,
+    lower_bound_radius,
+    percolation_radius,
+)
+from repro.grid.lattice import Grid2D
+
+
+class TestRadiusFormulas:
+    def test_percolation_radius_value(self):
+        assert percolation_radius(1024, 64) == pytest.approx(4.0)
+
+    def test_gamma_value(self):
+        expected = math.sqrt(1024 / (4 * math.exp(6) * 64))
+        assert island_parameter_gamma(1024, 64) == pytest.approx(expected)
+
+    def test_lower_bound_radius_value(self):
+        expected = math.sqrt(1024 / (64 * math.exp(6) * 64))
+        assert lower_bound_radius(1024, 64) == pytest.approx(expected)
+
+    def test_ordering(self):
+        # gamma and the Theorem 2 radius are both strictly below r_c.
+        n, k = 4096, 32
+        assert lower_bound_radius(n, k) < island_parameter_gamma(n, k) < percolation_radius(n, k)
+
+    def test_scaling_in_k(self):
+        assert percolation_radius(1024, 4) == 2 * percolation_radius(1024, 16)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(Exception):
+            percolation_radius(0, 4)
+        with pytest.raises(Exception):
+            island_parameter_gamma(16, 0)
+
+
+class TestGiantComponentSweep:
+    def test_result_shapes(self, rng):
+        grid = Grid2D(24)
+        radii = np.array([0.0, 1.0, 3.0, 6.0])
+        result = giant_component_sweep(grid, 48, radii, samples=5, rng=rng)
+        assert result.radii.shape == (4,)
+        assert result.giant_fractions.shape == (4,)
+        assert result.n_agents == 48
+        assert result.n_nodes == grid.n_nodes
+
+    def test_fraction_monotone_in_radius_on_average(self, rng):
+        grid = Grid2D(24)
+        radii = np.array([0.0, 2.0, 8.0, 24.0])
+        result = giant_component_sweep(grid, 48, radii, samples=8, rng=rng)
+        fractions = result.giant_fractions
+        assert fractions[-1] > fractions[0]
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_threshold_estimation(self, rng):
+        grid = Grid2D(24)
+        radii = np.array([0.0, 1.0, 4.0, 12.0])
+        result = giant_component_sweep(grid, 64, radii, samples=6, rng=rng)
+        threshold = result.estimated_threshold(0.5)
+        assert threshold in set(radii.tolist()) or threshold == float("inf")
+
+    def test_threshold_inf_when_never_reached(self, rng):
+        grid = Grid2D(32)
+        radii = np.array([0.0])
+        result = giant_component_sweep(grid, 16, radii, samples=4, rng=rng)
+        assert result.estimated_threshold(0.99) == float("inf")
+
+    def test_negative_radius_rejected(self, rng):
+        grid = Grid2D(16)
+        with pytest.raises(ValueError):
+            giant_component_sweep(grid, 8, np.array([-1.0]), samples=2, rng=rng)
+
+    def test_theoretical_radius_recorded(self, rng):
+        grid = Grid2D(16)
+        result = giant_component_sweep(grid, 8, np.array([1.0]), samples=2, rng=rng)
+        assert result.theoretical_radius == pytest.approx(percolation_radius(256, 8))

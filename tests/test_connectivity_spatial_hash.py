@@ -1,0 +1,95 @@
+"""Tests for repro.connectivity.spatial_hash."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.connectivity.spatial_hash import SpatialHash, neighbor_pairs
+from repro.grid.geometry import pairwise_manhattan
+
+
+def brute_force_pairs(positions: np.ndarray, radius: float) -> set[tuple[int, int]]:
+    dists = pairwise_manhattan(positions)
+    k = positions.shape[0]
+    return {
+        (i, j) for i in range(k) for j in range(i + 1, k) if dists[i, j] <= radius
+    }
+
+
+class TestSpatialHash:
+    def test_invalid_cell_side(self):
+        with pytest.raises(ValueError):
+            SpatialHash(np.zeros((3, 2), dtype=int), 0)
+
+    def test_invalid_positions_shape(self):
+        with pytest.raises(ValueError):
+            SpatialHash(np.zeros((3, 3), dtype=int), 1)
+
+    def test_bucket_of(self):
+        pts = np.array([[0, 0], [5, 7], [9, 9]])
+        hash_ = SpatialHash(pts, 4)
+        assert hash_.bucket_of(0) == (0, 0)
+        assert hash_.bucket_of(1) == (1, 1)
+        assert hash_.bucket_of(2) == (2, 2)
+
+    def test_n_points_and_buckets(self):
+        pts = np.array([[0, 0], [1, 1], [10, 10]])
+        hash_ = SpatialHash(pts, 4)
+        assert hash_.n_points == 3
+        assert hash_.n_buckets == 2
+
+    def test_empty_positions(self):
+        hash_ = SpatialHash(np.empty((0, 2), dtype=int), 3)
+        assert hash_.n_points == 0
+        assert hash_.pairs_within(3).shape == (0, 2)
+
+
+class TestNeighborPairs:
+    def test_matches_brute_force_random(self, rng):
+        for radius in (0, 1, 2, 5):
+            pts = rng.integers(0, 40, size=(60, 2))
+            pairs = neighbor_pairs(pts, radius)
+            found = {(int(a), int(b)) for a, b in pairs}
+            assert found == brute_force_pairs(pts, radius)
+
+    def test_matches_brute_force_clustered(self, rng):
+        # Many co-located points stress the same-bucket path.
+        base = rng.integers(0, 10, size=(10, 2))
+        pts = np.repeat(base, 4, axis=0)
+        for radius in (0, 1, 3):
+            pairs = neighbor_pairs(pts, radius)
+            found = {(int(a), int(b)) for a, b in pairs}
+            assert found == brute_force_pairs(pts, radius)
+
+    def test_pairs_ordered_and_unique(self, rng):
+        pts = rng.integers(0, 20, size=(40, 2))
+        pairs = neighbor_pairs(pts, 3)
+        assert np.all(pairs[:, 0] < pairs[:, 1])
+        assert len({(int(a), int(b)) for a, b in pairs}) == pairs.shape[0]
+
+    def test_zero_radius_groups_identical_points(self):
+        pts = np.array([[2, 2], [2, 2], [3, 3]])
+        pairs = neighbor_pairs(pts, 0)
+        assert pairs.tolist() == [[0, 1]]
+
+    def test_fewer_than_two_points(self):
+        assert neighbor_pairs(np.array([[1, 1]]), 5).shape == (0, 2)
+        assert neighbor_pairs(np.empty((0, 2), dtype=int), 5).shape == (0, 2)
+
+    def test_fractional_radius(self, rng):
+        # Manhattan distances are integers, so radius 1.5 behaves like 1.
+        pts = rng.integers(0, 15, size=(30, 2))
+        a = {tuple(p) for p in neighbor_pairs(pts, 1.5).tolist()}
+        b = {tuple(p) for p in neighbor_pairs(pts, 1).tolist()}
+        assert a == b
+
+    def test_euclidean_metric(self):
+        pts = np.array([[0, 0], [1, 1], [3, 0]])
+        pairs = neighbor_pairs(pts, 1.5, metric="euclidean")
+        assert pairs.tolist() == [[0, 1]]
+
+    def test_large_radius_gives_complete_graph(self, rng):
+        pts = rng.integers(0, 10, size=(15, 2))
+        pairs = neighbor_pairs(pts, 100)
+        assert pairs.shape[0] == 15 * 14 // 2

@@ -1,0 +1,101 @@
+"""Tests for repro.connectivity.unionfind."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.connectivity.unionfind import UnionFind
+from repro.util.validation import ValidationError
+
+
+class TestUnionFindBasics:
+    def test_initially_all_singletons(self):
+        uf = UnionFind(5)
+        assert uf.n_components == 5
+        assert all(uf.component_size(i) == 1 for i in range(5))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValidationError):
+            UnionFind(0)
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1) is True
+        assert uf.connected(0, 1)
+        assert uf.n_components == 3
+
+    def test_union_same_set_returns_false(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert uf.union(1, 0) is False
+        assert uf.n_components == 3
+
+    def test_transitive_connectivity(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert uf.connected(0, 2)
+        assert not uf.connected(2, 3)
+        assert uf.n_components == 3
+
+    def test_component_size_after_unions(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.component_size(0) == 3
+        assert uf.component_size(2) == 3
+        assert uf.component_size(5) == 1
+
+    def test_self_union_is_noop(self):
+        uf = UnionFind(3)
+        assert uf.union(1, 1) is False
+        assert uf.n_components == 3
+
+
+class TestLabels:
+    def test_labels_are_dense(self):
+        uf = UnionFind(6)
+        uf.union(0, 5)
+        uf.union(2, 3)
+        labels = uf.labels()
+        assert labels.shape == (6,)
+        assert set(labels.tolist()) == set(range(uf.n_components))
+
+    def test_labels_match_connectivity(self):
+        uf = UnionFind(8)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(4, 5)
+        labels = uf.labels()
+        for i in range(8):
+            for j in range(8):
+                assert (labels[i] == labels[j]) == uf.connected(i, j)
+
+    def test_all_merged_single_label(self):
+        uf = UnionFind(5)
+        for i in range(4):
+            uf.union(i, i + 1)
+        assert uf.n_components == 1
+        assert np.all(uf.labels() == 0)
+
+    def test_matches_random_reference(self, rng):
+        # Compare against a naive transitive-closure reference on random unions.
+        n = 30
+        uf = UnionFind(n)
+        parent = list(range(n))
+
+        def ref_find(x):
+            while parent[x] != x:
+                x = parent[x]
+            return x
+
+        for _ in range(40):
+            a, b = rng.integers(0, n, size=2)
+            uf.union(int(a), int(b))
+            parent[ref_find(int(a))] = ref_find(int(b))
+        labels = uf.labels()
+        for i in range(n):
+            for j in range(n):
+                assert (labels[i] == labels[j]) == (ref_find(i) == ref_find(j))

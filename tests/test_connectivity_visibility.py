@@ -1,0 +1,111 @@
+"""Tests for repro.connectivity.visibility (with networkx as the oracle)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.connectivity.visibility import (
+    visibility_components,
+    visibility_edges,
+    visibility_graph,
+)
+from repro.grid.geometry import pairwise_manhattan
+
+
+def oracle_labels(positions: np.ndarray, radius: float) -> np.ndarray:
+    """Component labels computed with networkx from the all-pairs distances."""
+    k = positions.shape[0]
+    graph = nx.Graph()
+    graph.add_nodes_from(range(k))
+    dists = pairwise_manhattan(positions)
+    for i in range(k):
+        for j in range(i + 1, k):
+            if dists[i, j] <= radius:
+                graph.add_edge(i, j)
+    labels = np.empty(k, dtype=np.int64)
+    for idx, component in enumerate(nx.connected_components(graph)):
+        for node in component:
+            labels[node] = idx
+    return labels
+
+
+def same_partition(a: np.ndarray, b: np.ndarray) -> bool:
+    """Whether two labelings induce the same partition."""
+    pairs_a = {(x, y) for x in range(len(a)) for y in range(len(a)) if a[x] == a[y]}
+    pairs_b = {(x, y) for x in range(len(b)) for y in range(len(b)) if b[x] == b[y]}
+    return pairs_a == pairs_b
+
+
+class TestVisibilityComponents:
+    def test_empty_system(self):
+        labels = visibility_components(np.empty((0, 2), dtype=int), 1)
+        assert labels.shape == (0,)
+
+    def test_single_agent(self):
+        labels = visibility_components(np.array([[3, 3]]), 2)
+        assert labels.tolist() == [0]
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            visibility_components(np.array([[0, 0]]), -1)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            visibility_components(np.zeros((3, 3)), 1)
+
+    def test_zero_radius_colocation(self):
+        positions = np.array([[1, 1], [1, 1], [2, 2], [1, 1]])
+        labels = visibility_components(positions, 0)
+        assert labels[0] == labels[1] == labels[3]
+        assert labels[2] != labels[0]
+
+    def test_chain_connectivity(self):
+        # agents at distance 2 from their neighbours form one component at r=2
+        positions = np.array([[0, 0], [2, 0], [4, 0], [6, 0]])
+        labels = visibility_components(positions, 2)
+        assert len(set(labels.tolist())) == 1
+        labels1 = visibility_components(positions, 1)
+        assert len(set(labels1.tolist())) == 4
+
+    def test_labels_are_dense(self, rng):
+        positions = rng.integers(0, 30, size=(25, 2))
+        labels = visibility_components(positions, 2)
+        assert set(labels.tolist()) == set(range(int(labels.max()) + 1))
+
+    @pytest.mark.parametrize("radius", [0, 1, 2, 4, 8])
+    def test_matches_networkx_oracle(self, rng, radius):
+        positions = rng.integers(0, 25, size=(40, 2))
+        ours = visibility_components(positions, radius)
+        oracle = oracle_labels(positions, radius)
+        assert same_partition(ours, oracle)
+
+    def test_large_radius_single_component(self, rng):
+        positions = rng.integers(0, 10, size=(20, 2))
+        labels = visibility_components(positions, 100)
+        assert len(set(labels.tolist())) == 1
+
+
+class TestVisibilityEdgesAndGraph:
+    def test_edges_respect_radius(self, rng):
+        positions = rng.integers(0, 20, size=(30, 2))
+        edges = visibility_edges(positions, 3)
+        dists = pairwise_manhattan(positions)
+        for a, b in edges:
+            assert dists[a, b] <= 3
+
+    def test_graph_node_count(self, rng):
+        positions = rng.integers(0, 20, size=(12, 2))
+        graph = visibility_graph(positions, 2)
+        assert graph.number_of_nodes() == 12
+
+    def test_graph_components_match_labels(self, rng):
+        positions = rng.integers(0, 20, size=(25, 2))
+        graph = visibility_graph(positions, 2)
+        labels = visibility_components(positions, 2)
+        assert nx.number_connected_components(graph) == int(labels.max()) + 1
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            visibility_edges(np.array([[0, 0], [1, 1]]), -0.5)

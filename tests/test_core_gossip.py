@@ -1,0 +1,72 @@
+"""Tests for repro.core.gossip (GossipSimulation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import GossipConfig
+from repro.core.gossip import GossipSimulation
+
+
+class TestGossipInitialState:
+    def test_identity_knowledge_at_start(self):
+        config = GossipConfig(n_nodes=144, n_agents=6)
+        sim = GossipSimulation(config, rng=0)
+        assert np.array_equal(sim.rumors, np.eye(6, dtype=bool))
+
+    def test_positions_inside_grid(self):
+        config = GossipConfig(n_nodes=144, n_agents=20)
+        sim = GossipSimulation(config, rng=0)
+        assert np.all(sim.grid.contains(sim.positions))
+
+
+class TestGossipDynamics:
+    def test_knowledge_is_monotone(self):
+        config = GossipConfig(n_nodes=100, n_agents=8)
+        sim = GossipSimulation(config, rng=1)
+        previous = sim.rumors
+        for _ in range(100):
+            sim.step()
+            current = sim.rumors
+            assert np.all(current[previous])
+            previous = current
+
+    def test_runs_to_completion_small(self):
+        config = GossipConfig(n_nodes=100, n_agents=6)
+        result = GossipSimulation(config, rng=2).run()
+        assert result.completed
+        assert result.gossip_time >= 0
+        assert result.min_rumors_known == 6
+
+    def test_single_agent_completes_immediately(self):
+        config = GossipConfig(n_nodes=64, n_agents=1)
+        result = GossipSimulation(config, rng=0).run()
+        assert result.completed
+        assert result.gossip_time == 0
+
+    def test_huge_radius_completes_immediately(self):
+        config = GossipConfig(n_nodes=64, n_agents=6, radius=100)
+        result = GossipSimulation(config, rng=0).run()
+        assert result.gossip_time == 0
+
+    def test_gossip_at_least_broadcast_of_rumor_zero(self):
+        config = GossipConfig(n_nodes=144, n_agents=8)
+        result = GossipSimulation(config, rng=3).run()
+        assert result.first_rumor_broadcast_time <= result.gossip_time
+
+    def test_knowledge_curve_monotone(self):
+        config = GossipConfig(n_nodes=100, n_agents=6)
+        result = GossipSimulation(config, rng=4).run()
+        assert np.all(np.diff(result.knowledge_curve) >= 0)
+        assert result.knowledge_curve[-1] == 36
+
+    def test_horizon_respected(self):
+        config = GossipConfig(n_nodes=64 * 64, n_agents=4, max_steps=5)
+        result = GossipSimulation(config, rng=5).run()
+        assert result.n_steps <= 5
+
+    def test_deterministic_given_seed(self):
+        config = GossipConfig(n_nodes=100, n_agents=6)
+        a = GossipSimulation(config, rng=7).run()
+        b = GossipSimulation(config, rng=7).run()
+        assert a.gossip_time == b.gossip_time

@@ -1,0 +1,110 @@
+"""Tests for repro.core.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import CoverageTracker, FrontierTracker, InformedCurve
+from repro.grid.lattice import Grid2D
+
+
+class TestInformedCurve:
+    def test_record_counts(self):
+        curve = InformedCurve()
+        curve.record(np.array([True, False, True]))
+        curve.record(np.array([True, True, True]))
+        assert curve.as_array().tolist() == [2, 3]
+
+    def test_time_to_fraction(self):
+        curve = InformedCurve()
+        for count in ([1, 0, 0, 0], [1, 1, 0, 0], [1, 1, 1, 1]):
+            curve.record(np.array(count, dtype=bool))
+        assert curve.time_to_fraction(4, 0.25) == 0
+        assert curve.time_to_fraction(4, 0.5) == 1
+        assert curve.time_to_fraction(4, 1.0) == 2
+
+    def test_time_to_fraction_not_reached(self):
+        curve = InformedCurve()
+        curve.record(np.array([True, False]))
+        assert curve.time_to_fraction(2, 1.0) == -1
+
+
+class TestFrontierTracker:
+    def test_initial_state(self):
+        tracker = FrontierTracker()
+        assert tracker.frontier == -1
+        assert tracker.history.shape == (0,)
+
+    def test_tracks_rightmost_informed(self):
+        tracker = FrontierTracker()
+        positions = np.array([[2, 0], [9, 0], [5, 0]])
+        informed = np.array([True, False, True])
+        tracker.record(positions, informed)
+        assert tracker.frontier == 5
+
+    def test_frontier_is_running_maximum(self):
+        tracker = FrontierTracker()
+        positions = np.array([[7, 0]])
+        tracker.record(positions, np.array([True]))
+        tracker.record(np.array([[3, 0]]), np.array([True]))
+        assert tracker.frontier == 7
+        assert tracker.history.tolist() == [7, 7]
+
+    def test_uninformed_only_does_not_advance(self):
+        tracker = FrontierTracker()
+        tracker.record(np.array([[9, 9]]), np.array([False]))
+        assert tracker.frontier == -1
+
+    def test_max_advance_per_window(self):
+        tracker = FrontierTracker()
+        for x in [0, 1, 1, 4, 4, 5]:
+            tracker.record(np.array([[x, 0]]), np.array([True]))
+        assert tracker.max_advance_per_window(2) == 3
+        assert tracker.max_advance_per_window(100) == 5
+
+    def test_max_advance_empty(self):
+        assert FrontierTracker().max_advance_per_window(3) == 0
+
+
+class TestCoverageTracker:
+    def test_initial(self):
+        tracker = CoverageTracker(Grid2D(4))
+        assert tracker.n_visited == 0
+        assert not tracker.complete
+        assert tracker.coverage_time == -1
+
+    def test_records_informed_positions_only(self):
+        tracker = CoverageTracker(Grid2D(4))
+        positions = np.array([[0, 0], [1, 1]])
+        tracker.record(positions, np.array([True, False]), time=0)
+        assert tracker.n_visited == 1
+
+    def test_fraction(self):
+        grid = Grid2D(2)
+        tracker = CoverageTracker(grid)
+        tracker.record(np.array([[0, 0], [1, 1]]), np.array([True, True]), time=0)
+        assert tracker.fraction_visited == 0.5
+
+    def test_complete_detection(self):
+        grid = Grid2D(2)
+        tracker = CoverageTracker(grid)
+        all_nodes = np.array([[0, 0], [0, 1], [1, 0], [1, 1]])
+        tracker.record(all_nodes, np.ones(4, dtype=bool), time=7)
+        assert tracker.complete
+        assert tracker.coverage_time == 7
+
+    def test_coverage_time_is_first_completion(self):
+        grid = Grid2D(2)
+        tracker = CoverageTracker(grid)
+        all_nodes = np.array([[0, 0], [0, 1], [1, 0], [1, 1]])
+        tracker.record(all_nodes, np.ones(4, dtype=bool), time=3)
+        tracker.record(all_nodes, np.ones(4, dtype=bool), time=9)
+        assert tracker.coverage_time == 3
+
+    def test_revisits_do_not_increase_count(self):
+        tracker = CoverageTracker(Grid2D(4))
+        pos = np.array([[2, 2]])
+        informed = np.array([True])
+        tracker.record(pos, informed, 0)
+        tracker.record(pos, informed, 1)
+        assert tracker.n_visited == 1

@@ -1,0 +1,123 @@
+"""Tests for repro.core.protocol (intra-component flooding)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import flood_informed, flood_rumors
+
+
+class TestFloodInformed:
+    def test_spreads_within_component(self):
+        informed = np.array([True, False, False, False])
+        labels = np.array([0, 0, 1, 1])
+        result = flood_informed(informed, labels)
+        assert result.tolist() == [True, True, False, False]
+
+    def test_no_informed_stays_empty(self):
+        informed = np.zeros(5, dtype=bool)
+        labels = np.array([0, 0, 1, 2, 2])
+        assert not flood_informed(informed, labels).any()
+
+    def test_all_informed_stays_full(self):
+        informed = np.ones(4, dtype=bool)
+        labels = np.array([0, 1, 2, 3])
+        assert flood_informed(informed, labels).all()
+
+    def test_monotone(self, rng):
+        # Flooding never un-informs an agent.
+        for _ in range(20):
+            k = 30
+            informed = rng.random(k) < 0.3
+            labels = rng.integers(0, 6, size=k)
+            result = flood_informed(informed, labels)
+            assert np.all(result[informed])
+
+    def test_idempotent(self, rng):
+        for _ in range(20):
+            k = 30
+            informed = rng.random(k) < 0.3
+            labels = rng.integers(0, 6, size=k)
+            once = flood_informed(informed, labels)
+            twice = flood_informed(once, labels)
+            assert np.array_equal(once, twice)
+
+    def test_component_consistency(self, rng):
+        # After flooding, all members of a component agree.
+        for _ in range(20):
+            k = 40
+            informed = rng.random(k) < 0.2
+            labels = rng.integers(0, 8, size=k)
+            result = flood_informed(informed, labels)
+            for label in np.unique(labels):
+                members = result[labels == label]
+                assert members.all() or not members.any()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            flood_informed(np.zeros(3, dtype=bool), np.zeros(4, dtype=int))
+
+    def test_empty(self):
+        result = flood_informed(np.zeros(0, dtype=bool), np.zeros(0, dtype=int))
+        assert result.shape == (0,)
+
+    def test_singleton_components_unchanged(self):
+        informed = np.array([True, False, True])
+        labels = np.array([0, 1, 2])
+        assert flood_informed(informed, labels).tolist() == [True, False, True]
+
+
+class TestFloodRumors:
+    def test_union_within_component(self):
+        rumors = np.eye(4, dtype=bool)
+        labels = np.array([0, 0, 1, 1])
+        result = flood_rumors(rumors, labels)
+        assert result[0].tolist() == [True, True, False, False]
+        assert result[1].tolist() == [True, True, False, False]
+        assert result[2].tolist() == [False, False, True, True]
+
+    def test_monotone(self, rng):
+        for _ in range(10):
+            k, m = 20, 7
+            rumors = rng.random((k, m)) < 0.2
+            labels = rng.integers(0, 5, size=k)
+            result = flood_rumors(rumors, labels)
+            assert np.all(result[rumors])
+
+    def test_idempotent(self, rng):
+        for _ in range(10):
+            k, m = 20, 7
+            rumors = rng.random((k, m)) < 0.2
+            labels = rng.integers(0, 5, size=k)
+            once = flood_rumors(rumors, labels)
+            twice = flood_rumors(once, labels)
+            assert np.array_equal(once, twice)
+
+    def test_total_knowledge_preserved_per_component(self, rng):
+        # The set of rumors known inside a component never changes.
+        k, m = 25, 6
+        rumors = rng.random((k, m)) < 0.3
+        labels = rng.integers(0, 4, size=k)
+        result = flood_rumors(rumors, labels)
+        for label in np.unique(labels):
+            before = rumors[labels == label].any(axis=0)
+            after = result[labels == label].any(axis=0)
+            assert np.array_equal(before, after)
+
+    def test_matches_single_rumor_flooding(self, rng):
+        k = 30
+        informed = rng.random(k) < 0.25
+        labels = rng.integers(0, 5, size=k)
+        as_matrix = flood_rumors(informed.reshape(-1, 1), labels)[:, 0]
+        assert np.array_equal(as_matrix, flood_informed(informed, labels))
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            flood_rumors(np.zeros(3, dtype=bool), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            flood_rumors(np.zeros((3, 2), dtype=bool), np.zeros(4, dtype=int))
+
+    def test_empty(self):
+        result = flood_rumors(np.zeros((0, 0), dtype=bool), np.zeros(0, dtype=int))
+        assert result.shape == (0, 0)

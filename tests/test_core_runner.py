@@ -1,0 +1,108 @@
+"""Tests for repro.core.runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BroadcastConfig, GossipConfig
+from repro.core.runner import (
+    ReplicationSummary,
+    replicate,
+    run_broadcast_replications,
+    run_gossip_replications,
+    summarise_values,
+)
+from repro.util.validation import ValidationError
+
+
+class TestSummariseValues:
+    def test_basic_stats(self):
+        summary = summarise_values([10, 20, 30])
+        assert summary.n_replications == 3
+        assert summary.n_completed == 3
+        assert summary.mean == pytest.approx(20.0)
+        assert summary.median == pytest.approx(20.0)
+        assert summary.min == 10
+        assert summary.max == 30
+        assert summary.completion_rate == 1.0
+
+    def test_incomplete_marked_by_negative(self):
+        summary = summarise_values([10, -1, 30])
+        assert summary.n_completed == 2
+        assert summary.completion_rate == pytest.approx(2 / 3)
+        assert summary.mean == pytest.approx(20.0)
+
+    def test_all_incomplete(self):
+        summary = summarise_values([-1, -1])
+        assert summary.n_completed == 0
+        assert np.isnan(summary.mean)
+        assert np.isnan(summary.median)
+
+    def test_empty(self):
+        summary = summarise_values([])
+        assert summary.n_replications == 0
+        assert summary.completion_rate == 0.0
+
+    def test_single_value_std(self):
+        assert summarise_values([5]).std == 0.0
+
+
+class TestReplicate:
+    def test_runs_factory_per_replication(self):
+        calls = []
+
+        def factory(rng):
+            calls.append(1)
+            return float(rng.integers(0, 100))
+
+        summary = replicate(factory, 5, seed=0)
+        assert len(calls) == 5
+        assert summary.n_replications == 5
+
+    def test_deterministic(self):
+        def factory(rng):
+            return float(rng.integers(0, 10**9))
+
+        a = replicate(factory, 3, seed=1)
+        b = replicate(factory, 3, seed=1)
+        assert np.array_equal(a.values, b.values)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValidationError):
+            replicate(lambda rng: 0.0, 0, seed=0)
+
+
+class TestBroadcastReplications:
+    def test_returns_summary_and_results(self):
+        config = BroadcastConfig(n_nodes=144, n_agents=8)
+        summary, results = run_broadcast_replications(config, 3, seed=0)
+        assert isinstance(summary, ReplicationSummary)
+        assert len(results) == 3
+        assert summary.completion_rate == 1.0
+        assert all(res.completed for res in results)
+
+    def test_values_match_results(self):
+        config = BroadcastConfig(n_nodes=144, n_agents=8)
+        summary, results = run_broadcast_replications(config, 3, seed=1)
+        assert summary.values.tolist() == [float(r.broadcast_time) for r in results]
+
+    def test_deterministic_given_seed(self):
+        config = BroadcastConfig(n_nodes=144, n_agents=8)
+        a, _ = run_broadcast_replications(config, 3, seed=5)
+        b, _ = run_broadcast_replications(config, 3, seed=5)
+        assert np.array_equal(a.values, b.values)
+
+    def test_replications_are_independent(self):
+        config = BroadcastConfig(n_nodes=1024, n_agents=8)
+        summary, _ = run_broadcast_replications(config, 4, seed=3)
+        assert len(set(summary.values.tolist())) > 1
+
+
+class TestGossipReplications:
+    def test_returns_summary_and_results(self):
+        config = GossipConfig(n_nodes=100, n_agents=6)
+        summary, results = run_gossip_replications(config, 2, seed=0)
+        assert len(results) == 2
+        assert summary.n_completed == 2
+        assert all(res.gossip_time >= 0 for res in results)

@@ -1,0 +1,72 @@
+"""Tests for repro.dissemination.coverage (multi-walk cover time)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dissemination.coverage import multi_walk_cover_time
+from repro.grid.lattice import Grid2D
+from repro.util.validation import ValidationError
+
+
+class TestMultiWalkCoverTime:
+    def test_completes_on_small_grid(self, rng):
+        grid = Grid2D(6)
+        result = multi_walk_cover_time(grid, n_walkers=4, max_steps=100000, rng=rng)
+        assert result.completed
+        assert result.fraction_covered == 1.0
+        assert result.cover_time >= 0
+
+    def test_coverage_curve_monotone(self, rng):
+        grid = Grid2D(6)
+        result = multi_walk_cover_time(grid, n_walkers=4, max_steps=100000, rng=rng)
+        assert np.all(np.diff(result.coverage_curve) >= 0)
+        assert result.coverage_curve[-1] == grid.n_nodes
+
+    def test_single_node_grid(self, rng):
+        grid = Grid2D(1)
+        result = multi_walk_cover_time(grid, n_walkers=1, max_steps=10, rng=rng)
+        assert result.completed
+        assert result.cover_time == 0
+
+    def test_incomplete_when_horizon_too_small(self, rng):
+        grid = Grid2D(32)
+        result = multi_walk_cover_time(grid, n_walkers=1, max_steps=10, rng=rng)
+        assert not result.completed
+        assert result.cover_time == -1
+        assert result.fraction_covered < 1.0
+
+    def test_more_walkers_cover_faster(self, rng):
+        grid = Grid2D(8)
+        few = multi_walk_cover_time(grid, n_walkers=1, max_steps=200000, rng=rng)
+        many = multi_walk_cover_time(grid, n_walkers=16, max_steps=200000, rng=rng)
+        assert many.cover_time <= few.cover_time
+
+    def test_time_to_cover_fraction(self, rng):
+        grid = Grid2D(8)
+        result = multi_walk_cover_time(grid, n_walkers=8, max_steps=200000, rng=rng)
+        t_half = result.time_to_cover_fraction(0.5)
+        t_full = result.time_to_cover_fraction(1.0)
+        assert 0 <= t_half <= t_full
+
+    def test_time_to_cover_fraction_unreached(self, rng):
+        grid = Grid2D(32)
+        result = multi_walk_cover_time(grid, n_walkers=1, max_steps=5, rng=rng)
+        assert result.time_to_cover_fraction(1.0) == -1
+
+    def test_record_curve_subsampling(self, rng):
+        grid = Grid2D(6)
+        dense = multi_walk_cover_time(grid, 4, 100000, rng=np.random.default_rng(1))
+        sparse = multi_walk_cover_time(
+            grid, 4, 100000, rng=np.random.default_rng(1), record_curve_every=10
+        )
+        assert sparse.cover_time == dense.cover_time
+        assert len(sparse.coverage_curve) <= len(dense.coverage_curve)
+
+    def test_invalid_arguments(self, rng):
+        grid = Grid2D(4)
+        with pytest.raises(ValidationError):
+            multi_walk_cover_time(grid, 0, 10, rng=rng)
+        with pytest.raises(ValidationError):
+            multi_walk_cover_time(grid, 1, 0, rng=rng)

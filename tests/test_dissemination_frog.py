@@ -1,0 +1,77 @@
+"""Tests for repro.dissemination.frog (the Frog model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dissemination.frog import FrogModelSimulation
+
+
+class TestFrogModel:
+    def test_exactly_one_active_at_start(self):
+        sim = FrogModelSimulation(n_nodes=256, n_agents=10, rng=0)
+        assert sim.n_active == 1
+
+    def test_explicit_source(self):
+        sim = FrogModelSimulation(n_nodes=256, n_agents=10, source=4, rng=0)
+        assert sim.active[4]
+
+    def test_invalid_source(self):
+        with pytest.raises(ValueError):
+            FrogModelSimulation(n_nodes=256, n_agents=10, source=10, rng=0)
+
+    def test_inactive_agents_do_not_move(self):
+        sim = FrogModelSimulation(n_nodes=1024, n_agents=12, source=0, rng=1)
+        initial = sim.positions
+        inactive_before = ~sim.active
+        sim.step()
+        # Every agent that was inactive before the step either stayed put or
+        # was activated during the exchange phase of this step.
+        still_inactive = ~sim.active & inactive_before
+        assert np.array_equal(sim.positions[still_inactive], initial[still_inactive])
+
+    def test_activation_is_monotone(self):
+        sim = FrogModelSimulation(n_nodes=144, n_agents=10, rng=2)
+        previous = sim.active
+        for _ in range(200):
+            sim.step()
+            current = sim.active
+            assert np.all(current[previous])
+            previous = current
+
+    def test_single_agent_completes_immediately(self):
+        result = FrogModelSimulation(n_nodes=64, n_agents=1, rng=0).run()
+        assert result.completed
+        assert result.activation_time == 0
+
+    def test_runs_to_completion_small(self):
+        result = FrogModelSimulation(n_nodes=144, n_agents=8, rng=3).run()
+        assert result.completed
+        assert result.n_active == 8
+        assert result.broadcast_time == result.activation_time
+
+    def test_active_curve_monotone(self):
+        result = FrogModelSimulation(n_nodes=144, n_agents=8, rng=4).run()
+        assert np.all(np.diff(result.active_curve) >= 0)
+        assert result.active_curve[-1] == 8
+
+    def test_horizon_respected(self):
+        result = FrogModelSimulation(n_nodes=64 * 64, n_agents=4, max_steps=5, rng=5).run()
+        assert result.n_steps <= 5
+
+    def test_radius_accelerates_activation(self):
+        slow, fast = [], []
+        for seed in range(4):
+            slow.append(
+                FrogModelSimulation(n_nodes=256, n_agents=12, radius=0, rng=seed).run().activation_time
+            )
+            fast.append(
+                FrogModelSimulation(n_nodes=256, n_agents=12, radius=3, rng=seed).run().activation_time
+            )
+        assert np.mean(fast) <= np.mean(slow)
+
+    def test_deterministic_given_seed(self):
+        a = FrogModelSimulation(n_nodes=144, n_agents=8, rng=9).run()
+        b = FrogModelSimulation(n_nodes=144, n_agents=8, rng=9).run()
+        assert a.activation_time == b.activation_time

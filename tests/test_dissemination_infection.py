@@ -1,0 +1,28 @@
+"""Tests for repro.dissemination.infection."""
+
+from __future__ import annotations
+
+from repro.dissemination.infection import infection_time
+
+
+class TestInfectionTime:
+    def test_returns_completed_result_on_small_system(self):
+        result = infection_time(n_nodes=144, n_agents=8, rng=0)
+        assert result.completed
+        assert result.infection_time >= 0
+        assert result.n_nodes == 144
+        assert result.n_agents == 8
+
+    def test_horizon_respected(self):
+        result = infection_time(n_nodes=64 * 64, n_agents=2, max_steps=5, rng=1)
+        if not result.completed:
+            assert result.infection_time == -1
+
+    def test_deterministic_given_seed(self):
+        a = infection_time(n_nodes=144, n_agents=8, rng=3)
+        b = infection_time(n_nodes=144, n_agents=8, rng=3)
+        assert a.infection_time == b.infection_time
+
+    def test_radius_recorded(self):
+        result = infection_time(n_nodes=144, n_agents=8, radius=2.0, rng=0)
+        assert result.radius == 2.0

@@ -1,0 +1,81 @@
+"""Tests for repro.dissemination.predator_prey."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dissemination.predator_prey import PredatorPreySimulation
+
+
+class TestPredatorPrey:
+    def test_initial_state(self):
+        sim = PredatorPreySimulation(n_nodes=256, n_predators=4, n_preys=6, rng=0)
+        assert sim.n_alive == 6
+        assert sim.extinction_time == -1
+
+    def test_survivors_never_increase(self):
+        sim = PredatorPreySimulation(n_nodes=144, n_predators=6, n_preys=10, rng=1)
+        previous = sim.n_alive
+        for _ in range(300):
+            sim.step()
+            assert sim.n_alive <= previous
+            previous = sim.n_alive
+
+    def test_runs_to_extinction_small(self):
+        sim = PredatorPreySimulation(n_nodes=100, n_predators=8, n_preys=5, rng=2)
+        result = sim.run()
+        assert result.completed
+        assert result.preys_remaining == 0
+        assert result.extinction_time >= 0
+
+    def test_survival_curve_monotone(self):
+        result = PredatorPreySimulation(n_nodes=100, n_predators=8, n_preys=5, rng=3).run()
+        assert np.all(np.diff(result.survival_curve) <= 0)
+        assert result.survival_curve[0] <= 5
+
+    def test_capture_radius_speeds_up_extinction(self):
+        slow, fast = [], []
+        for seed in range(3):
+            slow.append(
+                PredatorPreySimulation(
+                    n_nodes=256, n_predators=6, n_preys=6, capture_radius=0, rng=seed
+                ).run().extinction_time
+            )
+            fast.append(
+                PredatorPreySimulation(
+                    n_nodes=256, n_predators=6, n_preys=6, capture_radius=4, rng=seed
+                ).run().extinction_time
+            )
+        assert np.mean(fast) <= np.mean(slow)
+
+    def test_more_predators_is_not_slower(self):
+        few, many = [], []
+        for seed in range(3):
+            few.append(
+                PredatorPreySimulation(n_nodes=256, n_predators=2, n_preys=5, rng=seed)
+                .run()
+                .extinction_time
+            )
+            many.append(
+                PredatorPreySimulation(n_nodes=256, n_predators=32, n_preys=5, rng=seed)
+                .run()
+                .extinction_time
+            )
+        assert np.mean(many) <= np.mean(few)
+
+    def test_static_preys_option(self):
+        result = PredatorPreySimulation(
+            n_nodes=100, n_predators=8, n_preys=5, preys_move=False, rng=4
+        ).run()
+        assert result.completed
+
+    def test_horizon_respected(self):
+        result = PredatorPreySimulation(
+            n_nodes=64 * 64, n_predators=1, n_preys=5, max_steps=5, rng=5
+        ).run()
+        assert result.n_steps <= 5
+
+    def test_deterministic_given_seed(self):
+        a = PredatorPreySimulation(n_nodes=100, n_predators=6, n_preys=5, rng=7).run()
+        b = PredatorPreySimulation(n_nodes=100, n_predators=6, n_preys=5, rng=7).run()
+        assert a.extinction_time == b.extinction_time

@@ -1,0 +1,32 @@
+"""Tests for the experiment registry (repro.experiments.registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import available_experiments, experiment_description, run_experiment
+from repro.workloads.configs import _WORKLOADS
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        experiments = available_experiments()
+        assert len(experiments) == 17
+        assert experiments[0] == "E1"
+        assert experiments[-1] == "E17"
+
+    def test_registry_matches_workloads(self):
+        assert set(available_experiments()) == set(_WORKLOADS)
+
+    def test_descriptions_are_nonempty(self):
+        for experiment_id in available_experiments():
+            assert len(experiment_description(experiment_id)) > 10
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("E42", scale="tiny")
+        with pytest.raises(KeyError):
+            experiment_description("E42")
+
+    def test_case_insensitive(self):
+        assert experiment_description("e1") == experiment_description("E1")

@@ -1,0 +1,165 @@
+"""Tests for the barrier extension (obstacle mobility, line-of-sight visibility,
+BarrierBroadcastSimulation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.connectivity.barriers import barrier_visibility_components
+from repro.connectivity.visibility import visibility_components
+from repro.extensions.barriers import BarrierBroadcastSimulation
+from repro.grid.obstacles import ObstacleGrid
+from repro.mobility.obstacle_walk import ObstacleWalkMobility
+
+
+class TestObstacleWalkMobility:
+    def test_initial_positions_on_free_nodes(self, rng):
+        domain = ObstacleGrid.with_wall(16, gap_width=1)
+        mobility = ObstacleWalkMobility(domain)
+        positions = mobility.initial_positions(100, rng)
+        assert not domain.is_blocked(positions).any()
+
+    def test_steps_never_enter_obstacles(self, rng):
+        domain = ObstacleGrid.with_wall(12, gap_width=1)
+        mobility = ObstacleWalkMobility(domain)
+        positions = mobility.initial_positions(50, rng)
+        for _ in range(200):
+            positions = mobility.step(positions, rng)
+            assert not domain.is_blocked(positions).any()
+            assert np.all(domain.grid.contains(positions))
+
+    def test_steps_move_at_most_one(self, rng):
+        domain = ObstacleGrid.with_random_obstacles(16, 0.15, rng=1)
+        mobility = ObstacleWalkMobility(domain)
+        positions = mobility.initial_positions(40, rng)
+        new = mobility.step(positions, rng)
+        assert np.all(np.abs(new - positions).sum(axis=1) <= 1)
+
+    def test_empty_domain_behaves_like_lazy_walk(self, rng):
+        domain = ObstacleGrid.empty(31)
+        mobility = ObstacleWalkMobility(domain)
+        center = np.tile(np.array([15, 15]), (20000, 1))
+        new = mobility.step(center, rng)
+        stayed = np.all(new == center, axis=1).mean()
+        assert 0.17 < stayed < 0.23
+
+    def test_agent_can_cross_the_gap(self, rng):
+        # Over a long run a single agent starting left of the wall visits the
+        # right half: the gap is passable.
+        domain = ObstacleGrid.with_wall(8, gap_width=1)
+        mobility = ObstacleWalkMobility(domain)
+        position = np.array([[0, 0]])
+        visited_right = False
+        for _ in range(4000):
+            position = mobility.step(position, rng)
+            if position[0, 0] > 4:
+                visited_right = True
+                break
+        assert visited_right
+
+
+class TestBarrierVisibility:
+    def test_no_obstacles_matches_plain_visibility(self, rng):
+        domain = ObstacleGrid.empty(16)
+        positions = rng.integers(0, 16, size=(20, 2))
+        with_barriers = barrier_visibility_components(positions, 2, domain)
+        plain = visibility_components(positions, 2)
+        # same partition (labels may be permuted)
+        for i in range(20):
+            for j in range(20):
+                assert (with_barriers[i] == with_barriers[j]) == (plain[i] == plain[j])
+
+    def test_wall_separates_agents_within_radius(self):
+        domain = ObstacleGrid.with_wall(9, gap_width=1)
+        # Two agents straddling the wall, within Manhattan distance 2, but the
+        # segment between them crosses the wall away from the gap.
+        positions = np.array([[3, 0], [5, 0]])
+        labels = barrier_visibility_components(positions, 4, domain)
+        assert labels[0] != labels[1]
+
+    def test_communication_through_the_gap(self):
+        domain = ObstacleGrid.with_wall(9, gap_width=1)
+        gap_y = 4
+        positions = np.array([[3, gap_y], [5, gap_y]])
+        labels = barrier_visibility_components(positions, 4, domain)
+        assert labels[0] == labels[1]
+
+    def test_block_communication_false_ignores_wall(self):
+        domain = ObstacleGrid.with_wall(9, gap_width=1)
+        positions = np.array([[3, 0], [5, 0]])
+        labels = barrier_visibility_components(
+            positions, 4, domain, block_communication=False
+        )
+        assert labels[0] == labels[1]
+
+    def test_empty_positions(self):
+        domain = ObstacleGrid.empty(4)
+        labels = barrier_visibility_components(np.empty((0, 2), dtype=int), 1, domain)
+        assert labels.shape == (0,)
+
+    def test_negative_radius_rejected(self):
+        domain = ObstacleGrid.empty(4)
+        with pytest.raises(ValueError):
+            barrier_visibility_components(np.array([[0, 0]]), -1, domain)
+
+
+class TestBarrierBroadcastSimulation:
+    def test_completes_on_open_domain(self):
+        domain = ObstacleGrid.empty(12)
+        result = BarrierBroadcastSimulation(domain, n_agents=8, rng=0).run()
+        assert result.completed
+        assert result.broadcast_time >= 0
+        assert result.n_free_nodes == 144
+
+    def test_completes_through_bottleneck(self):
+        domain = ObstacleGrid.with_wall(12, gap_width=1)
+        result = BarrierBroadcastSimulation(domain, n_agents=10, rng=1).run()
+        assert result.completed
+
+    def test_informed_curve_monotone(self):
+        domain = ObstacleGrid.with_wall(12, gap_width=2)
+        result = BarrierBroadcastSimulation(domain, n_agents=8, rng=2).run()
+        assert np.all(np.diff(result.informed_curve) >= 0)
+        assert result.informed_curve[-1] == 8
+
+    def test_positions_stay_on_free_nodes(self):
+        domain = ObstacleGrid.with_wall(10, gap_width=1)
+        sim = BarrierBroadcastSimulation(domain, n_agents=6, rng=3)
+        for _ in range(100):
+            sim.step()
+            assert not domain.is_blocked(sim.positions).any()
+
+    def test_single_agent_completes_immediately(self):
+        domain = ObstacleGrid.with_wall(8, gap_width=1)
+        result = BarrierBroadcastSimulation(domain, n_agents=1, rng=0).run()
+        assert result.broadcast_time == 0
+
+    def test_invalid_source(self):
+        domain = ObstacleGrid.empty(8)
+        with pytest.raises(ValueError):
+            BarrierBroadcastSimulation(domain, n_agents=4, source=4, rng=0)
+
+    def test_horizon_respected(self):
+        domain = ObstacleGrid.with_wall(32, gap_width=1)
+        result = BarrierBroadcastSimulation(domain, n_agents=2, max_steps=5, rng=4).run()
+        assert result.n_steps <= 5
+
+    def test_deterministic_given_seed(self):
+        domain = ObstacleGrid.with_wall(12, gap_width=2)
+        a = BarrierBroadcastSimulation(domain, n_agents=8, rng=9).run()
+        b = BarrierBroadcastSimulation(domain, n_agents=8, rng=9).run()
+        assert a.broadcast_time == b.broadcast_time
+
+    def test_narrow_gap_slower_than_open_on_average(self):
+        open_times, wall_times = [], []
+        for seed in range(3):
+            open_domain = ObstacleGrid.empty(16)
+            wall_domain = ObstacleGrid.with_wall(16, gap_width=1)
+            open_times.append(
+                BarrierBroadcastSimulation(open_domain, n_agents=12, rng=seed).run().broadcast_time
+            )
+            wall_times.append(
+                BarrierBroadcastSimulation(wall_domain, n_agents=12, rng=seed).run().broadcast_time
+            )
+        assert np.mean(wall_times) >= np.mean(open_times) * 0.8

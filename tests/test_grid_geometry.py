@@ -1,0 +1,91 @@
+"""Tests for repro.grid.geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid.geometry import (
+    chebyshev_distance,
+    displacement,
+    distance,
+    euclidean_distance,
+    manhattan_distance,
+    pairwise_manhattan,
+)
+
+
+class TestManhattan:
+    def test_simple(self):
+        assert manhattan_distance(np.array([0, 0]), np.array([3, 4])) == 7
+
+    def test_zero(self):
+        assert manhattan_distance(np.array([2, 2]), np.array([2, 2])) == 0
+
+    def test_symmetry(self):
+        a, b = np.array([1, 5]), np.array([4, 2])
+        assert manhattan_distance(a, b) == manhattan_distance(b, a)
+
+    def test_vectorised(self):
+        a = np.array([[0, 0], [1, 1]])
+        b = np.array([[2, 2], [1, 3]])
+        assert manhattan_distance(a, b).tolist() == [4, 2]
+
+    def test_broadcast_single_vs_many(self):
+        a = np.array([0, 0])
+        b = np.array([[1, 0], [0, 2], [3, 3]])
+        assert manhattan_distance(a, b).tolist() == [1, 2, 6]
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            manhattan_distance(np.array([1, 2, 3]), np.array([0, 0, 0]))
+
+
+class TestOtherMetrics:
+    def test_chebyshev(self):
+        assert chebyshev_distance(np.array([0, 0]), np.array([3, 4])) == 4
+
+    def test_euclidean(self):
+        assert euclidean_distance(np.array([0, 0]), np.array([3, 4])) == pytest.approx(5.0)
+
+    def test_metric_ordering(self):
+        # Chebyshev <= Euclidean <= Manhattan for any pair of points.
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 50, size=(20, 2))
+        b = rng.integers(0, 50, size=(20, 2))
+        che = chebyshev_distance(a, b)
+        euc = euclidean_distance(a, b)
+        man = manhattan_distance(a, b)
+        assert np.all(che <= euc + 1e-9)
+        assert np.all(euc <= man + 1e-9)
+
+    def test_distance_dispatch(self):
+        a, b = np.array([0, 0]), np.array([1, 2])
+        assert distance(a, b, "manhattan") == 3
+        assert distance(a, b, "chebyshev") == 2
+        assert distance(a, b, "euclidean") == pytest.approx(np.sqrt(5))
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            distance(np.array([0, 0]), np.array([1, 1]), "cosine")
+
+
+class TestPairwiseAndDisplacement:
+    def test_pairwise_matches_pointwise(self):
+        rng = np.random.default_rng(1)
+        pts = rng.integers(0, 30, size=(12, 2))
+        mat = pairwise_manhattan(pts)
+        for i in range(12):
+            for j in range(12):
+                assert mat[i, j] == manhattan_distance(pts[i], pts[j])
+
+    def test_pairwise_diagonal_zero_and_symmetric(self):
+        pts = np.array([[0, 0], [5, 1], [2, 9]])
+        mat = pairwise_manhattan(pts)
+        assert np.all(np.diag(mat) == 0)
+        assert np.array_equal(mat, mat.T)
+
+    def test_displacement(self):
+        a = np.array([[1, 1], [2, 3]])
+        b = np.array([[4, 0], [2, 3]])
+        assert displacement(a, b).tolist() == [[3, -1], [0, 0]]

@@ -1,0 +1,127 @@
+"""Tests for repro.grid.lattice."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid.lattice import Grid2D
+from repro.util.validation import ValidationError
+
+
+class TestConstruction:
+    def test_side_and_nodes(self):
+        grid = Grid2D(8)
+        assert grid.side == 8
+        assert grid.n_nodes == 64
+
+    def test_from_nodes_perfect_square(self):
+        assert Grid2D.from_nodes(81).side == 9
+
+    def test_from_nodes_rounds_down(self):
+        assert Grid2D.from_nodes(80).side == 8
+
+    def test_invalid_side(self):
+        with pytest.raises(ValidationError):
+            Grid2D(0)
+
+    def test_diameter(self):
+        assert Grid2D(10).diameter == 18
+        assert Grid2D(1).diameter == 0
+
+    def test_equality_and_hash(self):
+        assert Grid2D(4) == Grid2D(4)
+        assert Grid2D(4) != Grid2D(5)
+        assert hash(Grid2D(4)) == hash(Grid2D(4))
+
+
+class TestCoordinates:
+    def test_node_id_roundtrip(self, small_grid):
+        for x in range(0, 16, 5):
+            for y in range(0, 16, 5):
+                nid = small_grid.node_id(np.array([x, y]))
+                assert small_grid.coords(nid).tolist() == [x, y]
+
+    def test_node_id_vectorised(self, small_grid):
+        pts = np.array([[0, 0], [1, 2], [15, 15]])
+        ids = small_grid.node_id(pts)
+        assert ids.shape == (3,)
+        back = small_grid.coords(ids)
+        assert np.array_equal(back, pts)
+
+    def test_node_ids_are_unique(self, tiny_grid):
+        all_pts = np.array(list(tiny_grid.iter_nodes()))
+        ids = tiny_grid.node_id(all_pts)
+        assert len(np.unique(ids)) == tiny_grid.n_nodes
+
+    def test_node_id_out_of_grid_raises(self, small_grid):
+        with pytest.raises(ValueError):
+            small_grid.node_id(np.array([16, 0]))
+        with pytest.raises(ValueError):
+            small_grid.node_id(np.array([-1, 0]))
+
+    def test_coords_out_of_range_raises(self, small_grid):
+        with pytest.raises(ValueError):
+            small_grid.coords(np.array(small_grid.n_nodes))
+
+    def test_contains(self, small_grid):
+        inside = small_grid.contains(np.array([[0, 0], [15, 15], [16, 0], [-1, 3]]))
+        assert inside.tolist() == [True, True, False, False]
+
+
+class TestNeighbourhood:
+    def test_interior_degree(self, small_grid):
+        assert small_grid.degree((5, 5)) == 4
+
+    def test_edge_degree(self, small_grid):
+        assert small_grid.degree((0, 5)) == 3
+
+    def test_corner_degree(self, small_grid):
+        assert small_grid.degree((0, 0)) == 2
+        assert small_grid.degree((15, 15)) == 2
+
+    def test_neighbors_are_adjacent_and_inside(self, small_grid):
+        for node in [(0, 0), (5, 5), (15, 0), (7, 15)]:
+            for nx, ny in small_grid.neighbors(node):
+                assert abs(nx - node[0]) + abs(ny - node[1]) == 1
+                assert 0 <= nx < 16 and 0 <= ny < 16
+
+    def test_neighbors_outside_raises(self, small_grid):
+        with pytest.raises(ValueError):
+            small_grid.neighbors((16, 16))
+
+    def test_iter_nodes_count(self, tiny_grid):
+        assert len(list(tiny_grid.iter_nodes())) == 25
+
+    def test_single_node_grid_has_no_neighbors(self):
+        assert Grid2D(1).neighbors((0, 0)) == []
+
+
+class TestRandomPlacement:
+    def test_shape_and_range(self, small_grid, rng):
+        pts = small_grid.random_positions(100, rng)
+        assert pts.shape == (100, 2)
+        assert pts.min() >= 0
+        assert pts.max() < 16
+
+    def test_deterministic_given_seed(self, small_grid):
+        a = small_grid.random_positions(10, np.random.default_rng(3))
+        b = small_grid.random_positions(10, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_approximately_uniform(self, rng):
+        # chi-square style sanity check on a small grid with many samples.
+        grid = Grid2D(4)
+        pts = grid.random_positions(16000, rng)
+        counts = np.bincount(grid.node_id(pts), minlength=16)
+        assert counts.min() > 700  # expectation is 1000 per node
+        assert counts.max() < 1300
+
+    def test_invalid_count(self, small_grid, rng):
+        with pytest.raises(ValidationError):
+            small_grid.random_positions(0, rng)
+
+    def test_center_and_clip(self, small_grid):
+        assert small_grid.center().tolist() == [8, 8]
+        clipped = small_grid.clip(np.array([[-3, 20], [5, 5]]))
+        assert clipped.tolist() == [[0, 15], [5, 5]]

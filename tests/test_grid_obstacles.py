@@ -1,0 +1,136 @@
+"""Tests for repro.grid.obstacles (ObstacleGrid)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid.lattice import Grid2D
+from repro.grid.obstacles import ObstacleGrid
+
+
+class TestConstruction:
+    def test_empty_has_no_obstacles(self):
+        domain = ObstacleGrid.empty(8)
+        assert domain.n_blocked == 0
+        assert domain.n_free == 64
+        assert domain.free_region_is_connected()
+
+    def test_mask_shape_checked(self):
+        with pytest.raises(ValueError):
+            ObstacleGrid(Grid2D(4), np.zeros((3, 3), dtype=bool))
+
+    def test_fully_blocked_rejected(self):
+        with pytest.raises(ValueError):
+            ObstacleGrid(Grid2D(3), np.ones((3, 3), dtype=bool))
+
+    def test_mask_is_copied(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        domain = ObstacleGrid(Grid2D(4), mask)
+        mask[0, 0] = True
+        assert domain.n_blocked == 0
+
+
+class TestWallFactory:
+    def test_wall_blocks_column_except_gap(self):
+        domain = ObstacleGrid.with_wall(8, gap_width=2)
+        mask = domain.blocked_mask
+        wall_column = mask[4, :]
+        assert wall_column.sum() == 6  # 8 nodes minus a gap of 2
+        assert mask[:4].sum() == 0 and mask[5:].sum() == 0
+
+    def test_free_region_still_connected(self):
+        domain = ObstacleGrid.with_wall(16, gap_width=1)
+        assert domain.free_region_is_connected()
+
+    def test_gap_width_equal_side_means_no_wall(self):
+        domain = ObstacleGrid.with_wall(8, gap_width=8)
+        assert domain.n_blocked == 0
+
+    def test_gap_wider_than_side_rejected(self):
+        with pytest.raises(ValueError):
+            ObstacleGrid.with_wall(8, gap_width=9)
+
+    def test_explicit_column(self):
+        domain = ObstacleGrid.with_wall(8, gap_width=1, column=2)
+        assert domain.blocked_mask[2].sum() == 7
+
+    def test_invalid_column(self):
+        with pytest.raises(ValueError):
+            ObstacleGrid.with_wall(8, gap_width=1, column=8)
+
+
+class TestRandomObstacles:
+    def test_density_roughly_respected(self, rng):
+        domain = ObstacleGrid.with_random_obstacles(32, 0.2, rng=rng)
+        fraction = domain.n_blocked / domain.grid.n_nodes
+        assert 0.1 < fraction < 0.3
+
+    def test_zero_density(self, rng):
+        domain = ObstacleGrid.with_random_obstacles(8, 0.0, rng=rng)
+        assert domain.n_blocked == 0
+
+    def test_invalid_density(self, rng):
+        with pytest.raises(Exception):
+            ObstacleGrid.with_random_obstacles(8, 1.5, rng=rng)
+
+    def test_never_fully_blocked(self):
+        domain = ObstacleGrid.with_random_obstacles(4, 1.0, rng=0)
+        assert domain.n_free >= 1
+
+
+class TestQueries:
+    def test_is_blocked_and_free(self):
+        domain = ObstacleGrid.with_wall(8, gap_width=2)
+        assert domain.is_blocked(np.array([4, 0]))
+        assert domain.is_free(np.array([0, 0]))
+        mask = domain.is_blocked(np.array([[4, 0], [0, 0]]))
+        assert mask.tolist() == [True, False]
+
+    def test_is_blocked_outside_raises(self):
+        domain = ObstacleGrid.empty(4)
+        with pytest.raises(ValueError):
+            domain.is_blocked(np.array([4, 0]))
+
+    def test_free_nodes_count_and_content(self):
+        domain = ObstacleGrid.with_wall(8, gap_width=2)
+        free = domain.free_nodes()
+        assert free.shape == (domain.n_free, 2)
+        assert not domain.is_blocked(free).any()
+
+    def test_random_free_positions_avoid_obstacles(self, rng):
+        domain = ObstacleGrid.with_wall(16, gap_width=1)
+        positions = domain.random_free_positions(200, rng)
+        assert not domain.is_blocked(positions).any()
+
+    def test_disconnected_region_detected(self):
+        # A full wall with no gap separates the domain into two halves.
+        grid = Grid2D(6)
+        mask = np.zeros((6, 6), dtype=bool)
+        mask[3, :] = True
+        domain = ObstacleGrid(grid, mask)
+        assert not domain.free_region_is_connected()
+
+
+class TestLineOfSight:
+    def test_clear_path(self):
+        domain = ObstacleGrid.empty(8)
+        assert domain.line_of_sight(np.array([0, 0]), np.array([7, 7]))
+
+    def test_wall_blocks_horizontal_sight(self):
+        domain = ObstacleGrid.with_wall(9, gap_width=1)
+        # Points on opposite sides of the wall, away from the gap row.
+        assert not domain.line_of_sight(np.array([2, 0]), np.array([6, 0]))
+
+    def test_sight_through_the_gap(self):
+        domain = ObstacleGrid.with_wall(9, gap_width=1)
+        gap_y = 4  # centred gap
+        assert domain.line_of_sight(np.array([3, gap_y]), np.array([5, gap_y]))
+
+    def test_adjacent_nodes_always_visible(self):
+        domain = ObstacleGrid.with_wall(9, gap_width=1)
+        assert domain.line_of_sight(np.array([3, 0]), np.array([3, 1]))
+
+    def test_same_node(self):
+        domain = ObstacleGrid.with_wall(9, gap_width=1)
+        assert domain.line_of_sight(np.array([2, 2]), np.array([2, 2]))

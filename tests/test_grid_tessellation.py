@@ -1,0 +1,130 @@
+"""Tests for repro.grid.tessellation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid.lattice import Grid2D
+from repro.grid.tessellation import Tessellation, paper_cell_side
+
+
+class TestPaperCellSide:
+    def test_positive(self):
+        assert paper_cell_side(1024, 32) > 0
+
+    def test_decreases_with_more_agents(self):
+        assert paper_cell_side(1024, 64) < paper_cell_side(1024, 16)
+
+    def test_increases_with_larger_grid(self):
+        assert paper_cell_side(4096, 32) > paper_cell_side(1024, 32)
+
+    def test_invalid_c3(self):
+        with pytest.raises(ValueError):
+            paper_cell_side(1024, 32, c3=0.0)
+
+
+class TestTessellationStructure:
+    def test_cell_counts(self):
+        tess = Tessellation(Grid2D(16), 4)
+        assert tess.cells_per_side == 4
+        assert tess.n_cells == 16
+
+    def test_non_divisible_side(self):
+        tess = Tessellation(Grid2D(10), 4)
+        assert tess.cells_per_side == 3
+        assert tess.n_cells == 9
+
+    def test_from_paper_is_valid(self):
+        grid = Grid2D(32)
+        tess = Tessellation.from_paper(grid, n_agents=64)
+        assert 1 <= tess.cell_side <= grid.side
+
+    def test_cell_of_roundtrip_with_cell_coords(self):
+        tess = Tessellation(Grid2D(12), 3)
+        for x in range(0, 12, 4):
+            for y in range(0, 12, 4):
+                cell = tess.cell_of(np.array([x, y]))
+                cx, cy = tess.cell_coords(cell)
+                assert cx == x // 3 and cy == y // 3
+
+    def test_every_node_maps_to_valid_cell(self):
+        grid = Grid2D(9)
+        tess = Tessellation(grid, 4)
+        pts = np.array(list(grid.iter_nodes()))
+        cells = tess.cell_of(pts)
+        assert cells.min() >= 0
+        assert cells.max() < tess.n_cells
+
+    def test_cell_of_outside_raises(self):
+        tess = Tessellation(Grid2D(8), 2)
+        with pytest.raises(ValueError):
+            tess.cell_of(np.array([8, 0]))
+
+    def test_cell_center_inside_cell(self):
+        tess = Tessellation(Grid2D(16), 4)
+        for cell in range(tess.n_cells):
+            center = tess.cell_center(cell)
+            assert tess.cell_of(center) == cell
+
+    def test_adjacent_cells_counts(self):
+        tess = Tessellation(Grid2D(16), 4)  # 4x4 cells
+        corner = tess.cell_of(np.array([0, 0]))
+        assert len(tess.adjacent_cells(corner)) == 2
+        interior = tess.cell_of(np.array([5, 5]))
+        assert len(tess.adjacent_cells(interior)) == 4
+
+    def test_occupancy_sums_to_agent_count(self, rng):
+        grid = Grid2D(16)
+        tess = Tessellation(grid, 4)
+        pts = grid.random_positions(50, rng)
+        occupancy = tess.occupancy(pts)
+        assert occupancy.sum() == 50
+        assert occupancy.shape == (tess.n_cells,)
+
+
+class TestReachRecord:
+    def test_initially_unreached(self):
+        tess = Tessellation(Grid2D(8), 4)
+        record = tess.new_reach_record()
+        assert not record.all_reached
+        assert record.n_reached == 0
+
+    def test_update_marks_informed_cells(self):
+        grid = Grid2D(8)
+        tess = Tessellation(grid, 4)
+        record = tess.new_reach_record()
+        positions = np.array([[0, 0], [7, 7]])
+        informed = np.array([True, False])
+        tess.update_reach_record(record, positions, informed, time=3)
+        cell = tess.cell_of(np.array([0, 0]))
+        assert record.reach_times[cell] == 3
+        assert record.explorer[cell] == 0
+        assert record.n_reached == 1
+
+    def test_first_reach_time_is_kept(self):
+        grid = Grid2D(8)
+        tess = Tessellation(grid, 4)
+        record = tess.new_reach_record()
+        positions = np.array([[1, 1]])
+        informed = np.array([True])
+        tess.update_reach_record(record, positions, informed, time=2)
+        tess.update_reach_record(record, positions, informed, time=9)
+        cell = tess.cell_of(np.array([1, 1]))
+        assert record.reach_times[cell] == 2
+
+    def test_no_informed_agents_is_noop(self):
+        grid = Grid2D(8)
+        tess = Tessellation(grid, 4)
+        record = tess.new_reach_record()
+        tess.update_reach_record(record, np.array([[0, 0]]), np.array([False]), time=1)
+        assert record.n_reached == 0
+
+    def test_all_reached_when_every_cell_has_informed_agent(self):
+        grid = Grid2D(4)
+        tess = Tessellation(grid, 2)  # 4 cells
+        record = tess.new_reach_record()
+        positions = np.array([[0, 0], [0, 3], [3, 0], [3, 3]])
+        informed = np.ones(4, dtype=bool)
+        tess.update_reach_record(record, positions, informed, time=0)
+        assert record.all_reached

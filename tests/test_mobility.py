@@ -1,0 +1,182 @@
+"""Tests for the mobility models (repro.mobility)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid.geometry import manhattan_distance
+from repro.grid.lattice import Grid2D
+from repro.mobility import make_mobility
+from repro.mobility.brownian import BrownianMobility, _reflect
+from repro.mobility.jump import JumpMobility
+from repro.mobility.random_walk import RandomWalkMobility
+from repro.mobility.static import StaticMobility
+from repro.mobility.waypoint import RandomWaypointMobility
+
+
+class TestFactory:
+    def test_all_names(self, small_grid):
+        for name, cls in [
+            ("random_walk", RandomWalkMobility),
+            ("static", StaticMobility),
+            ("jump", JumpMobility),
+            ("brownian", BrownianMobility),
+            ("waypoint", RandomWaypointMobility),
+        ]:
+            model = make_mobility(name, small_grid)
+            assert isinstance(model, cls)
+
+    def test_unknown_name(self, small_grid):
+        with pytest.raises(ValueError, match="unknown mobility"):
+            make_mobility("teleport", small_grid)
+
+    def test_kwargs_forwarded(self, small_grid):
+        model = make_mobility("jump", small_grid, jump_radius=5)
+        assert model.jump_radius == 5
+
+    def test_initial_positions_uniform_and_inside(self, small_grid, rng):
+        model = make_mobility("random_walk", small_grid)
+        pts = model.initial_positions(200, rng)
+        assert pts.shape == (200, 2)
+        assert np.all(small_grid.contains(pts))
+
+
+class TestRandomWalkMobility:
+    def test_step_moves_at_most_one(self, small_grid, rng):
+        model = RandomWalkMobility(small_grid)
+        pts = small_grid.random_positions(100, rng)
+        new = model.step(pts, rng)
+        assert np.all(np.abs(new - pts).sum(axis=1) <= 1)
+
+    def test_simple_rule_always_moves(self, small_grid, rng):
+        model = RandomWalkMobility(small_grid, rule="simple")
+        pts = small_grid.random_positions(100, rng)
+        new = model.step(pts, rng)
+        assert np.all(np.abs(new - pts).sum(axis=1) == 1)
+
+    def test_invalid_rule(self, small_grid):
+        with pytest.raises(ValueError):
+            RandomWalkMobility(small_grid, rule="flight")
+
+    def test_does_not_mutate_input(self, small_grid, rng):
+        model = RandomWalkMobility(small_grid)
+        pts = small_grid.random_positions(20, rng)
+        original = pts.copy()
+        model.step(pts, rng)
+        assert np.array_equal(pts, original)
+
+
+class TestStaticMobility:
+    def test_never_moves(self, small_grid, rng):
+        model = StaticMobility(small_grid)
+        pts = small_grid.random_positions(30, rng)
+        for _ in range(5):
+            new = model.step(pts, rng)
+            assert np.array_equal(new, pts)
+
+    def test_returns_copy(self, small_grid, rng):
+        model = StaticMobility(small_grid)
+        pts = small_grid.random_positions(5, rng)
+        new = model.step(pts, rng)
+        assert new is not pts
+
+
+class TestJumpMobility:
+    def test_jump_within_radius(self, small_grid, rng):
+        model = JumpMobility(small_grid, jump_radius=3)
+        pts = small_grid.random_positions(200, rng)
+        new = model.step(pts, rng)
+        assert np.all(manhattan_distance(pts, new) <= 3)
+
+    def test_stays_inside_grid(self, rng):
+        grid = Grid2D(4)
+        model = JumpMobility(grid, jump_radius=6)
+        pts = grid.random_positions(50, rng)
+        for _ in range(10):
+            pts = model.step(pts, rng)
+            assert np.all(grid.contains(pts))
+
+    def test_invalid_radius(self, small_grid):
+        with pytest.raises(Exception):
+            JumpMobility(small_grid, jump_radius=0)
+
+    def test_jumps_actually_spread(self, small_grid, rng):
+        # With radius 3, after one step most agents should have moved.
+        model = JumpMobility(small_grid, jump_radius=3)
+        pts = small_grid.random_positions(500, rng)
+        new = model.step(pts, rng)
+        moved = (manhattan_distance(pts, new) > 0).mean()
+        assert moved > 0.8
+
+
+class TestBrownianMobility:
+    def test_sigma_zero_is_static(self, small_grid, rng):
+        model = BrownianMobility(small_grid, sigma=0.0)
+        pts = small_grid.random_positions(20, rng)
+        assert np.array_equal(model.step(pts, rng), pts)
+
+    def test_stays_inside_grid(self, rng):
+        grid = Grid2D(8)
+        model = BrownianMobility(grid, sigma=3.0)
+        pts = grid.random_positions(100, rng)
+        for _ in range(20):
+            pts = model.step(pts, rng)
+            assert np.all(grid.contains(pts))
+
+    def test_negative_sigma_rejected(self, small_grid):
+        with pytest.raises(Exception):
+            BrownianMobility(small_grid, sigma=-1.0)
+
+    def test_reflect_helper(self):
+        assert _reflect(np.array([[-1, 5]]), 10).tolist() == [[1, 5]]
+        assert _reflect(np.array([[10, 0]]), 10).tolist() == [[8, 0]]
+        assert _reflect(np.array([[3, 3]]), 10).tolist() == [[3, 3]]
+
+    def test_reflect_degenerate_side(self):
+        assert _reflect(np.array([[4, -7]]), 1).tolist() == [[0, 0]]
+
+    def test_displacement_scales_with_sigma(self, rng):
+        grid = Grid2D(101)
+        slow = BrownianMobility(grid, sigma=0.5)
+        fast = BrownianMobility(grid, sigma=4.0)
+        pts = np.tile(grid.center(), (2000, 1))
+        d_slow = manhattan_distance(pts, slow.step(pts, rng)).mean()
+        d_fast = manhattan_distance(pts, fast.step(pts, rng)).mean()
+        assert d_fast > 2 * d_slow
+
+
+class TestRandomWaypointMobility:
+    def test_step_moves_at_most_one(self, small_grid, rng):
+        model = RandomWaypointMobility(small_grid)
+        model.reset(50, rng)
+        pts = small_grid.random_positions(50, rng)
+        new = model.step(pts, rng)
+        assert np.all(np.abs(new - pts).sum(axis=1) <= 1)
+
+    def test_stays_inside_grid(self, rng):
+        grid = Grid2D(6)
+        model = RandomWaypointMobility(grid)
+        pts = grid.random_positions(30, rng)
+        for _ in range(60):
+            pts = model.step(pts, rng)
+            assert np.all(grid.contains(pts))
+
+    def test_progresses_towards_waypoint(self, rng):
+        grid = Grid2D(20)
+        model = RandomWaypointMobility(grid)
+        model.reset(1, rng)
+        model._waypoints = np.array([[19, 19]])
+        pts = np.array([[0, 0]])
+        for _ in range(38):
+            pts = model.step(pts, rng)
+        assert manhattan_distance(pts[0], np.array([19, 19])) == 0 or np.all(
+            pts[0] >= 0
+        )
+
+    def test_reset_on_size_mismatch(self, small_grid, rng):
+        model = RandomWaypointMobility(small_grid)
+        model.reset(3, rng)
+        pts = small_grid.random_positions(7, rng)
+        new = model.step(pts, rng)  # must silently re-reset for 7 agents
+        assert new.shape == (7, 2)

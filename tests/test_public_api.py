@@ -1,0 +1,29 @@
+"""Tests of the top-level public API (the `repro` package namespace)."""
+
+from __future__ import annotations
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self):
+        config = repro.BroadcastConfig(n_nodes=144, n_agents=8, radius=0.0)
+        result = repro.BroadcastSimulation(config, rng=0).run()
+        assert result.completed
+        assert result.broadcast_time >= 0
+
+    def test_theory_helpers_exported(self):
+        assert repro.broadcast_time_scale(1024, 16) == 256.0
+        assert repro.percolation_radius(1024, 64) == 4.0
+
+    def test_experiment_listing(self):
+        experiments = repro.available_experiments()
+        assert "E1" in experiments and "E16" in experiments

@@ -1,0 +1,85 @@
+"""Tests for repro.theory.bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.theory.bounds import (
+    broadcast_time_lower_bound,
+    broadcast_time_scale,
+    broadcast_time_upper_bound,
+    cover_time_bound,
+    dense_model_broadcast_bound,
+    predator_prey_extinction_bound,
+)
+
+
+class TestBroadcastScale:
+    def test_value(self):
+        assert broadcast_time_scale(1024, 16) == pytest.approx(256.0)
+
+    def test_scaling_in_k(self):
+        assert broadcast_time_scale(1024, 4) == 2 * broadcast_time_scale(1024, 16)
+
+    def test_scaling_in_n(self):
+        assert broadcast_time_scale(2048, 16) == 2 * broadcast_time_scale(1024, 16)
+
+    def test_invalid(self):
+        with pytest.raises(Exception):
+            broadcast_time_scale(0, 16)
+
+
+class TestUpperAndLowerBounds:
+    def test_upper_without_polylog_equals_scale(self):
+        assert broadcast_time_upper_bound(1024, 16) == pytest.approx(
+            broadcast_time_scale(1024, 16)
+        )
+
+    def test_upper_with_polylog(self):
+        base = broadcast_time_upper_bound(1024, 16)
+        corrected = broadcast_time_upper_bound(1024, 16, polylog_exponent=2.0)
+        assert corrected == pytest.approx(base * math.log(1024) ** 2)
+
+    def test_lower_below_upper(self):
+        n, k = 4096, 64
+        assert broadcast_time_lower_bound(n, k) < broadcast_time_upper_bound(n, k)
+
+    def test_lower_formula(self):
+        n, k = 1024, 16
+        expected = n / (math.sqrt(k) * math.log(n) ** 2)
+        assert broadcast_time_lower_bound(n, k) == pytest.approx(expected)
+
+    def test_constant_factor(self):
+        assert broadcast_time_upper_bound(1024, 16, constant=3.0) == pytest.approx(
+            3.0 * broadcast_time_scale(1024, 16)
+        )
+
+
+class TestSectionFourBounds:
+    def test_cover_time_formula(self):
+        n, k = 1024, 8
+        log_n = math.log(n)
+        assert cover_time_bound(n, k) == pytest.approx(n * log_n**2 / k + n * log_n)
+
+    def test_cover_time_saturates(self):
+        # For very large k the additive n log n term dominates.
+        n = 4096
+        assert cover_time_bound(n, 10**6) == pytest.approx(n * math.log(n), rel=0.01)
+
+    def test_predator_prey_formula(self):
+        n, k = 1024, 8
+        assert predator_prey_extinction_bound(n, k) == pytest.approx(
+            n * math.log(n) ** 2 / k
+        )
+
+    def test_predator_prey_decreases_in_k(self):
+        assert predator_prey_extinction_bound(1024, 64) < predator_prey_extinction_bound(1024, 4)
+
+    def test_dense_model_formula(self):
+        assert dense_model_broadcast_bound(1024, 4) == pytest.approx(8.0)
+
+    def test_dense_model_invalid_radius(self):
+        with pytest.raises(ValueError):
+            dense_model_broadcast_bound(1024, 0)

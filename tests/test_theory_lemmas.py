@@ -1,0 +1,85 @@
+"""Tests for repro.theory.lemmas."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.connectivity.percolation import island_parameter_gamma
+from repro.theory.lemmas import (
+    lemma1_visit_probability_lower,
+    lemma2_displacement_tail_bound,
+    lemma2_range_lower,
+    lemma3_meeting_probability_lower,
+    lemma6_island_size_bound,
+    lemma7_frontier_advance_bound,
+    lemma7_frontier_window,
+    theorem2_horizon,
+)
+
+
+class TestLemma1And3:
+    def test_lemma1_at_small_distance(self):
+        # log is floored at 1, so the bound equals c1 for d <= e.
+        assert lemma1_visit_probability_lower(2) == pytest.approx(1.0)
+
+    def test_lemma1_decays_logarithmically(self):
+        assert lemma1_visit_probability_lower(100) == pytest.approx(1 / math.log(100))
+
+    def test_lemma3_same_form(self):
+        assert lemma3_meeting_probability_lower(50) == pytest.approx(1 / math.log(50))
+
+    def test_constants_scale(self):
+        assert lemma3_meeting_probability_lower(50, c3=0.5) == pytest.approx(
+            0.5 / math.log(50)
+        )
+
+    def test_invalid_distance(self):
+        with pytest.raises(Exception):
+            lemma1_visit_probability_lower(0)
+
+
+class TestLemma2:
+    def test_tail_bound_at_zero(self):
+        assert lemma2_displacement_tail_bound(0.0) == pytest.approx(2.0)
+
+    def test_tail_bound_decays(self):
+        assert lemma2_displacement_tail_bound(3.0) < lemma2_displacement_tail_bound(1.0)
+
+    def test_tail_bound_formula(self):
+        assert lemma2_displacement_tail_bound(2.0) == pytest.approx(2 * math.exp(-2.0))
+
+    def test_tail_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            lemma2_displacement_tail_bound(-1.0)
+
+    def test_range_lower_formula(self):
+        assert lemma2_range_lower(1000) == pytest.approx(1000 / math.log(1000))
+
+    def test_range_lower_monotone(self):
+        assert lemma2_range_lower(4000) > lemma2_range_lower(1000)
+
+
+class TestLemma6And7:
+    def test_island_bound_is_log_n(self):
+        assert lemma6_island_size_bound(1024) == pytest.approx(math.log(1024))
+
+    def test_frontier_window_formula(self):
+        n, k = 4096, 64
+        gamma = island_parameter_gamma(n, k)
+        assert lemma7_frontier_window(n, k) == pytest.approx(
+            gamma * gamma / (144 * math.log(n))
+        )
+
+    def test_frontier_advance_formula(self):
+        n, k = 4096, 64
+        gamma = island_parameter_gamma(n, k)
+        assert lemma7_frontier_advance_bound(n, k) == pytest.approx(
+            gamma * math.log(n) / 2
+        )
+
+    def test_theorem2_horizon_positive_and_scales(self):
+        assert theorem2_horizon(4096, 64) > 0
+        assert theorem2_horizon(4096, 16) > theorem2_horizon(4096, 64)
+        assert theorem2_horizon(8192, 64) > theorem2_horizon(4096, 64)

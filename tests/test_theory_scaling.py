@@ -1,0 +1,58 @@
+"""Tests for repro.theory.scaling."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.theory.scaling import (
+    polylog,
+    theoretical_exponent_in_k,
+    theoretical_exponent_in_n,
+    tilde_ratio,
+    within_polylog_band,
+)
+
+
+class TestExponents:
+    def test_values(self):
+        assert theoretical_exponent_in_k() == -0.5
+        assert theoretical_exponent_in_n() == 1.0
+
+
+class TestPolylog:
+    def test_basic(self):
+        assert polylog(1024, 2.0) == pytest.approx(math.log(1024) ** 2)
+
+    def test_zero_exponent(self):
+        assert polylog(1024, 0.0) == 1.0
+
+    def test_small_n_floor(self):
+        assert polylog(2, 3.0) == 1.0
+
+    def test_invalid_n(self):
+        with pytest.raises(Exception):
+            polylog(0, 1.0)
+
+
+class TestTildeRatio:
+    def test_basic(self):
+        assert tilde_ratio(200.0, 100.0, 1024) == pytest.approx(2.0)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            tilde_ratio(1.0, 0.0, 1024)
+
+    def test_within_band_accepts_scale_itself(self):
+        assert within_polylog_band(100.0, 100.0, 1024)
+
+    def test_within_band_accepts_log_factor(self):
+        n = 1024
+        assert within_polylog_band(100.0 * math.log(n), 100.0, n)
+
+    def test_within_band_rejects_huge_gap(self):
+        assert not within_polylog_band(1e9, 1.0, 64)
+
+    def test_within_band_rejects_tiny_ratio(self):
+        assert not within_polylog_band(1e-9, 1.0, 64)

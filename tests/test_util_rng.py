@@ -1,0 +1,80 @@
+"""Tests for repro.util.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.rng import default_rng, replication_seeds, spawn_rngs
+
+
+class TestDefaultRng:
+    def test_none_gives_generator(self):
+        assert isinstance(default_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = default_rng(7).integers(0, 1000, size=10)
+        b = default_rng(7).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = default_rng(1).integers(0, 10**9)
+        b = default_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert default_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(11)
+        gen = default_rng(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_deterministic(self):
+        a = [g.integers(0, 10**9) for g in spawn_rngs(42, 3)]
+        b = [g.integers(0, 10**9) for g in spawn_rngs(42, 3)]
+        assert a == b
+
+    def test_streams_are_distinct(self):
+        values = [int(g.integers(0, 10**12)) for g in spawn_rngs(9, 8)]
+        assert len(set(values)) == len(values)
+
+    def test_accepts_generator_seed(self):
+        gen = np.random.default_rng(5)
+        children = spawn_rngs(gen, 3)
+        assert len(children) == 3
+        assert all(isinstance(c, np.random.Generator) for c in children)
+
+    def test_accepts_seed_sequence(self):
+        children = spawn_rngs(np.random.SeedSequence(5), 2)
+        assert len(children) == 2
+
+    def test_accepts_none(self):
+        children = spawn_rngs(None, 2)
+        assert len(children) == 2
+
+
+class TestReplicationSeeds:
+    def test_count_and_determinism(self):
+        a = replication_seeds(1, 4)
+        b = replication_seeds(1, 4)
+        assert list(a) == list(b)
+        assert len(a) == 4
+
+    def test_seeds_are_non_negative_ints(self):
+        for seed in replication_seeds(2, 5):
+            assert isinstance(seed, int)
+            assert seed >= 0

@@ -1,0 +1,70 @@
+"""Tests for repro.util.serialization."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.util.serialization import dump_json, load_json, to_jsonable
+
+
+@dataclasses.dataclass
+class _Sample:
+    name: str
+    values: np.ndarray
+
+
+class TestToJsonable:
+    def test_builtins_pass_through(self):
+        assert to_jsonable(3) == 3
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+        assert to_jsonable(True) is True
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(5)) == 5
+        assert to_jsonable(np.float64(2.5)) == 2.5
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_numpy_array(self):
+        assert to_jsonable(np.array([1, 2, 3])) == [1, 2, 3]
+
+    def test_nested_dict_and_list(self):
+        obj = {"a": [np.int32(1), {"b": np.array([2.0])}]}
+        assert to_jsonable(obj) == {"a": [1, {"b": [2.0]}]}
+
+    def test_dataclass(self):
+        sample = _Sample(name="s", values=np.array([1, 2]))
+        assert to_jsonable(sample) == {"name": "s", "values": [1, 2]}
+
+    def test_sets_become_lists(self):
+        assert sorted(to_jsonable({1, 2, 3})) == [1, 2, 3]
+
+    def test_path_becomes_string(self):
+        assert to_jsonable(Path("/tmp/x")) == "/tmp/x"
+
+    def test_unserialisable_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+    def test_result_is_json_dumpable(self):
+        obj = {"values": np.arange(4), "flag": np.bool_(False)}
+        json.dumps(to_jsonable(obj))
+
+
+class TestDumpLoad:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out" / "data.json"
+        payload = {"x": np.array([1.5, 2.5]), "n": np.int64(3)}
+        dump_json(payload, path)
+        loaded = load_json(path)
+        assert loaded == {"x": [1.5, 2.5], "n": 3}
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "c.json"
+        dump_json([1, 2], path)
+        assert path.exists()

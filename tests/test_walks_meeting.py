@@ -1,0 +1,62 @@
+"""Tests for repro.walks.meeting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.lattice import Grid2D
+from repro.walks.meeting import MeetingExperiment, MeetingResult, estimate_meeting_probability
+
+
+class TestMeetingExperiment:
+    def test_default_horizon_is_d_squared(self):
+        exp = MeetingExperiment(Grid2D(64), initial_distance=8)
+        assert exp.horizon == 64
+
+    def test_custom_horizon(self):
+        exp = MeetingExperiment(Grid2D(64), initial_distance=8, horizon=10)
+        assert exp.horizon == 10
+
+    def test_distance_larger_than_diameter_rejected(self):
+        with pytest.raises(ValueError):
+            MeetingExperiment(Grid2D(4), initial_distance=100)
+
+    def test_invalid_distance(self):
+        with pytest.raises(Exception):
+            MeetingExperiment(Grid2D(16), initial_distance=0)
+
+    def test_starting_points_have_requested_distance(self):
+        for d in (1, 3, 7, 15):
+            exp = MeetingExperiment(Grid2D(32), initial_distance=d)
+            a, b = exp._starting_points()
+            assert abs(int(a[0]) - int(b[0])) + abs(int(a[1]) - int(b[1])) == d
+
+    def test_estimate_counts_are_consistent(self, rng):
+        exp = MeetingExperiment(Grid2D(32), initial_distance=2)
+        result = exp.estimate(40, rng=rng)
+        assert isinstance(result, MeetingResult)
+        assert 0 <= result.meetings_in_lens <= result.meetings <= result.trials
+        assert result.probability == result.meetings / 40
+        assert result.probability_in_lens == result.meetings_in_lens / 40
+
+    def test_adjacent_walkers_meet_often(self, rng):
+        # Distance 1 and a long horizon: lazy walks meet in most trials.
+        result = estimate_meeting_probability(
+            Grid2D(32), initial_distance=1, trials=40, rng=rng, horizon=2000
+        )
+        assert result.probability > 0.5
+
+    def test_probability_decays_with_distance(self, rng):
+        near = estimate_meeting_probability(Grid2D(64), 2, trials=120, rng=rng)
+        far = estimate_meeting_probability(Grid2D(64), 16, trials=120, rng=rng)
+        assert near.probability >= far.probability
+
+    def test_deterministic_given_seed(self):
+        a = estimate_meeting_probability(Grid2D(32), 4, trials=30, rng=11)
+        b = estimate_meeting_probability(Grid2D(32), 4, trials=30, rng=11)
+        assert a.meetings == b.meetings
+        assert a.meetings_in_lens == b.meetings_in_lens
+
+    def test_lazy_rule_supported(self, rng):
+        result = estimate_meeting_probability(Grid2D(32), 4, trials=20, rng=rng, rule="lazy")
+        assert 0.0 <= result.probability <= 1.0

@@ -1,0 +1,73 @@
+"""Tests for repro.walks.occupancy (stationarity of the lazy kernel)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid.lattice import Grid2D
+from repro.walks.occupancy import (
+    StationarityReport,
+    chi_square_uniformity,
+    occupancy_counts,
+    stationarity_check,
+)
+
+
+class TestOccupancyCounts:
+    def test_counts_sum_to_agents(self, small_grid, rng):
+        positions = small_grid.random_positions(120, rng)
+        counts = occupancy_counts(small_grid, positions)
+        assert counts.sum() == 120
+        assert counts.shape == (small_grid.n_nodes,)
+
+    def test_single_agent(self, small_grid):
+        counts = occupancy_counts(small_grid, np.array([[3, 4]]))
+        assert counts.sum() == 1
+        assert counts[small_grid.node_id(np.array([3, 4]))] == 1
+
+
+class TestChiSquare:
+    def test_uniform_counts_high_p(self):
+        _, p = chi_square_uniformity(np.full(100, 50))
+        assert p > 0.99
+
+    def test_skewed_counts_low_p(self):
+        counts = np.zeros(100)
+        counts[0] = 1000
+        _, p = chi_square_uniformity(counts)
+        assert p < 1e-6
+
+    def test_requires_observations(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity(np.zeros(10))
+
+    def test_requires_two_cells(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity(np.array([5.0]))
+
+
+class TestStationarityCheck:
+    def test_lazy_kernel_is_stationary(self):
+        # The paper's kernel keeps the uniform distribution stationary: the
+        # occupancy never drifts away from uniform.
+        grid = Grid2D(8)
+        report = stationarity_check(grid, n_walkers=6400, steps=60, samples=4, rng=0)
+        assert isinstance(report, StationarityReport)
+        assert report.consistent_with_uniform()
+        assert report.p_values.shape == (4,)
+
+    def test_report_bookkeeping(self):
+        grid = Grid2D(6)
+        report = stationarity_check(grid, n_walkers=500, steps=20, samples=5, rng=1)
+        assert report.n_nodes == 36
+        assert report.n_walkers == 500
+        assert report.steps == 20
+        assert 0.0 <= report.min_p_value <= report.mean_p_value <= 1.0
+
+    def test_invalid_arguments(self):
+        grid = Grid2D(4)
+        with pytest.raises(Exception):
+            stationarity_check(grid, n_walkers=0, steps=10, rng=0)
+        with pytest.raises(Exception):
+            stationarity_check(grid, n_walkers=10, steps=0, rng=0)

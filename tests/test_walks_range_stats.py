@@ -1,0 +1,58 @@
+"""Tests for repro.walks.range_stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.lattice import Grid2D
+from repro.walks.range_stats import estimate_range_statistics
+from repro.util.validation import ValidationError
+
+
+class TestRangeStatistics:
+    def test_basic_fields(self, rng):
+        grid = Grid2D(32)
+        stats = estimate_range_statistics(grid, steps=100, trials=10, rng=rng)
+        assert stats.steps == 100
+        assert stats.trials == 10
+        assert stats.ranges.shape == (10,)
+        assert stats.displacements.shape == (10,)
+
+    def test_range_bounds(self, rng):
+        grid = Grid2D(32)
+        stats = estimate_range_statistics(grid, steps=50, trials=10, rng=rng)
+        assert stats.min_range >= 1
+        assert stats.max_range <= 51
+        assert stats.min_range <= stats.mean_range <= stats.max_range
+
+    def test_longer_walks_have_larger_range(self, rng):
+        grid = Grid2D(64)
+        short = estimate_range_statistics(grid, steps=50, trials=15, rng=rng)
+        long = estimate_range_statistics(grid, steps=800, trials=15, rng=rng)
+        assert long.mean_range > short.mean_range
+
+    def test_normalised_range_is_order_one(self, rng):
+        # Lemma 2: R_l * log(l) / l should be Theta(1) -- loosely banded here.
+        grid = Grid2D(64)
+        stats = estimate_range_statistics(grid, steps=1000, trials=15, rng=rng)
+        assert 0.1 < stats.normalised_range < 5.0
+
+    def test_fraction_above(self, rng):
+        grid = Grid2D(32)
+        stats = estimate_range_statistics(grid, steps=100, trials=10, rng=rng)
+        assert stats.fraction_above(0) == 1.0
+        assert stats.fraction_above(10**9) == 0.0
+
+    def test_invalid_arguments(self, rng):
+        grid = Grid2D(16)
+        with pytest.raises(ValidationError):
+            estimate_range_statistics(grid, steps=0, trials=5, rng=rng)
+        with pytest.raises(ValidationError):
+            estimate_range_statistics(grid, steps=5, trials=0, rng=rng)
+
+    def test_deterministic_given_seed(self):
+        grid = Grid2D(32)
+        a = estimate_range_statistics(grid, steps=60, trials=5, rng=4)
+        b = estimate_range_statistics(grid, steps=60, trials=5, rng=4)
+        assert a.mean_range == b.mean_range
+        assert a.mean_max_displacement == b.mean_max_displacement

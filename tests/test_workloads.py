@@ -1,0 +1,56 @@
+"""Tests for repro.workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import SCALES, get_workload
+from repro.workloads.configs import _WORKLOADS
+
+
+class TestGetWorkload:
+    def test_known_experiment_and_scale(self):
+        workload = get_workload("E1", "small")
+        assert workload.experiment_id == "E1"
+        assert workload.scale == "small"
+        assert workload["n_nodes"] > 0
+
+    def test_case_insensitive_id(self):
+        assert get_workload("e3", "tiny").experiment_id == "E3"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            get_workload("E99", "small")
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_workload("E1", "huge")
+
+    def test_get_with_default(self):
+        workload = get_workload("E1", "tiny")
+        assert workload.get("nonexistent", 7) == 7
+
+    def test_every_experiment_has_every_scale(self):
+        for experiment_id, scales in _WORKLOADS.items():
+            assert set(scales) == set(SCALES), experiment_id
+
+    def test_tiny_workloads_are_smaller_than_paper(self):
+        for experiment_id in _WORKLOADS:
+            tiny = get_workload(experiment_id, "tiny")
+            paper = get_workload(experiment_id, "paper")
+            tiny_n = tiny.get("n_nodes") or tiny.get("side", 0) ** 2 or max(
+                tiny.get("node_counts", [0])
+            )
+            paper_n = paper.get("n_nodes") or paper.get("side", 0) ** 2 or max(
+                paper.get("node_counts", [0])
+            )
+            assert tiny_n <= paper_n, experiment_id
+
+    def test_replication_counts_positive(self):
+        for experiment_id in _WORKLOADS:
+            for scale in SCALES:
+                workload = get_workload(experiment_id, scale)
+                for key in ("replications", "samples", "trials"):
+                    value = workload.get(key)
+                    if value is not None:
+                        assert value >= 1, (experiment_id, scale, key)
