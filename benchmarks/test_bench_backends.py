@@ -1,0 +1,61 @@
+"""Ablation — serial vs batched replication backend.
+
+Smoke-level wiring of ``scripts/bench_backends.py`` into the benchmark
+suite: runs the quick workload under both backends, checks bit-for-bit
+agreement, and times each backend on a mid-size replication workload so the
+speedup shows up in the benchmark tables.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.config import BroadcastConfig
+from repro.core.runner import run_broadcast_replications
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "bench_backends.py"
+_spec = importlib.util.spec_from_file_location("bench_backends", _SCRIPT)
+_module = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_module)
+bench_main = _module.main
+
+REPLICATIONS = 16
+CONFIG = BroadcastConfig(n_nodes=48 * 48, n_agents=48, radius=0.0, max_steps=20_000)
+
+
+def test_bench_backends_quick_smoke(tmp_path):
+    record = bench_main(["--quick", "--output", str(tmp_path / "bench.json")])
+    assert record["bitwise_identical"] is True
+    assert record["serial_seconds"] > 0
+    assert record["batched_seconds"] > 0
+    assert (tmp_path / "bench.json").exists()
+
+
+@pytest.mark.benchmark(group="ablation-backend")
+def test_backend_serial(benchmark):
+    summary, _ = benchmark.pedantic(
+        lambda: run_broadcast_replications(CONFIG, REPLICATIONS, seed=11, backend="serial"),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.completion_rate == 1.0
+
+
+@pytest.mark.benchmark(group="ablation-backend")
+def test_backend_batched(benchmark):
+    summary, _ = benchmark.pedantic(
+        lambda: run_broadcast_replications(CONFIG, REPLICATIONS, seed=11, backend="batched"),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.completion_rate == 1.0
+
+
+def test_backend_results_identical():
+    serial, _ = run_broadcast_replications(CONFIG, REPLICATIONS, seed=11, backend="serial")
+    batched, _ = run_broadcast_replications(CONFIG, REPLICATIONS, seed=11, backend="batched")
+    assert np.array_equal(serial.values, batched.values)

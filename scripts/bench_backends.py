@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Benchmark the serial vs batched replication backends.
+
+Times ``run_broadcast_replications`` on a fixed replication-heavy workload
+(by default 64 replications of a broadcast on an ~10^4-node grid with ~10^2
+agents at r = 0 — the paper's sparse regime) under both backends, checks
+that the two produce bit-for-bit identical per-trial broadcast times, and
+writes the measurements to a JSON file (``BENCH_PR1.json`` by default) as
+the first point of the repo's performance trajectory.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_backends.py            # full workload
+    PYTHONPATH=src python scripts/bench_backends.py --quick    # smoke test
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import BroadcastConfig
+from repro.core.runner import run_broadcast_replications
+
+
+def time_backend(
+    config: BroadcastConfig, n_replications: int, seed: int, backend: str
+) -> tuple[float, np.ndarray]:
+    """Wall-clock seconds and per-trial broadcast times for one backend."""
+    start = time.perf_counter()
+    summary, _ = run_broadcast_replications(config, n_replications, seed=seed, backend=backend)
+    elapsed = time.perf_counter() - start
+    return elapsed, summary.values
+
+
+def run_benchmark(
+    n_nodes: int = 10_000,
+    n_agents: int = 100,
+    radius: float = 0.0,
+    n_replications: int = 64,
+    seed: int = 2024,
+    max_steps: int | None = None,
+) -> dict:
+    """Run the serial-vs-batched comparison and return the result record."""
+    config = BroadcastConfig(
+        n_nodes=n_nodes, n_agents=n_agents, radius=radius, max_steps=max_steps
+    )
+    serial_time, serial_values = time_backend(config, n_replications, seed, "serial")
+    batched_time, batched_values = time_backend(config, n_replications, seed, "batched")
+    if not np.array_equal(serial_values, batched_values):
+        raise AssertionError("backends disagree: batched backend is not bit-for-bit serial")
+    completed = serial_values[serial_values >= 0]
+    return {
+        "benchmark": "broadcast_replications_serial_vs_batched",
+        "workload": {
+            "n_nodes": n_nodes,
+            "n_agents": n_agents,
+            "radius": radius,
+            "n_replications": n_replications,
+            "seed": seed,
+            "max_steps": max_steps,
+        },
+        "serial_seconds": serial_time,
+        "batched_seconds": batched_time,
+        "speedup": serial_time / batched_time if batched_time else float("inf"),
+        "bitwise_identical": True,
+        "mean_broadcast_time": float(completed.mean()) if completed.size else None,
+        "completion_rate": float(completed.size / serial_values.size),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+    }
+
+
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-nodes", type=int, default=10_000)
+    parser.add_argument("--n-agents", type=int, default=100)
+    parser.add_argument("--radius", type=float, default=0.0)
+    parser.add_argument("--replications", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--max-steps", type=int, default=None)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the JSON record (default: repo-root BENCH_PR1.json; "
+        "with --quick the default is to not write a file)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny smoke workload (used by the benchmark suite); does not overwrite "
+        "the default output unless --output is given explicitly",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        record = run_benchmark(
+            n_nodes=32 * 32, n_agents=16, radius=args.radius,
+            n_replications=8, seed=args.seed, max_steps=2000,
+        )
+    else:
+        record = run_benchmark(
+            n_nodes=args.n_nodes, n_agents=args.n_agents, radius=args.radius,
+            n_replications=args.replications, seed=args.seed, max_steps=args.max_steps,
+        )
+
+    print(
+        f"serial  : {record['serial_seconds']:8.2f} s\n"
+        f"batched : {record['batched_seconds']:8.2f} s\n"
+        f"speedup : {record['speedup']:8.2f}x  (bit-for-bit identical results)"
+    )
+    output = args.output
+    if output is None and not args.quick:
+        output = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+    if output is not None:
+        output.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {output}")
+    return record
+
+
+if __name__ == "__main__":
+    main()

@@ -15,8 +15,10 @@ connected components.  This subpackage provides
 """
 
 from repro.connectivity.unionfind import UnionFind
+from repro.connectivity.batched import batched_visibility_labels
 from repro.connectivity.spatial_hash import SpatialHash, neighbor_pairs
 from repro.connectivity.visibility import (
+    position_group_key,
     visibility_components,
     visibility_edges,
     visibility_graph,
@@ -38,8 +40,10 @@ from repro.connectivity.percolation import (
 
 __all__ = [
     "UnionFind",
+    "batched_visibility_labels",
     "SpatialHash",
     "neighbor_pairs",
+    "position_group_key",
     "visibility_components",
     "visibility_edges",
     "visibility_graph",

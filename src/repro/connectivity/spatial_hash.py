@@ -7,15 +7,28 @@ step; the spatial hash bins agents into square buckets of side
 adjacent buckets, reducing the cost to roughly
 ``O(k + sum_b |b|^2)`` where the sums are over occupied buckets — small in the
 sparse regime where bucket occupancy is O(1) on average.
+
+The implementation is fully vectorised: buckets are encoded as scalar keys,
+membership is recovered from one ``argsort`` of the keys, neighbouring
+buckets are located with ``np.searchsorted``, and the ragged intra-bucket and
+cross-bucket candidate sets are materialised with ``repeat``/``cumsum``
+arithmetic — no per-bucket Python iteration and no dict of buckets.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
-
 import numpy as np
 
 from repro.grid.geometry import distance
+
+
+def _ragged_arange(lengths: np.ndarray) -> np.ndarray:
+    """Concatenated ``[arange(l) for l in lengths]`` without a Python loop."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.repeat(np.cumsum(lengths) - lengths, lengths)
+    return np.arange(total, dtype=np.int64) - offsets
 
 
 class SpatialHash:
@@ -29,17 +42,29 @@ class SpatialHash:
             raise ValueError(f"cell_side must be >= 1, got {cell_side}")
         self._positions = positions
         self._cell_side = int(cell_side)
-        cells = positions // self._cell_side
-        # Map each occupied bucket (cx, cy) to the agent indices inside it.
-        self._buckets: dict[tuple[int, int], np.ndarray] = {}
-        if positions.shape[0]:
-            order = np.lexsort((cells[:, 1], cells[:, 0]))
-            sorted_cells = cells[order]
-            boundaries = np.flatnonzero(np.any(np.diff(sorted_cells, axis=0) != 0, axis=1)) + 1
-            groups = np.split(order, boundaries)
-            for group in groups:
-                key = (int(cells[group[0], 0]), int(cells[group[0], 1]))
-                self._buckets[key] = group
+        k = positions.shape[0]
+        if k:
+            cells = positions // self._cell_side
+            cx, cy = cells[:, 0], cells[:, 1]
+            # Normalise to non-negative and leave one row/column of slack so
+            # that the four forward neighbour offsets (E, N, NE, NW) translate
+            # to strictly positive key offsets without wrap-around.
+            self._cy_shift = int(cy.min()) - 1
+            self._key_width = int(cy.max()) - self._cy_shift + 2
+            keys = (cx - int(cx.min())) * self._key_width + (cy - self._cy_shift)
+            order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[order]
+            starts = np.flatnonzero(np.r_[True, np.diff(sorted_keys) != 0])
+            self._order = order
+            self._starts = starts
+            self._counts = np.diff(np.r_[starts, k])
+            self._bucket_keys = sorted_keys[starts]
+        else:
+            self._key_width = 1
+            self._order = np.empty(0, dtype=np.int64)
+            self._starts = np.empty(0, dtype=np.int64)
+            self._counts = np.empty(0, dtype=np.int64)
+            self._bucket_keys = np.empty(0, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     @property
@@ -55,7 +80,7 @@ class SpatialHash:
     @property
     def n_buckets(self) -> int:
         """Number of occupied buckets."""
-        return len(self._buckets)
+        return self._bucket_keys.shape[0]
 
     def bucket_of(self, index: int) -> tuple[int, int]:
         """Bucket coordinates of the point with the given index."""
@@ -63,46 +88,78 @@ class SpatialHash:
         return (int(x) // self._cell_side, int(y) // self._cell_side)
 
     # ------------------------------------------------------------------ #
-    def candidate_pairs(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-        """Yield ``(indices_a, indices_b)`` arrays of candidate close pairs.
+    def candidate_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Arrays ``(indices_a, indices_b)`` of all candidate close pairs.
 
-        Pairs within the same bucket and pairs between a bucket and its
-        "forward" neighbours (east, north, north-east, north-west) are
-        yielded once each; every pair of points within distance
-        ``cell_side`` is covered.
+        Covers every pair within the same bucket plus every pair between a
+        bucket and its "forward" neighbours (east, north, north-east,
+        north-west); any pair of points within distance ``cell_side`` appears
+        exactly once.  Built with searchsorted/repeat arithmetic only — no
+        per-bucket Python loop.
         """
-        forward = ((0, 1), (1, 0), (1, 1), (1, -1))
-        for (cx, cy), members in self._buckets.items():
-            if members.size > 1:
-                ia, ib = np.triu_indices(members.size, k=1)
-                yield members[ia], members[ib]
-            for dx, dy in forward:
-                other = self._buckets.get((cx + dx, cy + dy))
-                if other is not None:
-                    grid_a, grid_b = np.meshgrid(members, other, indexing="ij")
-                    yield grid_a.ravel(), grid_b.ravel()
+        k = self.n_points
+        empty = np.empty(0, dtype=np.int64)
+        if k < 2:
+            return empty, empty
+        order, starts, counts = self._order, self._starts, self._counts
+        keys = self._bucket_keys
+        pieces_a: list[np.ndarray] = []
+        pieces_b: list[np.ndarray] = []
+
+        # Within-bucket pairs: the element at local offset l of its bucket is
+        # paired with each of the l elements sorted before it.
+        local = _ragged_arange(counts)
+        n_intra = int(local.sum())
+        if n_intra:
+            b_pos = np.repeat(np.arange(k, dtype=np.int64), local)
+            group_start = np.repeat(np.repeat(starts, counts), local)
+            a_pos = group_start + _ragged_arange(local)
+            pieces_a.append(a_pos)
+            pieces_b.append(b_pos)
+
+        # Cross-bucket pairs: locate each forward neighbour bucket by its key
+        # offset via searchsorted, then take the cartesian product of the two
+        # member ranges with repeat/ragged-arange arithmetic.
+        width = self._key_width
+        for delta in (1, width - 1, width, width + 1):
+            target = keys + delta
+            nbr = np.searchsorted(keys, target)
+            nbr_clipped = np.minimum(nbr, keys.shape[0] - 1)
+            valid = keys[nbr_clipped] == target
+            g = np.flatnonzero(valid)
+            if not g.size:
+                continue
+            h = nbr[g]
+            na, nb = counts[g], counts[h]
+            tot = na * nb
+            rep = np.repeat(np.arange(g.size, dtype=np.int64), tot)
+            within = _ragged_arange(tot)
+            pieces_a.append(starts[g][rep] + within // nb[rep])
+            pieces_b.append(starts[h][rep] + within % nb[rep])
+
+        if not pieces_a:
+            return empty, empty
+        a_pos = np.concatenate(pieces_a)
+        b_pos = np.concatenate(pieces_b)
+        return order[a_pos], order[b_pos]
 
     def pairs_within(self, radius: float, metric: str = "manhattan") -> np.ndarray:
         """All pairs ``(i, j)`` with ``i < j`` and distance at most ``radius``.
 
-        Returns an ``(m, 2)`` integer array (possibly empty).
+        Returns an ``(m, 2)`` integer array (possibly empty), sorted
+        lexicographically.
         """
-        pos = self._positions
-        out: list[np.ndarray] = []
-        for ia, ib in self.candidate_pairs():
-            dists = distance(pos[ia], pos[ib], metric=metric)
-            close = np.atleast_1d(dists) <= radius
-            if np.any(close):
-                pairs = np.stack([ia[close], ib[close]], axis=1)
-                out.append(pairs)
-        if not out:
+        ia, ib = self.candidate_pairs()
+        if not ia.size:
             return np.empty((0, 2), dtype=np.int64)
-        pairs = np.concatenate(out, axis=0)
-        # Normalise orientation (i < j) and deduplicate for safety.
-        lo = np.minimum(pairs[:, 0], pairs[:, 1])
-        hi = np.maximum(pairs[:, 0], pairs[:, 1])
-        pairs = np.unique(np.stack([lo, hi], axis=1), axis=0)
-        return pairs
+        pos = self._positions
+        close = np.atleast_1d(distance(pos[ia], pos[ib], metric=metric)) <= radius
+        ia, ib = ia[close], ib[close]
+        # Candidates are unique by construction; orient (i < j) and sort.
+        lo = np.minimum(ia, ib)
+        hi = np.maximum(ia, ib)
+        rank = np.lexsort((hi, lo))
+        return np.stack([lo[rank], hi[rank]], axis=1)
 
 
 def neighbor_pairs(

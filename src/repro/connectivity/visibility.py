@@ -15,6 +15,27 @@ from repro.connectivity.spatial_hash import neighbor_pairs
 from repro.connectivity.unionfind import UnionFind
 
 
+def position_group_key(positions: np.ndarray) -> np.ndarray:
+    """Scalar keys whose equality groups identical ``(x, y)`` rows.
+
+    Accepts ``(k, 2)`` or batched ``(R, k, 2)`` integer positions; in the
+    batched form, rows of different trials never share a key.  Keys preserve
+    the lexicographic order of ``(trial, x, y)``, so ``np.unique`` inverse
+    labels over them match labels computed per trial.  Encoding to a scalar
+    keeps grouping sort-based and avoids the much slower structured-dtype
+    ``np.unique(..., axis=0)``.
+    """
+    x = positions[..., 0]
+    y = positions[..., 1]
+    x0, y0 = x.min(), y.min()
+    height = y.max() - y0 + 1
+    key = (x - x0) * height + (y - y0)
+    if positions.ndim == 3:
+        width = x.max() - x0 + 1
+        key = key + np.arange(positions.shape[0], dtype=np.int64)[:, None] * (width * height)
+    return key
+
+
 def visibility_edges(
     positions: np.ndarray, radius: float, metric: str = "manhattan"
 ) -> np.ndarray:
@@ -45,13 +66,10 @@ def visibility_components(
         raise ValueError(f"radius must be non-negative, got {radius}")
     if radius == 0:
         # Agents co-located on the same node form a clique; group by node.
-        _, labels = np.unique(positions, axis=0, return_inverse=True)
-        # Re-densify so labels are deterministic in order of first appearance.
-        _, dense = np.unique(labels, return_inverse=True)
-        return dense.astype(np.int64)
+        _, labels = np.unique(position_group_key(positions), return_inverse=True)
+        return labels.astype(np.int64, copy=False)
     uf = UnionFind(k)
-    for a, b in visibility_edges(positions, radius, metric=metric):
-        uf.union(int(a), int(b))
+    uf.union_batch(visibility_edges(positions, radius, metric=metric))
     return uf.labels()
 
 

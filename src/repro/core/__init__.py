@@ -12,12 +12,24 @@ broadcast time ``T_B``, the gossip time ``T_G`` and the coverage time
 from repro.core.config import BroadcastConfig, GossipConfig, default_max_steps
 from repro.core.simulation import BroadcastSimulation, BroadcastResult
 from repro.core.gossip import GossipSimulation, GossipResult
-from repro.core.protocol import flood_informed, flood_rumors
+from repro.core.protocol import (
+    flood_informed,
+    flood_informed_batch,
+    flood_rumors,
+    flood_rumors_batch,
+)
 from repro.core.metrics import FrontierTracker, CoverageTracker, InformedCurve
 from repro.core.runner import (
     ReplicationSummary,
+    resolve_backend,
     run_broadcast_replications,
     run_gossip_replications,
+)
+from repro.core.batched import (
+    run_broadcast_replications_batched,
+    run_gossip_replications_batched,
+    supports_batched_broadcast,
+    supports_batched_gossip,
 )
 
 __all__ = [
@@ -29,11 +41,18 @@ __all__ = [
     "GossipSimulation",
     "GossipResult",
     "flood_informed",
+    "flood_informed_batch",
     "flood_rumors",
+    "flood_rumors_batch",
     "FrontierTracker",
     "CoverageTracker",
     "InformedCurve",
     "ReplicationSummary",
+    "resolve_backend",
     "run_broadcast_replications",
     "run_gossip_replications",
+    "run_broadcast_replications_batched",
+    "run_gossip_replications_batched",
+    "supports_batched_broadcast",
+    "supports_batched_gossip",
 ]

@@ -1,0 +1,330 @@
+"""Batched replication backend: all trials advance as one vectorised system.
+
+Every headline quantity of the paper is a with-high-probability statement, so
+each experiment replicates its simulation dozens of times with independent
+random streams.  The serial backend (:mod:`repro.core.simulation`,
+:mod:`repro.core.gossip`) runs those replications one at a time; this module
+advances all ``R`` of them simultaneously as an ``(R, k, 2)`` position
+tensor:
+
+* one batched mobility step for every trial at once — lazy-walk proposals
+  are pre-drawn per trial in blocks (:class:`_LazyChoiceBuffer`) and applied
+  batch-wide via :func:`repro.walks.engine.apply_lazy_choices`;
+* one sort-based component labelling over the whole batch
+  (:func:`repro.connectivity.batched.batched_visibility_labels`);
+* one flooding pass over the whole batch
+  (:func:`repro.core.protocol.flood_informed_batch` /
+  :func:`~repro.core.protocol.flood_rumors_batch`);
+* active-trial masking, so replications that complete drop out of the hot
+  loop while the stragglers keep running.
+
+Bit-for-bit equivalence with the serial backend is part of the contract:
+each trial owns the generator that :func:`repro.util.rng.spawn_rngs` would
+hand its serial counterpart and consumes it in exactly the same order
+(initial positions, then source choice, then one mobility draw per executed
+step), so ``backend="batched"`` and ``backend="serial"`` return identical
+results for identical seeds — verified trial-for-trial by the property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.connectivity.batched import batched_visibility_labels
+from repro.core.config import BroadcastConfig, GossipConfig
+from repro.core.gossip import GossipResult
+from repro.core.protocol import flood_informed_batch, flood_rumors_batch
+from repro.core.runner import ReplicationSummary, summarise_values
+from repro.core.simulation import BroadcastResult
+from repro.grid.lattice import Grid2D
+from repro.util.rng import RandomState, SeedLike, spawn_rngs
+from repro.util.validation import check_positive_int
+from repro.walks.engine import apply_lazy_choices, simple_step_batch
+
+
+class _LazyChoiceBuffer:
+    """Per-trial lazy-step proposals, pre-drawn in blocks to amortise rng calls.
+
+    ``rng.integers(0, 5, size=(block, k))`` consumes the generator's stream
+    exactly as ``block`` successive per-step draws of size ``k`` would, so
+    pre-drawing changes nothing about any trial's trajectory — it only
+    replaces ~``block`` small generator calls with one.  Trials advance in
+    lockstep (completed trials leave, none join), so a single shared cursor
+    tracks every active trial's position within the current block.
+    """
+
+    def __init__(self, rngs: list[RandomState], k: int, block: int = 128) -> None:
+        self._rngs = rngs
+        self._k = k
+        self._block = block
+        self._buffer = np.empty((len(rngs), block, k), dtype=np.int64)
+        self._cursor = block  # forces a fill on first use
+
+    def next_choices(self, active: np.ndarray) -> np.ndarray:
+        """The ``(len(active), k)`` proposal rows for this step's active trials."""
+        cursor = self._cursor
+        if cursor == self._block:
+            for trial in active:
+                self._buffer[trial] = self._rngs[trial].integers(
+                    0, 5, size=(self._block, self._k)
+                )
+            cursor = 0
+        self._cursor = cursor + 1
+        return self._buffer[active, cursor]
+
+
+def _regroup_curves(
+    n_trials: int, step_trials: list[np.ndarray], step_counts: list[np.ndarray]
+) -> list[np.ndarray]:
+    """Per-trial time series from per-step ``(active, counts)`` records.
+
+    One stable sort replaces the per-trial Python appends the hot loop would
+    otherwise do at every step.
+    """
+    if not step_trials:
+        return [np.empty(0, dtype=np.int64) for _ in range(n_trials)]
+    flat_trials = np.concatenate(step_trials)
+    flat_counts = np.concatenate(step_counts).astype(np.int64, copy=False)
+    order = np.argsort(flat_trials, kind="stable")
+    sorted_trials = flat_trials[order]
+    sorted_counts = flat_counts[order]
+    bounds = np.searchsorted(sorted_trials, np.arange(n_trials + 1))
+    return [sorted_counts[bounds[i] : bounds[i + 1]] for i in range(n_trials)]
+
+
+def _flood_colocated(grid: Grid2D, positions: np.ndarray, informed: np.ndarray) -> np.ndarray:
+    """Fused r = 0 labelling + flooding: spread within co-located groups.
+
+    In the paper's sparse regime the components of ``G_t(0)`` are exactly the
+    groups of agents sharing a node, so flooding reduces to one scatter and
+    one gather through an ``(R * n)`` per-trial node mask — no sort, no
+    union–find.  Equivalent to ``flood_informed_batch`` over
+    ``batched_visibility_labels(positions, 0)``, but grid-aware and faster:
+    unlike ``position_group_key`` it needs a *fixed* dense key space
+    (``grid.n_nodes`` per trial) so the mask can be allocated without
+    inspecting the coordinates.
+    """
+    n_trials = informed.shape[0]
+    node = positions[..., 0] * grid.side + positions[..., 1]
+    key = (node + np.arange(n_trials, dtype=np.int64)[:, None] * grid.n_nodes).ravel()
+    node_informed = np.zeros(n_trials * grid.n_nodes, dtype=bool)
+    node_informed[key[informed.ravel()]] = True
+    return node_informed[key].reshape(informed.shape)
+
+
+def supports_batched_broadcast(config: BroadcastConfig) -> bool:
+    """Whether the batched backend can run this broadcast configuration.
+
+    The batched backend implements the paper's random-walk mobility and the
+    plain broadcast observables; frontier/coverage tracking and the other
+    mobility models stay on the serial path.  Unknown ``mobility_kwargs``
+    also disqualify a config: the serial backend rejects them, so the
+    batched backend must not silently accept what serial would refuse.
+    """
+    return (
+        config.mobility == "random_walk"
+        and set(dict(config.mobility_kwargs)) <= {"rule"}
+        and not config.record_frontier
+        and not config.record_coverage
+    )
+
+
+def supports_batched_gossip(config: GossipConfig) -> bool:
+    """Whether the batched backend can run this gossip configuration."""
+    return config.mobility == "random_walk" and set(dict(config.mobility_kwargs)) <= {"rule"}
+
+
+def _walk_rule(mobility_kwargs) -> str:
+    rule = dict(mobility_kwargs).get("rule", "lazy")
+    if rule not in ("lazy", "simple"):
+        raise ValueError(f"rule must be 'lazy' or 'simple', got {rule!r}")
+    return rule
+
+
+def _initial_state(
+    config: BroadcastConfig | GossipConfig,
+    rngs: list[RandomState],
+    with_source: bool,
+) -> tuple[Grid2D, np.ndarray, np.ndarray]:
+    """Grid, ``(R, k, 2)`` positions and per-trial sources, drawn per trial.
+
+    Mirrors the serial simulators' constructor draw order exactly: initial
+    positions first, then (for broadcast) the source index.
+    """
+    grid = Grid2D.from_nodes(config.n_nodes)
+    n_trials = len(rngs)
+    k = config.n_agents
+    positions = np.empty((n_trials, k, 2), dtype=np.int64)
+    sources = np.zeros(n_trials, dtype=np.int64)
+    for trial, rng in enumerate(rngs):
+        positions[trial] = grid.random_positions(k, rng)
+        if with_source:
+            source = getattr(config, "source", None)
+            if source is None:
+                source = int(rng.integers(0, k))
+            sources[trial] = int(source)
+    return grid, positions, sources
+
+
+def run_broadcast_replications_batched(
+    config: BroadcastConfig,
+    n_replications: int,
+    seed: SeedLike = None,
+) -> tuple[ReplicationSummary, list[BroadcastResult]]:
+    """Batched equivalent of :func:`repro.core.runner.run_broadcast_replications`.
+
+    Returns the same ``(summary, results)`` pair, with every
+    :class:`~repro.core.simulation.BroadcastResult` identical to the one the
+    serial backend produces for the same seed.
+    """
+    n_replications = check_positive_int(n_replications, "n_replications")
+    if not supports_batched_broadcast(config):
+        raise ValueError(
+            "configuration not supported by the batched backend (requires "
+            "random_walk mobility, no extra mobility_kwargs, and no "
+            "frontier/coverage recording)"
+        )
+    rngs = spawn_rngs(seed, n_replications)
+    rule = _walk_rule(config.mobility_kwargs)
+    grid, positions, sources = _initial_state(config, rngs, with_source=True)
+    k = config.n_agents
+    n_trials = n_replications
+
+    informed = np.zeros((n_trials, k), dtype=bool)
+    informed[np.arange(n_trials), sources] = True
+    broadcast_time = np.full(n_trials, -1, dtype=np.int64)
+    n_steps = np.zeros(n_trials, dtype=np.int64)
+    n_informed = np.full(n_trials, k, dtype=np.int64)
+    step_trials: list[np.ndarray] = []
+    step_counts: list[np.ndarray] = []
+    choices = _LazyChoiceBuffer(rngs, k) if rule == "lazy" else None
+
+    # The hot loop works on arrays compacted to the still-active trials
+    # (``active`` maps compact rows back to trial indices); completed trials
+    # are physically dropped rather than masked, so no per-step gather.
+    horizon = config.horizon
+    active = np.arange(n_trials)
+    t = 0
+    while active.size and t < horizon:
+        if config.radius == 0:
+            informed = _flood_colocated(grid, positions, informed)
+        else:
+            labels = batched_visibility_labels(positions, config.radius)
+            informed = flood_informed_batch(informed, labels)
+        counts = informed.sum(axis=1)
+        step_trials.append(active)
+        step_counts.append(counts)
+        done = counts == k
+        # The serial simulator moves the agents (consuming one draw) even on
+        # the step where broadcast completes, so the batched backend does too.
+        if choices is not None:
+            positions = apply_lazy_choices(grid, positions, choices.next_choices(active))
+        else:
+            positions = simple_step_batch(
+                grid, positions, [rngs[trial] for trial in active]
+            )
+        t += 1
+        if done.any():
+            finished = active[done]
+            broadcast_time[finished] = t - 1
+            n_steps[finished] = t
+            keep = ~done
+            positions = positions[keep]
+            informed = informed[keep]
+            active = active[keep]
+    n_steps[active] = t
+    n_informed[active] = informed.sum(axis=1)
+
+    curves = _regroup_curves(n_trials, step_trials, step_counts)
+    results = [
+        BroadcastResult(
+            config=config,
+            broadcast_time=int(broadcast_time[trial]),
+            completed=bool(broadcast_time[trial] >= 0),
+            n_steps=int(n_steps[trial]),
+            n_informed=int(n_informed[trial]),
+            informed_curve=curves[trial],
+        )
+        for trial in range(n_trials)
+    ]
+    summary = summarise_values([res.broadcast_time for res in results])
+    return summary, results
+
+
+def run_gossip_replications_batched(
+    config: GossipConfig,
+    n_replications: int,
+    seed: SeedLike = None,
+) -> tuple[ReplicationSummary, list[GossipResult]]:
+    """Batched equivalent of :func:`repro.core.runner.run_gossip_replications`.
+
+    The knowledge state is an ``(R, k, k)`` boolean tensor flooded across all
+    trials in one pass per step.
+    """
+    n_replications = check_positive_int(n_replications, "n_replications")
+    if not supports_batched_gossip(config):
+        raise ValueError(
+            "configuration not supported by the batched backend (requires "
+            "random_walk mobility and no extra mobility_kwargs)"
+        )
+    rngs = spawn_rngs(seed, n_replications)
+    rule = _walk_rule(config.mobility_kwargs)
+    grid, positions, _ = _initial_state(config, rngs, with_source=False)
+    k = config.n_agents
+    n_trials = n_replications
+
+    rumors = np.broadcast_to(np.eye(k, dtype=bool), (n_trials, k, k)).copy()
+    gossip_time = np.full(n_trials, -1, dtype=np.int64)
+    first_broadcast = np.full(n_trials, -1, dtype=np.int64)
+    n_steps = np.zeros(n_trials, dtype=np.int64)
+    min_rumors = np.full(n_trials, 1, dtype=np.int64)
+    step_trials: list[np.ndarray] = []
+    step_counts: list[np.ndarray] = []
+    choices = _LazyChoiceBuffer(rngs, k) if rule == "lazy" else None
+
+    horizon = config.horizon
+    active = np.arange(n_trials)
+    t = 0
+    while active.size and t < horizon:
+        labels = batched_visibility_labels(positions, config.radius)
+        rumors = flood_rumors_batch(rumors, labels)
+        totals = rumors.sum(axis=(1, 2))
+        step_trials.append(active)
+        step_counts.append(totals)
+        newly_first = rumors[:, :, 0].all(axis=1) & (first_broadcast[active] < 0)
+        first_broadcast[active[newly_first]] = t
+        done = totals == k * k
+        gossip_time[active[done]] = t
+        if choices is not None:
+            positions = apply_lazy_choices(grid, positions, choices.next_choices(active))
+        else:
+            positions = simple_step_batch(
+                grid, positions, [rngs[trial] for trial in active]
+            )
+        t += 1
+        if done.any():
+            finished = active[done]
+            n_steps[finished] = t
+            min_rumors[finished] = k  # gossip completed: every agent knows all k
+            keep = ~done
+            positions = positions[keep]
+            rumors = rumors[keep]
+            active = active[keep]
+    n_steps[active] = t
+    min_rumors[active] = rumors.sum(axis=2).min(axis=1)
+
+    curves = _regroup_curves(n_trials, step_trials, step_counts)
+    results = [
+        GossipResult(
+            config=config,
+            gossip_time=int(gossip_time[trial]),
+            completed=bool(gossip_time[trial] >= 0),
+            n_steps=int(n_steps[trial]),
+            min_rumors_known=int(min_rumors[trial]),
+            first_rumor_broadcast_time=int(first_broadcast[trial]),
+            knowledge_curve=curves[trial],
+        )
+        for trial in range(n_trials)
+    ]
+    summary = summarise_values([res.gossip_time for res in results])
+    return summary, results

@@ -9,6 +9,16 @@ from typing import Any, Mapping, Optional, Union
 from repro.util.validation import ValidationError, check_non_negative, check_positive_int
 
 
+BACKENDS = ("auto", "serial", "batched")
+
+
+def check_backend(backend: str) -> str:
+    """Validate a replication-backend name and return it."""
+    if backend not in BACKENDS:
+        raise ValidationError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    return backend
+
+
 def default_max_steps(n_nodes: int, n_agents: int, safety_factor: float = 60.0) -> int:
     """A generous simulation horizon for the sparse regime.
 
@@ -49,6 +59,12 @@ class BroadcastConfig:
         Whether to track the rightmost informed position (used by E6).
     record_coverage:
         Whether to track the set of nodes visited by informed agents (T_C).
+    backend:
+        Replication backend: ``"serial"`` runs one simulation per trial,
+        ``"batched"`` advances all replications as one vectorised system
+        (bit-for-bit identical results), ``"auto"`` (default) picks the
+        batched backend whenever the configuration supports it.  See
+        :mod:`repro.core.batched`.
     """
 
     n_nodes: int
@@ -60,11 +76,13 @@ class BroadcastConfig:
     mobility_kwargs: Mapping[str, Any] = field(default_factory=dict)
     record_frontier: bool = False
     record_coverage: bool = False
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         check_positive_int(self.n_nodes, "n_nodes")
         check_positive_int(self.n_agents, "n_agents")
         check_non_negative(self.radius, "radius")
+        check_backend(self.backend)
         if self.n_agents < 1:
             raise ValidationError("n_agents must be at least 1")
         if self.source is not None:
@@ -97,11 +115,13 @@ class GossipConfig:
     max_steps: Optional[int] = None
     mobility: str = "random_walk"
     mobility_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         check_positive_int(self.n_nodes, "n_nodes")
         check_positive_int(self.n_agents, "n_agents")
         check_non_negative(self.radius, "radius")
+        check_backend(self.backend)
         if self.max_steps is not None:
             check_positive_int(self.max_steps, "max_steps")
 

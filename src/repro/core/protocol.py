@@ -43,6 +43,81 @@ def flood_informed(informed: np.ndarray, labels: np.ndarray) -> np.ndarray:
     return component_informed[labels]
 
 
+def flood_informed_batch(informed: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """One flooding round for a single rumor across a batch of replications.
+
+    Parameters
+    ----------
+    informed:
+        Boolean array of shape ``(R, k)``: which agents of each of the ``R``
+        replications know the rumor before the exchange.
+    labels:
+        Integer array of shape ``(R, k)`` of batch-global component labels
+        (as produced by
+        :func:`repro.connectivity.batched.batched_visibility_labels`);
+        components of different trials must not share a label.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean array of shape ``(R, k)`` after the exchange.  Equivalent to
+        applying :func:`flood_informed` trial by trial, but in one pass.
+    """
+    informed = np.asarray(informed, dtype=bool)
+    labels = np.asarray(labels, dtype=np.int64)
+    if informed.shape != labels.shape:
+        raise ValueError(
+            f"informed and labels must have the same shape, got {informed.shape} and {labels.shape}"
+        )
+    if informed.size == 0:
+        return informed.copy()
+    flat_labels = labels.ravel()
+    flat_informed = informed.ravel()
+    n_components = int(flat_labels.max()) + 1
+    component_informed = np.bincount(flat_labels[flat_informed], minlength=n_components) > 0
+    return component_informed[flat_labels].reshape(informed.shape)
+
+
+def flood_rumors_batch(rumors: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """One flooding round for multiple rumors across a batch of replications.
+
+    Parameters
+    ----------
+    rumors:
+        Boolean array of shape ``(R, k, m)``: ``rumors[t, a, j]`` is True iff
+        agent ``a`` of trial ``t`` knows rumor ``j`` before the exchange.
+    labels:
+        Integer array of shape ``(R, k)`` of batch-global component labels
+        (components of different trials must not share a label).
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean array of shape ``(R, k, m)`` after the exchange.  Equivalent
+        to applying :func:`flood_rumors` trial by trial, but in one pass
+        (sort by label, then a single ``logical_or.reduceat``).
+    """
+    rumors = np.asarray(rumors, dtype=bool)
+    labels = np.asarray(labels, dtype=np.int64)
+    if rumors.ndim != 3:
+        raise ValueError(f"rumors must be a 3-D boolean array, got shape {rumors.shape}")
+    if rumors.shape[:2] != labels.shape:
+        raise ValueError(
+            f"rumors has leading shape {rumors.shape[:2]} but labels has shape {labels.shape}"
+        )
+    if rumors.size == 0:
+        return rumors.copy()
+    n_trials, k, m = rumors.shape
+    flat_labels = labels.reshape(n_trials * k)
+    flat_rumors = rumors.reshape(n_trials * k, m)
+    order = np.argsort(flat_labels, kind="stable")
+    sorted_labels = flat_labels[order]
+    starts = np.flatnonzero(np.r_[True, np.diff(sorted_labels) != 0])
+    component_rumors = np.logical_or.reduceat(flat_rumors[order], starts, axis=0)
+    component_of = np.searchsorted(sorted_labels[starts], flat_labels)
+    return component_rumors[component_of].reshape(n_trials, k, m)
+
+
 def flood_rumors(rumors: np.ndarray, labels: np.ndarray) -> np.ndarray:
     """One flooding round for multiple rumors (gossip).
 

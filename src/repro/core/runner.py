@@ -3,16 +3,30 @@
 All headline quantities of the paper are "with high probability" statements,
 so every experiment is replicated with independent random streams and the
 harness reports means, medians and bootstrap confidence intervals.
+
+Replications can be executed by two interchangeable backends selected via
+the ``backend`` argument (or the config's ``backend`` field):
+
+* ``"serial"`` — one :class:`~repro.core.simulation.BroadcastSimulation` /
+  :class:`~repro.core.gossip.GossipSimulation` per trial;
+* ``"batched"`` — all trials advance together as one vectorised system
+  (:mod:`repro.core.batched`), typically an order of magnitude faster on
+  replication-heavy workloads;
+* ``"auto"`` — batched whenever the configuration supports it.
+
+The two backends consume identical per-trial random streams (derived with
+:func:`repro.util.rng.spawn_rngs`) and return bit-for-bit identical results,
+so the choice is purely a performance knob.  See ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.core.config import BroadcastConfig, GossipConfig
+from repro.core.config import BroadcastConfig, GossipConfig, check_backend
 from repro.core.gossip import GossipResult, GossipSimulation
 from repro.core.simulation import BroadcastResult, BroadcastSimulation
 from repro.util.rng import SeedLike, spawn_rngs
@@ -96,13 +110,45 @@ def replicate(
     return summarise_values(values)
 
 
+def resolve_backend(
+    config: BroadcastConfig | GossipConfig, backend: Optional[str] = None
+) -> str:
+    """Resolve the effective backend (``"serial"`` or ``"batched"``).
+
+    ``backend`` overrides the config's ``backend`` field; ``"auto"`` picks
+    the batched backend whenever the configuration supports it.  An explicit
+    ``"batched"`` request for an unsupported configuration raises when the
+    batched runner is invoked, rather than silently falling back.
+    """
+    from repro.core.batched import supports_batched_broadcast, supports_batched_gossip
+
+    choice = check_backend(backend if backend is not None else config.backend)
+    if choice != "auto":
+        return choice
+    if isinstance(config, BroadcastConfig):
+        supported = supports_batched_broadcast(config)
+    else:
+        supported = supports_batched_gossip(config)
+    return "batched" if supported else "serial"
+
+
 def run_broadcast_replications(
     config: BroadcastConfig,
     n_replications: int,
     seed: SeedLike = None,
+    backend: Optional[str] = None,
 ) -> tuple[ReplicationSummary, list[BroadcastResult]]:
-    """Run ``n_replications`` broadcast simulations and summarise ``T_B``."""
+    """Run ``n_replications`` broadcast simulations and summarise ``T_B``.
+
+    ``backend`` selects ``"serial"``, ``"batched"`` or ``"auto"`` execution
+    (default: the config's ``backend`` field); both backends produce
+    bit-for-bit identical results for identical seeds.
+    """
     n_replications = check_positive_int(n_replications, "n_replications")
+    if resolve_backend(config, backend) == "batched":
+        from repro.core.batched import run_broadcast_replications_batched
+
+        return run_broadcast_replications_batched(config, n_replications, seed)
     rngs = spawn_rngs(seed, n_replications)
     results = [BroadcastSimulation(config, rng=rng).run() for rng in rngs]
     summary = summarise_values([res.broadcast_time for res in results])
@@ -113,9 +159,19 @@ def run_gossip_replications(
     config: GossipConfig,
     n_replications: int,
     seed: SeedLike = None,
+    backend: Optional[str] = None,
 ) -> tuple[ReplicationSummary, list[GossipResult]]:
-    """Run ``n_replications`` gossip simulations and summarise ``T_G``."""
+    """Run ``n_replications`` gossip simulations and summarise ``T_G``.
+
+    ``backend`` selects ``"serial"``, ``"batched"`` or ``"auto"`` execution
+    (default: the config's ``backend`` field); both backends produce
+    bit-for-bit identical results for identical seeds.
+    """
     n_replications = check_positive_int(n_replications, "n_replications")
+    if resolve_backend(config, backend) == "batched":
+        from repro.core.batched import run_gossip_replications_batched
+
+        return run_gossip_replications_batched(config, n_replications, seed)
     rngs = spawn_rngs(seed, n_replications)
     results = [GossipSimulation(config, rng=rng).run() for rng in rngs]
     summary = summarise_values([res.gossip_time for res in results])

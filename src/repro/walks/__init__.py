@@ -6,7 +6,13 @@ single-walk utilities (hitting times, range, displacement) and the pairwise
 meeting experiments that validate Lemma 3.
 """
 
-from repro.walks.engine import WalkEngine, lazy_step, simple_step
+from repro.walks.engine import (
+    WalkEngine,
+    lazy_step,
+    lazy_step_batch,
+    simple_step,
+    simple_step_batch,
+)
 from repro.walks.single import (
     walk_trajectory,
     hitting_time,
@@ -26,7 +32,9 @@ from repro.walks.occupancy import (
 __all__ = [
     "WalkEngine",
     "lazy_step",
+    "lazy_step_batch",
     "simple_step",
+    "simple_step_batch",
     "walk_trajectory",
     "hitting_time",
     "visit_within",

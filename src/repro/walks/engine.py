@@ -18,7 +18,7 @@ exactly while remaining a single vectorised numpy operation per step.
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Literal, Sequence
 
 import numpy as np
 
@@ -47,14 +47,7 @@ def lazy_step(grid: Grid2D, positions: np.ndarray, rng: RandomState) -> np.ndarr
     positions = np.asarray(positions, dtype=np.int64)
     k = positions.shape[0]
     choice = rng.integers(0, 5, size=k)
-    proposed = positions + _PROPOSALS[choice]
-    inside = (
-        (proposed[:, 0] >= 0)
-        & (proposed[:, 0] < grid.side)
-        & (proposed[:, 1] >= 0)
-        & (proposed[:, 1] < grid.side)
-    )
-    return np.where(inside[:, None], proposed, positions)
+    return apply_lazy_choices(grid, positions, choice)
 
 
 def simple_step(grid: Grid2D, positions: np.ndarray, rng: RandomState) -> np.ndarray:
@@ -84,6 +77,71 @@ def simple_step(grid: Grid2D, positions: np.ndarray, rng: RandomState) -> np.nda
         result[accepted] = proposed[inside]
         pending = pending[~inside]
     return result
+
+
+def apply_lazy_choices(grid: Grid2D, positions: np.ndarray, choice: np.ndarray) -> np.ndarray:
+    """Apply pre-drawn lazy-step proposals to a positions array.
+
+    ``positions`` has shape ``(..., 2)`` and ``choice`` the matching leading
+    shape, with values in ``0..4`` indexing the proposal table (stay / +x /
+    -x / +y / -y).  Off-grid proposals are rejected (the agent stays),
+    exactly as in :func:`lazy_step`.  Splitting the draw from the apply lets
+    the batched backend pre-draw choices in per-trial blocks while keeping
+    the trajectory identical.
+    """
+    proposed = positions + _PROPOSALS[choice]
+    inside = np.all((proposed >= 0) & (proposed < grid.side), axis=-1)
+    return np.where(inside[..., None], proposed, positions)
+
+
+def lazy_step_batch(
+    grid: Grid2D, positions: np.ndarray, rngs: Sequence[RandomState]
+) -> np.ndarray:
+    """Advance a batch of replications by one *lazy* step each.
+
+    Parameters
+    ----------
+    grid:
+        The lattice shared by every replication.
+    positions:
+        Integer array of shape ``(R, k, 2)``: the positions of ``R``
+        independent replications.
+    rngs:
+        One generator per replication.  Each trial draws exactly the numbers
+        :func:`lazy_step` would draw from the same generator, so a batched
+        trial reproduces its serial counterpart bit for bit.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    if positions.ndim != 3 or positions.shape[2] != 2:
+        raise ValueError(f"positions must have shape (R, k, 2), got {positions.shape}")
+    n_trials, k = positions.shape[:2]
+    if len(rngs) != n_trials:
+        raise ValueError(f"expected {n_trials} generators, got {len(rngs)}")
+    choice = np.empty((n_trials, k), dtype=np.int64)
+    for i, rng in enumerate(rngs):
+        choice[i] = rng.integers(0, 5, size=k)
+    return apply_lazy_choices(grid, positions, choice)
+
+
+def simple_step_batch(
+    grid: Grid2D, positions: np.ndarray, rngs: Sequence[RandomState]
+) -> np.ndarray:
+    """Advance a batch of replications by one *simple* step each.
+
+    The rejection loop of :func:`simple_step` consumes a data-dependent
+    number of draws per trial, so trials are stepped one generator at a time
+    (still vectorised over the ``k`` agents) to preserve bit-for-bit
+    agreement with the serial backend.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    if positions.ndim != 3 or positions.shape[2] != 2:
+        raise ValueError(f"positions must have shape (R, k, 2), got {positions.shape}")
+    if len(rngs) != positions.shape[0]:
+        raise ValueError(f"expected {positions.shape[0]} generators, got {len(rngs)}")
+    out = np.empty_like(positions)
+    for i, rng in enumerate(rngs):
+        out[i] = simple_step(grid, positions[i], rng)
+    return out
 
 
 class WalkEngine:
@@ -155,13 +213,22 @@ class WalkEngine:
         return self._rule
 
     # ------------------------------------------------------------------ #
-    def step(self) -> np.ndarray:
-        """Advance every walk by one step and return the new positions."""
+    def step_(self) -> np.ndarray:
+        """Advance every walk by one step and return the *internal* positions.
+
+        Hot-loop variant of :meth:`step` that skips the defensive copy; the
+        returned array is the engine's own state and must not be mutated.
+        """
         if self._rule == "lazy":
             self._positions = lazy_step(self._grid, self._positions, self._rng)
         else:
             self._positions = simple_step(self._grid, self._positions, self._rng)
         self._time += 1
+        return self._positions
+
+    def step(self) -> np.ndarray:
+        """Advance every walk by one step and return the new positions (a copy)."""
+        self.step_()
         return self.positions
 
     def run(self, steps: int) -> np.ndarray:
@@ -169,7 +236,7 @@ class WalkEngine:
         if steps < 0:
             raise ValueError(f"steps must be non-negative, got {steps}")
         for _ in range(steps):
-            self.step()
+            self.step_()
         return self.positions
 
     def trajectory(self, steps: int) -> np.ndarray:
@@ -182,6 +249,5 @@ class WalkEngine:
         out = np.empty((steps + 1, self.n_walkers, 2), dtype=np.int64)
         out[0] = self._positions
         for t in range(1, steps + 1):
-            self.step()
-            out[t] = self._positions
+            out[t] = self.step_()
         return out

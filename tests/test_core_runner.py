@@ -5,10 +5,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.batched import (
+    run_broadcast_replications_batched,
+    run_gossip_replications_batched,
+    supports_batched_broadcast,
+    supports_batched_gossip,
+)
 from repro.core.config import BroadcastConfig, GossipConfig
 from repro.core.runner import (
     ReplicationSummary,
     replicate,
+    resolve_backend,
     run_broadcast_replications,
     run_gossip_replications,
     summarise_values,
@@ -106,3 +113,72 @@ class TestGossipReplications:
         assert len(results) == 2
         assert summary.n_completed == 2
         assert all(res.gossip_time >= 0 for res in results)
+
+
+class TestBackendSeam:
+    def test_auto_resolves_to_batched_for_paper_model(self):
+        config = BroadcastConfig(n_nodes=144, n_agents=8)
+        assert config.backend == "auto"
+        assert resolve_backend(config) == "batched"
+        assert resolve_backend(GossipConfig(n_nodes=100, n_agents=4)) == "batched"
+
+    def test_auto_falls_back_to_serial_when_unsupported(self):
+        assert not supports_batched_broadcast(
+            BroadcastConfig(n_nodes=144, n_agents=8, record_frontier=True)
+        )
+        assert not supports_batched_broadcast(
+            BroadcastConfig(n_nodes=144, n_agents=8, record_coverage=True)
+        )
+        assert not supports_batched_broadcast(
+            BroadcastConfig(n_nodes=144, n_agents=8, mobility="static")
+        )
+        assert not supports_batched_gossip(
+            GossipConfig(n_nodes=100, n_agents=4, mobility="brownian")
+        )
+        # Unknown mobility kwargs must fall back to serial, which rejects
+        # them — the batched backend must not accept what serial refuses.
+        bad_kwargs = BroadcastConfig(
+            n_nodes=144, n_agents=8, mobility_kwargs={"rule": "lazy", "speed": 2}
+        )
+        assert not supports_batched_broadcast(bad_kwargs)
+        assert resolve_backend(bad_kwargs) == "serial"
+        with pytest.raises(TypeError):
+            run_broadcast_replications(bad_kwargs, 1, seed=0)
+        assert not supports_batched_gossip(
+            GossipConfig(n_nodes=100, n_agents=4, mobility_kwargs={"rul": "simple"})
+        )
+        config = BroadcastConfig(n_nodes=144, n_agents=8, record_frontier=True)
+        assert resolve_backend(config) == "serial"
+
+    def test_argument_overrides_config_backend(self):
+        config = BroadcastConfig(n_nodes=144, n_agents=8, backend="serial")
+        assert resolve_backend(config) == "serial"
+        assert resolve_backend(config, backend="batched") == "batched"
+        assert resolve_backend(config, backend="auto") == "batched"
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            BroadcastConfig(n_nodes=144, n_agents=8, backend="gpu")
+        config = BroadcastConfig(n_nodes=144, n_agents=8)
+        with pytest.raises(ValidationError):
+            resolve_backend(config, backend="gpu")
+
+    def test_explicit_batched_on_unsupported_config_raises(self):
+        config = BroadcastConfig(n_nodes=144, n_agents=8, record_frontier=True)
+        with pytest.raises(ValueError):
+            run_broadcast_replications_batched(config, 2, seed=0)
+        gossip = GossipConfig(n_nodes=100, n_agents=4, mobility="static")
+        with pytest.raises(ValueError):
+            run_gossip_replications_batched(gossip, 2, seed=0)
+
+    def test_backends_agree_bit_for_bit(self):
+        config = BroadcastConfig(n_nodes=256, n_agents=12)
+        serial, _ = run_broadcast_replications(config, 4, seed=9, backend="serial")
+        batched, _ = run_broadcast_replications(config, 4, seed=9, backend="batched")
+        assert np.array_equal(serial.values, batched.values)
+
+    def test_serial_fallback_configs_still_run(self):
+        config = BroadcastConfig(n_nodes=144, n_agents=6, record_frontier=True, max_steps=40)
+        summary, results = run_broadcast_replications(config, 2, seed=0)
+        assert summary.n_replications == 2
+        assert all(res.frontier_history is not None for res in results)

@@ -1,0 +1,260 @@
+"""Property-based tests (hypothesis) for the batched replication backend.
+
+Two families of invariants:
+
+* **backend equivalence** — the batched backend must reproduce the serial
+  backend *trial for trial* (not just in distribution) under identical
+  seeds, across radii, step rules and horizon truncation;
+* **connectivity oracles** — the lexsort spatial hash, the batched
+  union–find and the batched component labelling must match naive
+  ``O(k^2)`` references on random small inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.connectivity.batched import batched_visibility_labels
+from repro.connectivity.spatial_hash import neighbor_pairs
+from repro.connectivity.unionfind import UnionFind
+from repro.connectivity.visibility import visibility_components
+from repro.core.config import BroadcastConfig, GossipConfig
+from repro.core.protocol import (
+    flood_informed,
+    flood_informed_batch,
+    flood_rumors,
+    flood_rumors_batch,
+)
+from repro.core.runner import run_broadcast_replications, run_gossip_replications
+from repro.grid.geometry import pairwise_manhattan
+
+point_sets = st.lists(
+    st.tuples(st.integers(0, 25), st.integers(0, 25)), min_size=1, max_size=40
+).map(lambda pts: np.array(pts, dtype=np.int64))
+
+radii = st.sampled_from([0.0, 1.0, 2.0, 3.0])
+
+
+def brute_force_pairs(positions: np.ndarray, radius: float) -> set[tuple[int, int]]:
+    dists = pairwise_manhattan(positions)
+    k = positions.shape[0]
+    return {(i, j) for i in range(k) for j in range(i + 1, k) if dists[i, j] <= radius}
+
+
+def reference_labels(positions: np.ndarray, radius: float) -> np.ndarray:
+    """Naive O(k^2) component labelling via sequential single unions."""
+    k = positions.shape[0]
+    uf = UnionFind(k)
+    for a, b in brute_force_pairs(positions, radius):
+        uf.union(a, b)
+    return uf.labels()
+
+
+def same_partition(a: np.ndarray, b: np.ndarray) -> bool:
+    """Whether two label arrays induce the same partition."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    return bool(np.array_equal(a[:, None] == a[None, :], b[:, None] == b[None, :]))
+
+
+# --------------------------------------------------------------------------- #
+# Connectivity oracles
+# --------------------------------------------------------------------------- #
+class TestConnectivityOracles:
+    @settings(max_examples=40, deadline=None)
+    @given(pts=point_sets, radius=radii)
+    def test_neighbor_pairs_matches_naive_reference(self, pts, radius):
+        pairs = neighbor_pairs(pts, radius)
+        assert {(int(a), int(b)) for a, b in pairs} == brute_force_pairs(pts, radius)
+        if pairs.shape[0]:
+            assert np.all(pairs[:, 0] < pairs[:, 1])
+            assert len({tuple(p) for p in pairs.tolist()}) == pairs.shape[0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(pts=point_sets, radius=radii)
+    def test_visibility_components_match_naive_reference(self, pts, radius):
+        assert same_partition(
+            visibility_components(pts, radius), reference_labels(pts, radius)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 40),
+        edge_seed=st.integers(0, 2**31 - 1),
+        n_edges=st.integers(0, 60),
+    )
+    def test_union_batch_matches_sequential_unions(self, n, edge_seed, n_edges):
+        rng = np.random.default_rng(edge_seed)
+        edges = rng.integers(0, n, size=(n_edges, 2))
+        sequential = UnionFind(n)
+        for a, b in edges:
+            sequential.union(int(a), int(b))
+        batched = UnionFind(n)
+        batched.union_batch(edges)
+        assert batched.n_components == sequential.n_components
+        assert same_partition(batched.labels(), sequential.labels())
+        assert all(
+            batched.component_size(i) == sequential.component_size(i) for i in range(n)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_trials=st.integers(1, 5),
+        k=st.integers(1, 15),
+        radius=radii,
+        pos_seed=st.integers(0, 2**31 - 1),
+    )
+    def test_batched_labels_match_per_trial_components(self, n_trials, k, radius, pos_seed):
+        rng = np.random.default_rng(pos_seed)
+        positions = rng.integers(0, 12, size=(n_trials, k, 2))
+        labels = batched_visibility_labels(positions, radius)
+        for trial in range(n_trials):
+            assert same_partition(labels[trial], visibility_components(positions[trial], radius))
+        # Components of different trials must never share a label.
+        for trial in range(1, n_trials):
+            assert not np.intersect1d(labels[trial], labels[:trial]).size
+
+
+# --------------------------------------------------------------------------- #
+# Batched stepping
+# --------------------------------------------------------------------------- #
+class TestBatchedStepping:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        side=st.integers(2, 12),
+        n_trials=st.integers(1, 5),
+        k=st.integers(1, 12),
+        rule=st.sampled_from(["lazy", "simple"]),
+        seed=st.integers(0, 2**31 - 1),
+        n_steps=st.integers(1, 8),
+    )
+    def test_step_batch_matches_per_trial_serial_steps(
+        self, side, n_trials, k, rule, seed, n_steps
+    ):
+        from repro.grid.lattice import Grid2D
+        from repro.util.rng import spawn_rngs
+        from repro.walks.engine import lazy_step, lazy_step_batch, simple_step, simple_step_batch
+
+        grid = Grid2D(side)
+        init = np.random.default_rng(seed).integers(0, side, size=(n_trials, k, 2))
+        batch_rngs = spawn_rngs(seed, n_trials)
+        serial_rngs = spawn_rngs(seed, n_trials)
+        step_batch = lazy_step_batch if rule == "lazy" else simple_step_batch
+        step = lazy_step if rule == "lazy" else simple_step
+
+        batched = init.copy()
+        serial = init.copy()
+        for _ in range(n_steps):
+            batched = step_batch(grid, batched, batch_rngs)
+            for trial in range(n_trials):
+                serial[trial] = step(grid, serial[trial], serial_rngs[trial])
+        assert np.array_equal(batched, serial)
+
+
+# --------------------------------------------------------------------------- #
+# Batched flooding
+# --------------------------------------------------------------------------- #
+class TestBatchedFlooding:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_trials=st.integers(1, 4),
+        k=st.integers(1, 12),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_flood_informed_batch_matches_per_trial(self, n_trials, k, seed):
+        rng = np.random.default_rng(seed)
+        positions = rng.integers(0, 6, size=(n_trials, k, 2))
+        informed = rng.random((n_trials, k)) < 0.3
+        labels = batched_visibility_labels(positions, 0.0)
+        flooded = flood_informed_batch(informed, labels)
+        for trial in range(n_trials):
+            per_trial_labels = visibility_components(positions[trial], 0.0)
+            expected = flood_informed(informed[trial], per_trial_labels)
+            assert np.array_equal(flooded[trial], expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_trials=st.integers(1, 4),
+        k=st.integers(1, 10),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_flood_rumors_batch_matches_per_trial(self, n_trials, k, seed):
+        rng = np.random.default_rng(seed)
+        positions = rng.integers(0, 6, size=(n_trials, k, 2))
+        rumors = rng.random((n_trials, k, k)) < 0.2
+        labels = batched_visibility_labels(positions, 1.0)
+        flooded = flood_rumors_batch(rumors, labels)
+        for trial in range(n_trials):
+            per_trial_labels = visibility_components(positions[trial], 1.0)
+            expected = flood_rumors(rumors[trial], per_trial_labels)
+            assert np.array_equal(flooded[trial], expected)
+
+
+# --------------------------------------------------------------------------- #
+# Backend equivalence (the batched engine's core contract)
+# --------------------------------------------------------------------------- #
+class TestBackendEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        side=st.integers(6, 14),
+        k=st.integers(2, 10),
+        radius=st.sampled_from([0.0, 1.0, 2.0]),
+        rule=st.sampled_from(["lazy", "simple"]),
+        n_replications=st.integers(1, 5),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_broadcast_backends_identical_trial_for_trial(
+        self, side, k, radius, rule, n_replications, seed
+    ):
+        config = BroadcastConfig(
+            n_nodes=side * side,
+            n_agents=k,
+            radius=radius,
+            max_steps=80,
+            mobility_kwargs={"rule": rule},
+        )
+        serial_summary, serial_results = run_broadcast_replications(
+            config, n_replications, seed=seed, backend="serial"
+        )
+        batched_summary, batched_results = run_broadcast_replications(
+            config, n_replications, seed=seed, backend="batched"
+        )
+        assert np.array_equal(serial_summary.values, batched_summary.values)
+        for serial, batched in zip(serial_results, batched_results):
+            assert serial.broadcast_time == batched.broadcast_time
+            assert serial.completed == batched.completed
+            assert serial.n_steps == batched.n_steps
+            assert serial.n_informed == batched.n_informed
+            assert np.array_equal(serial.informed_curve, batched.informed_curve)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        side=st.integers(5, 10),
+        k=st.integers(2, 7),
+        radius=st.sampled_from([0.0, 1.0]),
+        n_replications=st.integers(1, 4),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_gossip_backends_identical_trial_for_trial(
+        self, side, k, radius, n_replications, seed
+    ):
+        config = GossipConfig(
+            n_nodes=side * side, n_agents=k, radius=radius, max_steps=80
+        )
+        serial_summary, serial_results = run_gossip_replications(
+            config, n_replications, seed=seed, backend="serial"
+        )
+        batched_summary, batched_results = run_gossip_replications(
+            config, n_replications, seed=seed, backend="batched"
+        )
+        assert np.array_equal(serial_summary.values, batched_summary.values)
+        for serial, batched in zip(serial_results, batched_results):
+            assert serial.gossip_time == batched.gossip_time
+            assert serial.completed == batched.completed
+            assert serial.n_steps == batched.n_steps
+            assert serial.min_rumors_known == batched.min_rumors_known
+            assert serial.first_rumor_broadcast_time == batched.first_rumor_broadcast_time
+            assert np.array_equal(serial.knowledge_curve, batched.knowledge_curve)
