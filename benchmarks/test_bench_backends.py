@@ -59,3 +59,17 @@ def test_backend_results_identical():
     serial, _ = run_broadcast_replications(CONFIG, REPLICATIONS, seed=11, backend="serial")
     batched, _ = run_broadcast_replications(CONFIG, REPLICATIONS, seed=11, backend="batched")
     assert np.array_equal(serial.values, batched.values)
+
+
+def test_bench_matrix_quick_smoke(tmp_path):
+    record = bench_main(["--matrix", "--quick", "--output", str(tmp_path / "matrix.json")])
+    assert record["benchmark"] == "mobility_backend_matrix"
+    # Every built-in mobility model runs on both backends, bit-for-bit.
+    assert set(record["scenarios"]) == {
+        "lazy_walk", "simple_walk", "brownian", "waypoint", "jump", "obstacle_wall",
+    }
+    for entry in record["scenarios"].values():
+        assert entry["bitwise_identical"] is True
+        assert entry["serial_seconds"] > 0
+        assert entry["batched_seconds"] > 0
+    assert (tmp_path / "matrix.json").exists()

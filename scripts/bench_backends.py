@@ -1,16 +1,26 @@
 #!/usr/bin/env python
 """Benchmark the serial vs batched replication backends.
 
-Times ``run_broadcast_replications`` on a fixed replication-heavy workload
-(by default 64 replications of a broadcast on an ~10^4-node grid with ~10^2
-agents at r = 0 — the paper's sparse regime) under both backends, checks
-that the two produce bit-for-bit identical per-trial broadcast times, and
-writes the measurements to a JSON file (``BENCH_PR1.json`` by default) as
-the first point of the repo's performance trajectory.
+Two modes:
+
+* default — times ``run_broadcast_replications`` on a fixed
+  replication-heavy workload (64 replications of a broadcast on an
+  ~10^4-node grid with ~10^2 agents at r = 0, the paper's sparse regime)
+  under both backends and writes the record to ``BENCH_PR1.json``.  This is
+  the first point of the repo's performance trajectory.
+* ``--matrix`` — times a mobility-model x backend matrix (lazy walk,
+  simple walk, Brownian, waypoint, jump, obstacle wall) and writes the
+  per-scenario records to ``BENCH_PR2.json``: the second point of the
+  trajectory, demonstrating that every mobility kernel runs on the batched
+  backend.
+
+Every measurement checks that the two backends produce bit-for-bit
+identical per-trial broadcast times before recording anything.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_backends.py            # full workload
+    PYTHONPATH=src python scripts/bench_backends.py            # full PR1 workload
+    PYTHONPATH=src python scripts/bench_backends.py --matrix   # full PR2 matrix
     PYTHONPATH=src python scripts/bench_backends.py --quick    # smoke test
 """
 
@@ -26,6 +36,7 @@ import numpy as np
 
 from repro.core.config import BroadcastConfig
 from repro.core.runner import run_broadcast_replications
+from repro.grid.obstacles import ObstacleGrid
 
 
 def time_backend(
@@ -36,6 +47,31 @@ def time_backend(
     summary, _ = run_broadcast_replications(config, n_replications, seed=seed, backend=backend)
     elapsed = time.perf_counter() - start
     return elapsed, summary.values
+
+
+def _measure(config: BroadcastConfig, n_replications: int, seed: int) -> dict:
+    """Serial-vs-batched timing record for one configuration."""
+    serial_time, serial_values = time_backend(config, n_replications, seed, "serial")
+    batched_time, batched_values = time_backend(config, n_replications, seed, "batched")
+    if not np.array_equal(serial_values, batched_values):
+        raise AssertionError("backends disagree: batched backend is not bit-for-bit serial")
+    completed = serial_values[serial_values >= 0]
+    return {
+        "serial_seconds": serial_time,
+        "batched_seconds": batched_time,
+        "speedup": serial_time / batched_time if batched_time else float("inf"),
+        "bitwise_identical": True,
+        "mean_broadcast_time": float(completed.mean()) if completed.size else None,
+        "completion_rate": float(completed.size / serial_values.size),
+    }
+
+
+def _environment() -> dict:
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+    }
 
 
 def run_benchmark(
@@ -50,12 +86,7 @@ def run_benchmark(
     config = BroadcastConfig(
         n_nodes=n_nodes, n_agents=n_agents, radius=radius, max_steps=max_steps
     )
-    serial_time, serial_values = time_backend(config, n_replications, seed, "serial")
-    batched_time, batched_values = time_backend(config, n_replications, seed, "batched")
-    if not np.array_equal(serial_values, batched_values):
-        raise AssertionError("backends disagree: batched backend is not bit-for-bit serial")
-    completed = serial_values[serial_values >= 0]
-    return {
+    record = {
         "benchmark": "broadcast_replications_serial_vs_batched",
         "workload": {
             "n_nodes": n_nodes,
@@ -65,16 +96,99 @@ def run_benchmark(
             "seed": seed,
             "max_steps": max_steps,
         },
-        "serial_seconds": serial_time,
-        "batched_seconds": batched_time,
-        "speedup": serial_time / batched_time if batched_time else float("inf"),
-        "bitwise_identical": True,
-        "mean_broadcast_time": float(completed.mean()) if completed.size else None,
-        "completion_rate": float(completed.size / serial_values.size),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "machine": platform.machine(),
     }
+    record.update(_measure(config, n_replications, seed))
+    record.update(_environment())
+    return record
+
+
+def matrix_scenarios(quick: bool = False) -> dict[str, dict]:
+    """The mobility-model x backend matrix workloads.
+
+    Each entry describes one scenario: the mobility model (with kwargs), the
+    grid/agent sizes and the replication count.  ``quick`` shrinks every
+    scenario to a smoke-test size.
+    """
+    if quick:
+        side, k, reps, max_steps = 24, 12, 4, 2000
+    else:
+        side, k, reps, max_steps = 100, 100, 32, None
+    gap_width = max(2, side // 25)
+    wall = ObstacleGrid.with_wall(side, gap_width=gap_width)
+    scenarios = {
+        "lazy_walk": {"mobility": "random_walk", "mobility_kwargs": {}},
+        # r = 0 would never complete under the simple rule: always-move walks
+        # on the bipartite grid preserve coordinate parity, so opposite-parity
+        # agents cannot co-locate.  Radius 1 removes the parity obstruction.
+        "simple_walk": {
+            "mobility": "random_walk",
+            "mobility_kwargs": {"rule": "simple"},
+            "radius": 1.0,
+        },
+        "brownian": {"mobility": "brownian", "mobility_kwargs": {"sigma": 1.0}},
+        "waypoint": {"mobility": "waypoint", "mobility_kwargs": {}},
+        "jump": {"mobility": "jump", "mobility_kwargs": {"jump_radius": 2}},
+        "obstacle_wall": {
+            "mobility": "obstacle_walk",
+            "mobility_kwargs": {"domain": wall},
+            "domain_spec": {"side": side, "gap_width": gap_width},
+        },
+    }
+    for scenario in scenarios.values():
+        scenario.setdefault("n_nodes", side * side)
+        scenario.setdefault("n_agents", k)
+        scenario.setdefault("radius", 0.0)
+        scenario.setdefault("n_replications", reps)
+        scenario.setdefault("max_steps", max_steps)
+    return scenarios
+
+
+def run_matrix(quick: bool = False, seed: int = 2024) -> dict:
+    """Run the mobility-model x backend matrix and return the result record."""
+    records = {}
+    for name, spec in matrix_scenarios(quick).items():
+        config = BroadcastConfig(
+            n_nodes=spec["n_nodes"],
+            n_agents=spec["n_agents"],
+            radius=spec["radius"],
+            max_steps=spec["max_steps"],
+            mobility=spec["mobility"],
+            mobility_kwargs=spec["mobility_kwargs"],
+        )
+        entry = {
+            "workload": {
+                "mobility": spec["mobility"],
+                "mobility_kwargs": {
+                    key: value
+                    for key, value in spec["mobility_kwargs"].items()
+                    if key != "domain"
+                },
+                "n_nodes": spec["n_nodes"],
+                "n_agents": spec["n_agents"],
+                "radius": spec["radius"],
+                "n_replications": spec["n_replications"],
+                "max_steps": spec["max_steps"],
+                "seed": seed,
+            },
+        }
+        if "domain_spec" in spec:
+            entry["workload"]["domain"] = spec["domain_spec"]
+        entry.update(_measure(config, spec["n_replications"], seed))
+        records[name] = entry
+        print(
+            f"{name:14s} serial {entry['serial_seconds']:7.2f} s   "
+            f"batched {entry['batched_seconds']:7.2f} s   "
+            f"speedup {entry['speedup']:5.2f}x"
+        )
+    record = {
+        "benchmark": "mobility_backend_matrix",
+        "scenarios": records,
+        "max_speedup_non_lazy": max(
+            entry["speedup"] for name, entry in records.items() if name != "lazy_walk"
+        ),
+    }
+    record.update(_environment())
+    return record
 
 
 def main(argv: list[str] | None = None) -> dict:
@@ -86,11 +200,18 @@ def main(argv: list[str] | None = None) -> dict:
     parser.add_argument("--seed", type=int, default=2024)
     parser.add_argument("--max-steps", type=int, default=None)
     parser.add_argument(
+        "--matrix",
+        action="store_true",
+        help="run the mobility-model x backend matrix instead of the single "
+        "PR1 workload (default output: repo-root BENCH_PR2.json)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=None,
-        help="where to write the JSON record (default: repo-root BENCH_PR1.json; "
-        "with --quick the default is to not write a file)",
+        help="where to write the JSON record (default: repo-root BENCH_PR1.json, "
+        "or BENCH_PR2.json with --matrix; with --quick the default is to not "
+        "write a file)",
     )
     parser.add_argument(
         "--quick",
@@ -100,7 +221,22 @@ def main(argv: list[str] | None = None) -> dict:
     )
     args = parser.parse_args(argv)
 
-    if args.quick:
+    if args.matrix:
+        ignored = {
+            "--n-nodes": args.n_nodes != 10_000,
+            "--n-agents": args.n_agents != 100,
+            "--radius": args.radius != 0.0,
+            "--replications": args.replications != 64,
+            "--max-steps": args.max_steps is not None,
+        }
+        if any(ignored.values()):
+            flags = ", ".join(name for name, hit in ignored.items() if hit)
+            parser.error(
+                f"{flags} only apply to the single-workload mode; the --matrix "
+                "scenarios are fixed (use --quick for the small variant)"
+            )
+        record = run_matrix(quick=args.quick, seed=args.seed)
+    elif args.quick:
         record = run_benchmark(
             n_nodes=32 * 32, n_agents=16, radius=args.radius,
             n_replications=8, seed=args.seed, max_steps=2000,
@@ -111,14 +247,16 @@ def main(argv: list[str] | None = None) -> dict:
             n_replications=args.replications, seed=args.seed, max_steps=args.max_steps,
         )
 
-    print(
-        f"serial  : {record['serial_seconds']:8.2f} s\n"
-        f"batched : {record['batched_seconds']:8.2f} s\n"
-        f"speedup : {record['speedup']:8.2f}x  (bit-for-bit identical results)"
-    )
+    if not args.matrix:
+        print(
+            f"serial  : {record['serial_seconds']:8.2f} s\n"
+            f"batched : {record['batched_seconds']:8.2f} s\n"
+            f"speedup : {record['speedup']:8.2f}x  (bit-for-bit identical results)"
+        )
     output = args.output
     if output is None and not args.quick:
-        output = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+        name = "BENCH_PR2.json" if args.matrix else "BENCH_PR1.json"
+        output = Path(__file__).resolve().parent.parent / name
     if output is not None:
         output.write_text(json.dumps(record, indent=2) + "\n")
         print(f"wrote {output}")

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro list
     python -m repro run E1 --scale small --seed 0
+    python -m repro run E1 --scale small --backend batched
     python -m repro run all --scale tiny --json results.json
     python -m repro workload E3 --scale paper
 """
@@ -15,6 +16,7 @@ import sys
 from typing import Sequence
 
 from repro.analysis.report import ExperimentReport
+from repro.core.config import BACKENDS
 from repro.experiments import available_experiments, experiment_description, run_experiment
 from repro.util.serialization import dump_json, to_jsonable
 from repro.workloads import SCALES, get_workload
@@ -37,6 +39,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("experiment", help="experiment id (E1..E16) or 'all'")
     run_parser.add_argument("--scale", choices=SCALES, default="small")
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="replication backend for every simulation in the run: 'serial', "
+        "'batched' (error if a config does not support it), or 'auto' "
+        "(batched wherever supported); default: each config's own choice",
+    )
     run_parser.add_argument("--json", metavar="PATH", help="also write the report(s) as JSON")
     run_parser.set_defaults(func=_cmd_run)
 
@@ -61,7 +71,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         experiment_ids = [args.experiment.upper()]
     reports: list[ExperimentReport] = []
     for experiment_id in experiment_ids:
-        report = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+        report = run_experiment(
+            experiment_id, scale=args.scale, seed=args.seed, backend=args.backend
+        )
         reports.append(report)
         print(report.render())
         print()

@@ -21,6 +21,7 @@ from repro.core.protocol import (
 from repro.core.metrics import FrontierTracker, CoverageTracker, InformedCurve
 from repro.core.runner import (
     ReplicationSummary,
+    backend_override,
     resolve_backend,
     run_broadcast_replications,
     run_gossip_replications,
@@ -48,6 +49,7 @@ __all__ = [
     "CoverageTracker",
     "InformedCurve",
     "ReplicationSummary",
+    "backend_override",
     "resolve_backend",
     "run_broadcast_replications",
     "run_gossip_replications",

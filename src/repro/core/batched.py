@@ -7,9 +7,14 @@ random streams.  The serial backend (:mod:`repro.core.simulation`,
 advances all ``R`` of them simultaneously as an ``(R, k, 2)`` position
 tensor:
 
-* one batched mobility step for every trial at once — lazy-walk proposals
-  are pre-drawn per trial in blocks (:class:`_LazyChoiceBuffer`) and applied
-  batch-wide via :func:`repro.walks.engine.apply_lazy_choices`;
+* one batched mobility step for every trial at once, delegated to the
+  mobility model's :meth:`~repro.mobility.base.MobilityModel.batch_stepper`
+  — the kernel layer of :mod:`repro.mobility.kernels`.  Models with
+  fixed-size per-step draws (lazy walk, obstacle walk, Brownian) pre-draw
+  per-trial blocks and apply them batch-wide; models with data-dependent
+  draws (simple walk, jump, waypoint redraws) step trial by trial but stay
+  vectorised over agents, and still share the batched labelling/flooding
+  passes below;
 * one sort-based component labelling over the whole batch
   (:func:`repro.connectivity.batched.batched_visibility_labels`);
 * one flooding pass over the whole batch
@@ -21,9 +26,10 @@ tensor:
 Bit-for-bit equivalence with the serial backend is part of the contract:
 each trial owns the generator that :func:`repro.util.rng.spawn_rngs` would
 hand its serial counterpart and consumes it in exactly the same order
-(initial positions, then source choice, then one mobility draw per executed
-step), so ``backend="batched"`` and ``backend="serial"`` return identical
-results for identical seeds — verified trial-for-trial by the property tests.
+(mobility state, then initial positions, then source choice, then the
+per-step mobility draws), so ``backend="batched"`` and ``backend="serial"``
+return identical results for identical seeds — verified trial-for-trial by
+the property tests, for every built-in mobility model.
 """
 
 from __future__ import annotations
@@ -37,40 +43,10 @@ from repro.core.protocol import flood_informed_batch, flood_rumors_batch
 from repro.core.runner import ReplicationSummary, summarise_values
 from repro.core.simulation import BroadcastResult
 from repro.grid.lattice import Grid2D
+from repro.mobility import make_mobility
+from repro.mobility.base import MobilityModel
 from repro.util.rng import RandomState, SeedLike, spawn_rngs
-from repro.util.validation import check_positive_int
-from repro.walks.engine import apply_lazy_choices, simple_step_batch
-
-
-class _LazyChoiceBuffer:
-    """Per-trial lazy-step proposals, pre-drawn in blocks to amortise rng calls.
-
-    ``rng.integers(0, 5, size=(block, k))`` consumes the generator's stream
-    exactly as ``block`` successive per-step draws of size ``k`` would, so
-    pre-drawing changes nothing about any trial's trajectory — it only
-    replaces ~``block`` small generator calls with one.  Trials advance in
-    lockstep (completed trials leave, none join), so a single shared cursor
-    tracks every active trial's position within the current block.
-    """
-
-    def __init__(self, rngs: list[RandomState], k: int, block: int = 128) -> None:
-        self._rngs = rngs
-        self._k = k
-        self._block = block
-        self._buffer = np.empty((len(rngs), block, k), dtype=np.int64)
-        self._cursor = block  # forces a fill on first use
-
-    def next_choices(self, active: np.ndarray) -> np.ndarray:
-        """The ``(len(active), k)`` proposal rows for this step's active trials."""
-        cursor = self._cursor
-        if cursor == self._block:
-            for trial in active:
-                self._buffer[trial] = self._rngs[trial].integers(
-                    0, 5, size=(self._block, self._k)
-                )
-            cursor = 0
-        self._cursor = cursor + 1
-        return self._buffer[active, cursor]
+from repro.util.validation import ValidationError, check_positive_int
 
 
 def _regroup_curves(
@@ -89,7 +65,9 @@ def _regroup_curves(
     sorted_trials = flat_trials[order]
     sorted_counts = flat_counts[order]
     bounds = np.searchsorted(sorted_trials, np.arange(n_trials + 1))
-    return [sorted_counts[bounds[i] : bounds[i + 1]] for i in range(n_trials)]
+    # Copies, not views: a view would pin the whole batch's step records in
+    # memory for as long as any single trial's curve is kept alive.
+    return [sorted_counts[bounds[i] : bounds[i + 1]].copy() for i in range(n_trials)]
 
 
 def _flood_colocated(grid: Grid2D, positions: np.ndarray, informed: np.ndarray) -> np.ndarray:
@@ -112,58 +90,74 @@ def _flood_colocated(grid: Grid2D, positions: np.ndarray, informed: np.ndarray) 
     return node_informed[key].reshape(informed.shape)
 
 
+def _build_mobility(config: BroadcastConfig | GossipConfig) -> tuple[Grid2D, MobilityModel]:
+    """The grid and mobility model a serial simulation would construct."""
+    grid = Grid2D.from_nodes(config.n_nodes)
+    mobility = make_mobility(config.mobility, grid, **dict(config.mobility_kwargs))
+    return grid, mobility
+
+
+def _mobility_supported(config: BroadcastConfig | GossipConfig) -> bool:
+    """Whether the config names a constructible mobility model.
+
+    Every registered kernel runs on the batched backend, so the only
+    disqualifier is a configuration the serial backend would refuse too
+    (unknown model name, invalid or unknown kwargs): the batched backend
+    must not silently accept what serial would reject.
+    """
+    try:
+        _build_mobility(config)
+    except (ValidationError, ValueError, TypeError):
+        return False
+    return True
+
+
 def supports_batched_broadcast(config: BroadcastConfig) -> bool:
     """Whether the batched backend can run this broadcast configuration.
 
-    The batched backend implements the paper's random-walk mobility and the
-    plain broadcast observables; frontier/coverage tracking and the other
-    mobility models stay on the serial path.  Unknown ``mobility_kwargs``
-    also disqualify a config: the serial backend rejects them, so the
-    batched backend must not silently accept what serial would refuse.
+    Every built-in mobility model (including obstacle-walk domains) is
+    supported; only the frontier/coverage observables stay on the serial
+    path, since they track per-trial trajectories the batched state layout
+    does not carry.
     """
     return (
-        config.mobility == "random_walk"
-        and set(dict(config.mobility_kwargs)) <= {"rule"}
-        and not config.record_frontier
+        not config.record_frontier
         and not config.record_coverage
+        and _mobility_supported(config)
     )
 
 
 def supports_batched_gossip(config: GossipConfig) -> bool:
     """Whether the batched backend can run this gossip configuration."""
-    return config.mobility == "random_walk" and set(dict(config.mobility_kwargs)) <= {"rule"}
-
-
-def _walk_rule(mobility_kwargs) -> str:
-    rule = dict(mobility_kwargs).get("rule", "lazy")
-    if rule not in ("lazy", "simple"):
-        raise ValueError(f"rule must be 'lazy' or 'simple', got {rule!r}")
-    return rule
+    return _mobility_supported(config)
 
 
 def _initial_state(
+    mobility: MobilityModel,
     config: BroadcastConfig | GossipConfig,
     rngs: list[RandomState],
     with_source: bool,
-) -> tuple[Grid2D, np.ndarray, np.ndarray]:
-    """Grid, ``(R, k, 2)`` positions and per-trial sources, drawn per trial.
+) -> tuple[list, np.ndarray, np.ndarray]:
+    """Per-trial mobility states, ``(R, k, 2)`` positions and sources.
 
-    Mirrors the serial simulators' constructor draw order exactly: initial
-    positions first, then (for broadcast) the source index.
+    Mirrors the serial simulators' constructor draw order exactly: mobility
+    state first, then initial positions, then (for broadcast) the source
+    index.
     """
-    grid = Grid2D.from_nodes(config.n_nodes)
     n_trials = len(rngs)
     k = config.n_agents
     positions = np.empty((n_trials, k, 2), dtype=np.int64)
     sources = np.zeros(n_trials, dtype=np.int64)
+    states = []
     for trial, rng in enumerate(rngs):
-        positions[trial] = grid.random_positions(k, rng)
+        states.append(mobility.init_state(k, rng))
+        positions[trial] = mobility.initial_positions(k, rng)
         if with_source:
             source = getattr(config, "source", None)
             if source is None:
                 source = int(rng.integers(0, k))
             sources[trial] = int(source)
-    return grid, positions, sources
+    return states, positions, sources
 
 
 def run_broadcast_replications_batched(
@@ -180,13 +174,12 @@ def run_broadcast_replications_batched(
     n_replications = check_positive_int(n_replications, "n_replications")
     if not supports_batched_broadcast(config):
         raise ValueError(
-            "configuration not supported by the batched backend (requires "
-            "random_walk mobility, no extra mobility_kwargs, and no "
-            "frontier/coverage recording)"
+            "configuration not supported by the batched backend (requires a "
+            "valid mobility configuration and no frontier/coverage recording)"
         )
     rngs = spawn_rngs(seed, n_replications)
-    rule = _walk_rule(config.mobility_kwargs)
-    grid, positions, sources = _initial_state(config, rngs, with_source=True)
+    grid, mobility = _build_mobility(config)
+    states, positions, sources = _initial_state(mobility, config, rngs, with_source=True)
     k = config.n_agents
     n_trials = n_replications
 
@@ -197,7 +190,7 @@ def run_broadcast_replications_batched(
     n_informed = np.full(n_trials, k, dtype=np.int64)
     step_trials: list[np.ndarray] = []
     step_counts: list[np.ndarray] = []
-    choices = _LazyChoiceBuffer(rngs, k) if rule == "lazy" else None
+    stepper = mobility.batch_stepper(k, rngs, states)
 
     # The hot loop works on arrays compacted to the still-active trials
     # (``active`` maps compact rows back to trial indices); completed trials
@@ -217,12 +210,7 @@ def run_broadcast_replications_batched(
         done = counts == k
         # The serial simulator moves the agents (consuming one draw) even on
         # the step where broadcast completes, so the batched backend does too.
-        if choices is not None:
-            positions = apply_lazy_choices(grid, positions, choices.next_choices(active))
-        else:
-            positions = simple_step_batch(
-                grid, positions, [rngs[trial] for trial in active]
-            )
+        positions = stepper.step(positions, active)
         t += 1
         if done.any():
             finished = active[done]
@@ -264,12 +252,12 @@ def run_gossip_replications_batched(
     n_replications = check_positive_int(n_replications, "n_replications")
     if not supports_batched_gossip(config):
         raise ValueError(
-            "configuration not supported by the batched backend (requires "
-            "random_walk mobility and no extra mobility_kwargs)"
+            "configuration not supported by the batched backend (requires a "
+            "valid mobility configuration)"
         )
     rngs = spawn_rngs(seed, n_replications)
-    rule = _walk_rule(config.mobility_kwargs)
-    grid, positions, _ = _initial_state(config, rngs, with_source=False)
+    grid, mobility = _build_mobility(config)
+    states, positions, _ = _initial_state(mobility, config, rngs, with_source=False)
     k = config.n_agents
     n_trials = n_replications
 
@@ -280,7 +268,7 @@ def run_gossip_replications_batched(
     min_rumors = np.full(n_trials, 1, dtype=np.int64)
     step_trials: list[np.ndarray] = []
     step_counts: list[np.ndarray] = []
-    choices = _LazyChoiceBuffer(rngs, k) if rule == "lazy" else None
+    stepper = mobility.batch_stepper(k, rngs, states)
 
     horizon = config.horizon
     active = np.arange(n_trials)
@@ -295,12 +283,7 @@ def run_gossip_replications_batched(
         first_broadcast[active[newly_first]] = t
         done = totals == k * k
         gossip_time[active[done]] = t
-        if choices is not None:
-            positions = apply_lazy_choices(grid, positions, choices.next_choices(active))
-        else:
-            positions = simple_step_batch(
-                grid, positions, [rngs[trial] for trial in active]
-            )
+        positions = stepper.step(positions, active)
         t += 1
         if done.any():
             finished = active[done]

@@ -61,7 +61,7 @@ class GossipSimulation:
         if mobility is None:
             mobility = make_mobility(config.mobility, self._grid, **dict(config.mobility_kwargs))
         self._mobility = mobility
-        self._mobility.reset(config.n_agents, self._rng)
+        self._mobility_state = mobility.init_state(config.n_agents, self._rng)
 
         self._positions = self._mobility.initial_positions(config.n_agents, self._rng)
         self._rumors = np.eye(config.n_agents, dtype=bool)
@@ -116,7 +116,9 @@ class GossipSimulation:
             self._first_rumor_broadcast_time = self._time
         if self._gossip_time < 0 and self._rumors.all():
             self._gossip_time = self._time
-        self._positions = self._mobility.step(self._positions, self._rng)
+        self._positions = self._mobility.step(
+            self._positions, self._rng, self._mobility_state
+        )
         self._time += 1
 
     def run(self, max_steps: Optional[int] = None) -> GossipResult:

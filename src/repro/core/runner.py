@@ -21,8 +21,9 @@ so the choice is purely a performance knob.  See ``docs/PERFORMANCE.md``.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -110,18 +111,49 @@ def replicate(
     return summarise_values(values)
 
 
+#: Process-wide backend override installed by :func:`backend_override`.
+_BACKEND_OVERRIDE: Optional[str] = None
+
+
+@contextmanager
+def backend_override(backend: Optional[str]) -> Iterator[None]:
+    """Force every replication run in the ``with`` block onto ``backend``.
+
+    This is how the command line's ``--backend`` flag reaches experiments
+    that build their configs internally: the override takes precedence over
+    each config's ``backend`` field (but not over an explicit ``backend``
+    argument passed to a ``run_*_replications`` call).  ``None`` is a no-op;
+    ``"auto"`` re-enables per-config auto-selection.  As with an explicit
+    argument, forcing ``"batched"`` onto an unsupported configuration raises
+    rather than silently falling back — use ``"auto"`` to pick the batched
+    path only where it applies.
+    """
+    global _BACKEND_OVERRIDE
+    if backend is not None:
+        check_backend(backend)
+    previous = _BACKEND_OVERRIDE
+    _BACKEND_OVERRIDE = backend
+    try:
+        yield
+    finally:
+        _BACKEND_OVERRIDE = previous
+
+
 def resolve_backend(
     config: BroadcastConfig | GossipConfig, backend: Optional[str] = None
 ) -> str:
     """Resolve the effective backend (``"serial"`` or ``"batched"``).
 
-    ``backend`` overrides the config's ``backend`` field; ``"auto"`` picks
-    the batched backend whenever the configuration supports it.  An explicit
-    ``"batched"`` request for an unsupported configuration raises when the
-    batched runner is invoked, rather than silently falling back.
+    ``backend`` overrides the config's ``backend`` field (as does an active
+    :func:`backend_override` block); ``"auto"`` picks the batched backend
+    whenever the configuration supports it.  An explicit ``"batched"``
+    request for an unsupported configuration raises when the batched runner
+    is invoked, rather than silently falling back.
     """
     from repro.core.batched import supports_batched_broadcast, supports_batched_gossip
 
+    if backend is None:
+        backend = _BACKEND_OVERRIDE
     choice = check_backend(backend if backend is not None else config.backend)
     if choice != "auto":
         return choice

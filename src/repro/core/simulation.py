@@ -83,7 +83,7 @@ class BroadcastSimulation:
         if mobility is None:
             mobility = make_mobility(config.mobility, self._grid, **dict(config.mobility_kwargs))
         self._mobility = mobility
-        self._mobility.reset(config.n_agents, self._rng)
+        self._mobility_state = mobility.init_state(config.n_agents, self._rng)
 
         self._positions = self._mobility.initial_positions(config.n_agents, self._rng)
         self._informed = np.zeros(config.n_agents, dtype=bool)
@@ -172,7 +172,9 @@ class BroadcastSimulation:
         """Perform one full time step: rumor exchange, recording, then motion."""
         self._exchange()
         self._record()
-        self._positions = self._mobility.step(self._positions, self._rng)
+        self._positions = self._mobility.step(
+            self._positions, self._rng, self._mobility_state
+        )
         self._time += 1
 
     def run(self, max_steps: Optional[int] = None) -> BroadcastResult:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.analysis.report import ExperimentReport
+from repro.core.runner import backend_override
 from repro.experiments import (
     e01_broadcast_vs_k,
     e02_broadcast_vs_n,
@@ -69,9 +70,19 @@ def _module_for(experiment_id: str):
 
 
 def run_experiment(
-    experiment_id: str, scale: str = "small", seed: SeedLike = 0
+    experiment_id: str,
+    scale: str = "small",
+    seed: SeedLike = 0,
+    backend: str | None = None,
 ) -> ExperimentReport:
-    """Run the experiment with the given id at the given scale."""
+    """Run the experiment with the given id at the given scale.
+
+    ``backend`` (``"serial"``, ``"batched"`` or ``"auto"``) forces every
+    replication run inside the experiment onto that backend via
+    :func:`repro.core.runner.backend_override`; ``None`` keeps each config's
+    own choice.
+    """
     module = _module_for(experiment_id)
     runner: Callable[..., ExperimentReport] = module.run
-    return runner(scale=scale, seed=seed)
+    with backend_override(backend):
+        return runner(scale=scale, seed=seed)

@@ -25,11 +25,16 @@ import numpy as np
 
 from repro.connectivity.barriers import barrier_visibility_components
 from repro.connectivity.visibility import visibility_components
-from repro.core.config import default_max_steps
+from repro.core.config import BroadcastConfig, default_max_steps
 from repro.core.protocol import flood_informed
+from repro.core.runner import (
+    ReplicationSummary,
+    run_broadcast_replications,
+    summarise_values,
+)
 from repro.grid.obstacles import ObstacleGrid
 from repro.mobility.obstacle_walk import ObstacleWalkMobility
-from repro.util.rng import RandomState, default_rng
+from repro.util.rng import RandomState, SeedLike, default_rng, spawn_rngs
 from repro.util.validation import check_non_negative, check_positive_int
 
 
@@ -84,7 +89,7 @@ class BarrierBroadcastSimulation:
         self._block_communication = bool(block_communication)
         self._rng = default_rng(rng)
         if max_steps is None:
-            max_steps = 2 * default_max_steps(max(domain.n_free, 2), n_agents)
+            max_steps = default_barrier_horizon(domain, n_agents)
         self._horizon = check_positive_int(max_steps, "max_steps")
 
         self._mobility = ObstacleWalkMobility(domain)
@@ -156,3 +161,83 @@ class BarrierBroadcastSimulation:
             n_steps=self._time,
             informed_curve=np.asarray(self._informed_curve, dtype=np.int64),
         )
+
+
+def default_barrier_horizon(domain: ObstacleGrid, n_agents: int) -> int:
+    """Default horizon for obstacle domains.
+
+    Scales like the open-grid horizon on the number of *free* nodes, doubled
+    because bottlenecks slow mixing down.
+    """
+    return 2 * default_max_steps(max(domain.n_free, 2), n_agents)
+
+
+def run_barrier_broadcast_replications(
+    domain: ObstacleGrid,
+    n_agents: int,
+    n_replications: int,
+    *,
+    radius: float = 0.0,
+    block_communication: bool = True,
+    max_steps: Optional[int] = None,
+    seed: SeedLike = None,
+    backend: Optional[str] = None,
+) -> tuple[ReplicationSummary, list[BarrierBroadcastResult]]:
+    """Replicated barrier broadcast, on the fast batched path where possible.
+
+    Whenever the communication barriers are inert — ``radius == 0`` (the
+    paper's sparse regime), ``block_communication`` off, or an obstacle-free
+    domain — the run is exactly an open-core broadcast under obstacle-walk
+    mobility, so it is dispatched through
+    :func:`repro.core.runner.run_broadcast_replications` with
+    ``mobility="obstacle_walk"`` and inherits the batched backend (the
+    ``backend`` argument and :func:`repro.core.runner.backend_override` both
+    apply).  Only line-of-sight configurations fall back to one serial
+    :class:`BarrierBroadcastSimulation` per trial; per-trial results are
+    bit-for-bit identical between the two routes for identical seeds.
+    """
+    check_positive_int(n_replications, "n_replications")
+    if max_steps is None:
+        max_steps = default_barrier_horizon(domain, n_agents)
+    needs_line_of_sight = (
+        radius > 0 and block_communication and domain.n_blocked > 0
+    )
+    if not needs_line_of_sight:
+        config = BroadcastConfig(
+            n_nodes=domain.side * domain.side,
+            n_agents=n_agents,
+            radius=radius,
+            max_steps=max_steps,
+            mobility="obstacle_walk",
+            mobility_kwargs={"domain": domain},
+        )
+        summary, core_results = run_broadcast_replications(
+            config, n_replications, seed=seed, backend=backend
+        )
+        results = [
+            BarrierBroadcastResult(
+                n_free_nodes=domain.n_free,
+                n_agents=n_agents,
+                radius=radius,
+                broadcast_time=res.broadcast_time,
+                completed=res.completed,
+                n_steps=res.n_steps,
+                informed_curve=res.informed_curve,
+            )
+            for res in core_results
+        ]
+        return summary, results
+    rngs = spawn_rngs(seed, n_replications)
+    results = [
+        BarrierBroadcastSimulation(
+            domain,
+            n_agents,
+            radius=radius,
+            block_communication=block_communication,
+            max_steps=max_steps,
+            rng=rng,
+        ).run()
+        for rng in rngs
+    ]
+    summary = summarise_values([res.broadcast_time for res in results])
+    return summary, results

@@ -43,6 +43,8 @@ class ObstacleGrid:
             raise ValueError("the obstacle mask blocks every node of the grid")
         self._grid = grid
         self._blocked = blocked.copy()
+        self._free = ~self._blocked
+        self._free.setflags(write=False)
 
     # ------------------------------------------------------------------ #
     # Factories
@@ -115,6 +117,16 @@ class ObstacleGrid:
     def blocked_mask(self) -> np.ndarray:
         """Copy of the ``(side, side)`` blocked-node mask."""
         return self._blocked.copy()
+
+    @property
+    def free_mask(self) -> np.ndarray:
+        """Read-only ``(side, side)`` mask of free nodes.
+
+        Returned without copying (write-protected) so hot loops — the masked
+        proposal rejection of the obstacle-walk kernel — can index it every
+        step without allocating.
+        """
+        return self._free
 
     @property
     def n_blocked(self) -> int:

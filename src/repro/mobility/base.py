@@ -1,33 +1,52 @@
-"""Abstract interface of a mobility model."""
+"""Abstract interface of a mobility model (the batch-aware kernel contract)."""
 
 from __future__ import annotations
 
 import abc
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.grid.lattice import Grid2D
+from repro.mobility.kernels import (
+    BatchStepper,
+    MobilityState,
+    PerTrialStepper,
+    _check_batch_positions,
+)
 from repro.util.rng import RandomState
 
 
 class MobilityModel(abc.ABC):
     """A rule for placing agents initially and moving them at each time step.
 
-    Subclasses must be *stateless with respect to individual simulations*
-    except for configuration: the simulation core passes the positions array
-    explicitly so that one model instance can be shared across replications.
-    Models that need per-agent auxiliary state (e.g. waypoints) may keep it
-    keyed on the positions array identity via :meth:`reset`.
+    A model instance holds *configuration only* (the grid and the model's
+    parameters); everything a single trial needs beyond its positions array
+    lives in an explicit per-trial :class:`~repro.mobility.kernels.MobilityState`
+    created by :meth:`init_state`, so one model instance can drive any number
+    of concurrent trials.
+
+    Every model is a *batch-aware kernel*: it exposes both the per-trial
+    ``step(positions, rng, state)`` and the vectorised
+    ``step_batch(positions, rngs, states)`` over an ``(R, k, 2)`` tensor of
+    ``R`` independent trials, plus :meth:`batch_stepper` for loop-persistent
+    batched stepping (see :mod:`repro.mobility.kernels`).  All batched entry
+    points consume each trial's generator in exactly the order ``step``
+    would, so a batched trial reproduces its serial counterpart bit for bit
+    — the contract the ``backend="batched"`` replication engine relies on.
     """
 
     def __init__(self, grid: Grid2D) -> None:
         self._grid = grid
+        self._shared_state: Optional[MobilityState] = None
 
     @property
     def grid(self) -> Grid2D:
         """The lattice on which agents move."""
         return self._grid
 
+    # ------------------------------------------------------------------ #
+    # Initial conditions and per-trial state
     # ------------------------------------------------------------------ #
     def initial_positions(self, n_agents: int, rng: RandomState) -> np.ndarray:
         """Initial placement: uniform and independent over the grid nodes.
@@ -37,15 +56,106 @@ class MobilityModel(abc.ABC):
         """
         return self._grid.random_positions(n_agents, rng)
 
-    def reset(self, n_agents: int, rng: RandomState) -> None:
-        """Reset any per-simulation auxiliary state (default: nothing)."""
+    def init_state(self, n_agents: int, rng: RandomState) -> Optional[MobilityState]:
+        """Draw a fresh per-trial auxiliary state (default: none).
 
+        Stateful models (e.g. the waypoint model) override this; the caller
+        owns the returned object and passes it back to every ``step`` /
+        ``step_batch`` call of that trial.
+        """
+        return None
+
+    def init_states(
+        self, n_agents: int, rngs: Sequence[RandomState]
+    ) -> list[Optional[MobilityState]]:
+        """One :meth:`init_state` per replication, in trial order."""
+        return [self.init_state(n_agents, rng) for rng in rngs]
+
+    def reset(self, n_agents: int, rng: RandomState) -> None:
+        """Re-draw the model-held fallback state.
+
+        Compatibility shim for callers that treat the model as stateful and
+        call ``step`` without an explicit state; new code should carry the
+        state returned by :meth:`init_state` instead.
+        """
+        self._shared_state = self.init_state(n_agents, rng)
+
+    # ------------------------------------------------------------------ #
+    # Stepping
+    # ------------------------------------------------------------------ #
     @abc.abstractmethod
-    def step(self, positions: np.ndarray, rng: RandomState) -> np.ndarray:
+    def step(
+        self,
+        positions: np.ndarray,
+        rng: RandomState,
+        state: Optional[MobilityState] = None,
+    ) -> np.ndarray:
         """Return the positions after one movement step.
 
-        Must not mutate ``positions`` in place.
+        Must not mutate ``positions`` in place.  ``state`` is the trial's
+        auxiliary state from :meth:`init_state`; stateful models fall back to
+        the model-held state (re-drawing it if absent or sized for a
+        different agent count) when ``state`` is None.
         """
+
+    def step_batch(
+        self,
+        positions: np.ndarray,
+        rngs: Sequence[RandomState],
+        states: Optional[Sequence[Optional[MobilityState]]] = None,
+    ) -> np.ndarray:
+        """Advance ``R`` independent trials by one step each.
+
+        ``positions`` has shape ``(R, k, 2)`` with one generator (and, for
+        stateful models, one state) per trial.  The default implementation
+        loops over trials calling :meth:`step`, which is always
+        stream-equivalent; models whose draws are fixed-size override it
+        with a vectorised version.
+        """
+        positions = _check_batch_positions(positions, rngs)
+        states = self._check_states(positions.shape[0], states)
+        out = np.empty_like(positions)
+        for trial, rng in enumerate(rngs):
+            out[trial] = self.step(positions[trial], rng, states[trial])
+        return out
+
+    def batch_stepper(
+        self,
+        n_agents: int,
+        rngs: Sequence[RandomState],
+        states: Optional[Sequence[Optional[MobilityState]]] = None,
+    ) -> BatchStepper:
+        """A loop-persistent batched stepper for a replication run.
+
+        Unlike the one-shot :meth:`step_batch`, the returned object may
+        amortise generator calls across steps (block pre-drawing) while
+        preserving per-trial stream equivalence.  The default wraps
+        :meth:`step` in a :class:`~repro.mobility.kernels.PerTrialStepper`.
+        """
+        return PerTrialStepper(self, rngs, self._check_states(len(rngs), states))
+
+    # ------------------------------------------------------------------ #
+    def _check_states(
+        self,
+        n_trials: int,
+        states: Optional[Sequence[Optional[MobilityState]]],
+    ) -> list[Optional[MobilityState]]:
+        """Validate a per-trial state list, defaulting to all-None."""
+        if states is None:
+            if self._requires_state():
+                raise ValueError(
+                    f"{type(self).__name__} keeps per-trial auxiliary state; pass "
+                    "the states from init_states() to batched stepping"
+                )
+            return [None] * n_trials
+        states = list(states)
+        if len(states) != n_trials:
+            raise ValueError(f"expected {n_trials} states, got {len(states)}")
+        return states
+
+    def _requires_state(self) -> bool:
+        """Whether batched stepping needs explicit per-trial states."""
+        return type(self).init_state is not MobilityModel.init_state
 
     # ------------------------------------------------------------------ #
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -10,16 +10,30 @@ needed for the above-percolation comparison experiment (E14).
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 import numpy as np
 
 from repro.grid.lattice import Grid2D
 from repro.mobility.base import MobilityModel
+from repro.mobility.kernels import (
+    BatchStepper,
+    BlockDrawStepper,
+    MobilityState,
+    NoDrawStepper,
+    _check_batch_positions,
+)
 from repro.util.rng import RandomState
 from repro.util.validation import check_non_negative
 
 
 class BrownianMobility(MobilityModel):
-    """Rounded-Gaussian displacement of standard deviation ``sigma`` per step."""
+    """Rounded-Gaussian displacement of standard deviation ``sigma`` per step.
+
+    The per-step draw is one fixed-size Gaussian array per trial, so batched
+    stepping pre-draws per-trial blocks and applies the rounding/reflection
+    to the whole batch at once.
+    """
 
     def __init__(self, grid: Grid2D, sigma: float = 1.0) -> None:
         super().__init__(grid)
@@ -30,13 +44,51 @@ class BrownianMobility(MobilityModel):
         """Per-step displacement standard deviation."""
         return self._sigma
 
-    def step(self, positions: np.ndarray, rng: RandomState) -> np.ndarray:
+    def _apply(self, positions: np.ndarray, displacement: np.ndarray) -> np.ndarray:
+        proposed = positions + np.rint(displacement).astype(np.int64)
+        return _reflect(proposed, self._grid.side)
+
+    def step(
+        self,
+        positions: np.ndarray,
+        rng: RandomState,
+        state: Optional[MobilityState] = None,
+    ) -> np.ndarray:
         positions = np.asarray(positions, dtype=np.int64)
         if self._sigma == 0:
             return positions.copy()
-        displacement = np.rint(rng.normal(0.0, self._sigma, size=positions.shape)).astype(np.int64)
-        proposed = positions + displacement
-        return _reflect(proposed, self._grid.side)
+        return self._apply(positions, rng.normal(0.0, self._sigma, size=positions.shape))
+
+    def step_batch(
+        self,
+        positions: np.ndarray,
+        rngs: Sequence[RandomState],
+        states: Optional[Sequence[Optional[MobilityState]]] = None,
+    ) -> np.ndarray:
+        positions = _check_batch_positions(positions, rngs)
+        self._check_states(positions.shape[0], states)
+        if self._sigma == 0:
+            return positions.copy()
+        displacement = np.empty(positions.shape, dtype=np.float64)
+        for trial, rng in enumerate(rngs):
+            displacement[trial] = rng.normal(0.0, self._sigma, size=positions.shape[1:])
+        return self._apply(positions, displacement)
+
+    def batch_stepper(
+        self,
+        n_agents: int,
+        rngs: Sequence[RandomState],
+        states: Optional[Sequence[Optional[MobilityState]]] = None,
+    ) -> BatchStepper:
+        self._check_states(len(rngs), states)
+        if self._sigma == 0:
+            return NoDrawStepper()
+        sigma = self._sigma
+        return BlockDrawStepper(
+            rngs,
+            draw=lambda rng, block: rng.normal(0.0, sigma, size=(block, n_agents, 2)),
+            apply=self._apply,
+        )
 
 
 def _reflect(positions: np.ndarray, side: int) -> np.ndarray:

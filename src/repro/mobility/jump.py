@@ -8,10 +8,13 @@ results require ``R + ρ = Ω(sqrt(log n))`` and ``k = Θ(n)``.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.grid.lattice import Grid2D
 from repro.mobility.base import MobilityModel
+from repro.mobility.kernels import MobilityState
 from repro.util.rng import RandomState
 from repro.util.validation import check_positive_int
 
@@ -21,7 +24,9 @@ class JumpMobility(MobilityModel):
 
     The destination is drawn by rejection sampling from the bounding box of
     the L1 ball, which has acceptance probability about 1/2 and therefore
-    costs O(1) expected draws per agent per step.
+    costs O(1) expected draws per agent per step.  The rejection loop makes
+    the per-step draw count data dependent, so batched stepping uses the
+    per-trial fallback of :class:`~repro.mobility.base.MobilityModel`.
     """
 
     def __init__(self, grid: Grid2D, jump_radius: int = 1) -> None:
@@ -33,7 +38,12 @@ class JumpMobility(MobilityModel):
         """The maximum jump distance ρ."""
         return self._rho
 
-    def step(self, positions: np.ndarray, rng: RandomState) -> np.ndarray:
+    def step(
+        self,
+        positions: np.ndarray,
+        rng: RandomState,
+        state: Optional[MobilityState] = None,
+    ) -> np.ndarray:
         positions = np.asarray(positions, dtype=np.int64)
         k = positions.shape[0]
         rho = self._rho

@@ -1,0 +1,304 @@
+"""Batch-aware stepping machinery shared by all mobility models.
+
+This module is the *kernel layer* of the mobility package: it owns the
+primitive step rules of the paper's random walks (previously duplicated in
+``repro.walks.engine``) and the machinery that lets one mobility model drive
+both execution backends:
+
+* **serial** — ``model.step(positions, rng, state)`` advances one trial;
+* **batched** — ``model.step_batch(positions, rngs, states)`` advances an
+  ``(R, k, 2)`` tensor of ``R`` independent trials in one call, and
+  ``model.batch_stepper(...)`` returns a loop-persistent
+  :class:`BatchStepper` that may amortise generator calls by pre-drawing
+  per-trial blocks.
+
+The contract that makes the backends interchangeable is *stream equivalence*:
+every batched entry point must consume each trial's generator in exactly the
+order the serial ``step`` would, so a batched trial reproduces its serial
+counterpart bit for bit.  Bulk numpy draws preserve this property — e.g.
+``rng.integers(0, 5, size=(block, k))`` yields the same values as ``block``
+successive draws of size ``k`` — which is what :class:`BlockDrawStepper`
+exploits.
+
+Per-trial auxiliary state (e.g. waypoints) lives in explicit
+:class:`MobilityState` objects created by ``model.init_state`` rather than on
+the model instance, so one model can drive many concurrent trials.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Literal, Optional, Sequence
+
+import numpy as np
+
+from repro.grid.lattice import Grid2D
+from repro.util.rng import RandomState
+
+StepRule = Literal["lazy", "simple"]
+
+#: Proposal table: row i is the displacement of proposal i.
+#: Proposal 0 is "stay"; proposals 1-4 are the four axis moves.
+PROPOSALS = np.array(
+    [[0, 0], [1, 0], [-1, 0], [0, 1], [0, -1]],
+    dtype=np.int64,
+)
+
+# Backwards-compatible alias (the table was private in repro.walks.engine).
+_PROPOSALS = PROPOSALS
+
+
+# --------------------------------------------------------------------------- #
+# Primitive step rules (the paper's walks)
+# --------------------------------------------------------------------------- #
+def lazy_step(grid: Grid2D, positions: np.ndarray, rng: RandomState) -> np.ndarray:
+    """Advance every walk by one *lazy* step (the paper's mobility rule).
+
+    Each agent draws one of the five proposals uniformly; off-grid proposals
+    are rejected (the agent stays).  Because each of the ``n_v`` valid
+    neighbours is selected with probability exactly ``1/5`` and the stay
+    probability absorbs the rest, this matches the transition kernel of
+    Section 2 of the paper.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    k = positions.shape[0]
+    choice = rng.integers(0, 5, size=k)
+    return apply_lazy_choices(grid, positions, choice)
+
+
+def simple_step(grid: Grid2D, positions: np.ndarray, rng: RandomState) -> np.ndarray:
+    """Advance every walk by one *simple* (non-lazy) step.
+
+    Each agent moves to a uniformly random valid neighbour.  Implemented by
+    rejection: draw one of the four axis moves, and re-draw (vectorised) for
+    the agents whose proposal left the grid.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    k = positions.shape[0]
+    current = positions.copy()
+    pending = np.arange(k)
+    result = positions.copy()
+    # At most a handful of rounds are needed in practice: corner nodes accept
+    # half of the proposals, so the pending set shrinks geometrically.
+    while pending.size:
+        choice = rng.integers(1, 5, size=pending.size)
+        proposed = current[pending] + PROPOSALS[choice]
+        inside = (
+            (proposed[:, 0] >= 0)
+            & (proposed[:, 0] < grid.side)
+            & (proposed[:, 1] >= 0)
+            & (proposed[:, 1] < grid.side)
+        )
+        accepted = pending[inside]
+        result[accepted] = proposed[inside]
+        pending = pending[~inside]
+    return result
+
+
+def apply_lazy_choices(grid: Grid2D, positions: np.ndarray, choice: np.ndarray) -> np.ndarray:
+    """Apply pre-drawn lazy-step proposals to a positions array.
+
+    ``positions`` has shape ``(..., 2)`` and ``choice`` the matching leading
+    shape, with values in ``0..4`` indexing the proposal table (stay / +x /
+    -x / +y / -y).  Off-grid proposals are rejected (the agent stays),
+    exactly as in :func:`lazy_step`.  Splitting the draw from the apply lets
+    the batched backend pre-draw choices in per-trial blocks while keeping
+    the trajectory identical.
+    """
+    proposed = positions + PROPOSALS[choice]
+    inside = np.all((proposed >= 0) & (proposed < grid.side), axis=-1)
+    return np.where(inside[..., None], proposed, positions)
+
+
+def apply_masked_choices(
+    side: int, free_mask: np.ndarray, positions: np.ndarray, choice: np.ndarray
+) -> np.ndarray:
+    """Apply lazy-step proposals on a domain with blocked nodes.
+
+    Like :func:`apply_lazy_choices` but a proposal is also rejected (the
+    agent stays) when it lands on a node whose entry in the ``(side, side)``
+    boolean ``free_mask`` is False.  This is the masked-proposal-rejection
+    kernel of the obstacle walk, usable on arbitrarily batched position
+    tensors.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    proposed = positions + PROPOSALS[choice]
+    inside = np.all((proposed >= 0) & (proposed < side), axis=-1)
+    # Clip only for the mask lookup; out-of-grid proposals are already
+    # rejected by ``inside`` regardless of what the clipped lookup returns.
+    cx = np.clip(proposed[..., 0], 0, side - 1)
+    cy = np.clip(proposed[..., 1], 0, side - 1)
+    allowed = inside & free_mask[cx, cy]
+    return np.where(allowed[..., None], proposed, positions)
+
+
+def lazy_step_batch(
+    grid: Grid2D, positions: np.ndarray, rngs: Sequence[RandomState]
+) -> np.ndarray:
+    """Advance a batch of replications by one *lazy* step each.
+
+    Parameters
+    ----------
+    grid:
+        The lattice shared by every replication.
+    positions:
+        Integer array of shape ``(R, k, 2)``: the positions of ``R``
+        independent replications.
+    rngs:
+        One generator per replication.  Each trial draws exactly the numbers
+        :func:`lazy_step` would draw from the same generator, so a batched
+        trial reproduces its serial counterpart bit for bit.
+    """
+    positions = _check_batch_positions(positions, rngs)
+    n_trials, k = positions.shape[:2]
+    choice = np.empty((n_trials, k), dtype=np.int64)
+    for i, rng in enumerate(rngs):
+        choice[i] = rng.integers(0, 5, size=k)
+    return apply_lazy_choices(grid, positions, choice)
+
+
+def simple_step_batch(
+    grid: Grid2D, positions: np.ndarray, rngs: Sequence[RandomState]
+) -> np.ndarray:
+    """Advance a batch of replications by one *simple* step each.
+
+    The rejection loop of :func:`simple_step` consumes a data-dependent
+    number of draws per trial, so trials are stepped one generator at a time
+    (still vectorised over the ``k`` agents) to preserve bit-for-bit
+    agreement with the serial backend.
+    """
+    positions = _check_batch_positions(positions, rngs)
+    out = np.empty_like(positions)
+    for i, rng in enumerate(rngs):
+        out[i] = simple_step(grid, positions[i], rng)
+    return out
+
+
+def _check_batch_positions(positions: np.ndarray, rngs: Sequence) -> np.ndarray:
+    positions = np.asarray(positions, dtype=np.int64)
+    if positions.ndim != 3 or positions.shape[2] != 2:
+        raise ValueError(f"positions must have shape (R, k, 2), got {positions.shape}")
+    if len(rngs) != positions.shape[0]:
+        raise ValueError(f"expected {positions.shape[0]} generators, got {len(rngs)}")
+    return positions
+
+
+# --------------------------------------------------------------------------- #
+# Per-trial auxiliary state
+# --------------------------------------------------------------------------- #
+class MobilityState:
+    """Base class of explicit per-trial auxiliary mobility state.
+
+    Models whose dynamics need more than the positions array (e.g. the
+    waypoint model) return one of these from
+    :meth:`repro.mobility.base.MobilityModel.init_state`; the simulation (one
+    object per trial) carries it and passes it back to every ``step`` /
+    ``step_batch`` call.  Keeping the state off the model instance is what
+    lets a single model object drive many concurrent trials — the batched
+    backend holds one state per replication.
+    """
+
+    __slots__ = ()
+
+
+# --------------------------------------------------------------------------- #
+# Batch steppers
+# --------------------------------------------------------------------------- #
+class BatchStepper(abc.ABC):
+    """Loop-persistent advancer of a compacted batch of replications.
+
+    Created once per replication run via
+    :meth:`repro.mobility.base.MobilityModel.batch_stepper` with the full
+    per-trial generator (and state) lists, then called every time step with
+    the positions of the still-active trials only:
+
+    ``positions`` has shape ``(A, k, 2)`` and ``active`` is the length-``A``
+    array mapping compacted rows to *original* trial indices (trials leave
+    the batch when they complete, never join).  Implementations must consume
+    each trial's generator exactly as the serial ``step`` would.
+    """
+
+    @abc.abstractmethod
+    def step(self, positions: np.ndarray, active: np.ndarray) -> np.ndarray:
+        """Advance the active trials by one step and return the new positions."""
+
+
+class PerTrialStepper(BatchStepper):
+    """Bit-for-bit fallback: step each active trial with its own generator.
+
+    Used by models whose per-step draws are data dependent (rejection
+    sampling, arrival-triggered redraws), where a fixed-size bulk draw would
+    desynchronise the stream.  Stepping stays vectorised over the ``k``
+    agents of each trial; only the trial loop is Python.
+    """
+
+    def __init__(
+        self,
+        model,
+        rngs: Sequence[RandomState],
+        states: Sequence[Optional[MobilityState]],
+    ) -> None:
+        self._model = model
+        self._rngs = list(rngs)
+        self._states = list(states)
+
+    def step(self, positions: np.ndarray, active: np.ndarray) -> np.ndarray:
+        out = np.empty_like(positions)
+        for row, trial in enumerate(active):
+            out[row] = self._model.step(
+                positions[row], self._rngs[trial], self._states[trial]
+            )
+        return out
+
+
+class NoDrawStepper(BatchStepper):
+    """Stepper for models that never consume randomness nor move agents."""
+
+    def step(self, positions: np.ndarray, active: np.ndarray) -> np.ndarray:
+        return positions
+
+
+class BlockDrawStepper(BatchStepper):
+    """Pre-draw per-trial random blocks and apply them batch-wide.
+
+    ``draw(rng, block)`` must return the stacked draws of ``block``
+    successive serial steps (leading axis = block axis) while consuming the
+    generator exactly as those successive per-step draws would — true of
+    bulk numpy ``Generator`` calls such as ``rng.integers(0, 5, (block, k))``
+    or ``rng.normal(0, s, (block, k, 2))``.  ``apply(positions, draws)``
+    turns one per-step slice into the new positions for the whole compacted
+    batch.
+
+    Trials advance in lockstep (completed trials leave, none join), so a
+    single shared cursor tracks every active trial's offset within the
+    current block, and refills draw only for the trials still active.
+    """
+
+    def __init__(
+        self,
+        rngs: Sequence[RandomState],
+        draw: Callable[[RandomState, int], np.ndarray],
+        apply: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        block: int = 128,
+    ) -> None:
+        self._rngs = list(rngs)
+        self._draw = draw
+        self._apply = apply
+        self._block = block
+        self._buffer: np.ndarray | None = None
+        self._cursor = block  # forces a fill on first use
+
+    def step(self, positions: np.ndarray, active: np.ndarray) -> np.ndarray:
+        cursor = self._cursor
+        if cursor == self._block:
+            for trial in active:
+                draws = self._draw(self._rngs[trial], self._block)
+                if self._buffer is None:
+                    self._buffer = np.empty(
+                        (len(self._rngs),) + draws.shape, dtype=draws.dtype
+                    )
+                self._buffer[trial] = draws
+            cursor = 0
+        self._cursor = cursor + 1
+        assert self._buffer is not None
+        return self._apply(positions, self._buffer[active, cursor])

@@ -2,11 +2,24 @@
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 import numpy as np
 
 from repro.grid.lattice import Grid2D
 from repro.mobility.base import MobilityModel
-from repro.walks.engine import lazy_step, simple_step, StepRule
+from repro.mobility.kernels import (
+    BatchStepper,
+    BlockDrawStepper,
+    MobilityState,
+    PerTrialStepper,
+    StepRule,
+    _check_batch_positions,
+    apply_lazy_choices,
+    lazy_step,
+    lazy_step_batch,
+    simple_step,
+)
 from repro.util.rng import RandomState
 
 
@@ -34,7 +47,42 @@ class RandomWalkMobility(MobilityModel):
         """The step rule ('lazy' or 'simple')."""
         return self._rule
 
-    def step(self, positions: np.ndarray, rng: RandomState) -> np.ndarray:
+    def step(
+        self,
+        positions: np.ndarray,
+        rng: RandomState,
+        state: Optional[MobilityState] = None,
+    ) -> np.ndarray:
         if self._rule == "lazy":
             return lazy_step(self._grid, positions, rng)
         return simple_step(self._grid, positions, rng)
+
+    def step_batch(
+        self,
+        positions: np.ndarray,
+        rngs: Sequence[RandomState],
+        states: Optional[Sequence[Optional[MobilityState]]] = None,
+    ) -> np.ndarray:
+        if self._rule != "lazy":
+            # The simple rule's rejection loop consumes a data-dependent
+            # number of draws, so trials step one generator at a time.
+            return super().step_batch(positions, rngs, states)
+        positions = _check_batch_positions(positions, rngs)
+        self._check_states(positions.shape[0], states)
+        return lazy_step_batch(self._grid, positions, rngs)
+
+    def batch_stepper(
+        self,
+        n_agents: int,
+        rngs: Sequence[RandomState],
+        states: Optional[Sequence[Optional[MobilityState]]] = None,
+    ) -> BatchStepper:
+        states = self._check_states(len(rngs), states)
+        if self._rule != "lazy":
+            return PerTrialStepper(self, rngs, states)
+        grid = self._grid
+        return BlockDrawStepper(
+            rngs,
+            draw=lambda rng, block: rng.integers(0, 5, size=(block, n_agents)),
+            apply=lambda positions, choice: apply_lazy_choices(grid, positions, choice),
+        )

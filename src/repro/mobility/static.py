@@ -2,14 +2,46 @@
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 import numpy as np
 
 from repro.mobility.base import MobilityModel
+from repro.mobility.kernels import (
+    BatchStepper,
+    MobilityState,
+    NoDrawStepper,
+    _check_batch_positions,
+)
 from repro.util.rng import RandomState
 
 
 class StaticMobility(MobilityModel):
     """Agents that never move."""
 
-    def step(self, positions: np.ndarray, rng: RandomState) -> np.ndarray:
+    def step(
+        self,
+        positions: np.ndarray,
+        rng: RandomState,
+        state: Optional[MobilityState] = None,
+    ) -> np.ndarray:
         return np.asarray(positions, dtype=np.int64).copy()
+
+    def step_batch(
+        self,
+        positions: np.ndarray,
+        rngs: Sequence[RandomState],
+        states: Optional[Sequence[Optional[MobilityState]]] = None,
+    ) -> np.ndarray:
+        positions = _check_batch_positions(positions, rngs)
+        self._check_states(positions.shape[0], states)
+        return positions.copy()
+
+    def batch_stepper(
+        self,
+        n_agents: int,
+        rngs: Sequence[RandomState],
+        states: Optional[Sequence[Optional[MobilityState]]] = None,
+    ) -> BatchStepper:
+        self._check_states(len(rngs), states)
+        return NoDrawStepper()

@@ -5,45 +5,96 @@ it per time step (in the Manhattan sense); when the waypoint is reached a new
 one is drawn.  This model is *not* analysed by the paper — it is included so
 that users can check how robust the Θ̃(n/√k) broadcast-time scaling is to the
 mobility model, one of the future-research directions listed in Section 4.
+
+The per-agent waypoints are *per-trial state*: each trial owns a
+:class:`WaypointState` created by :meth:`RandomWaypointMobility.init_state`,
+so a single model instance can drive any number of concurrent trials (the
+batched backend carries one state per replication).
 """
 
 from __future__ import annotations
+
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.grid.lattice import Grid2D
 from repro.mobility.base import MobilityModel
+from repro.mobility.kernels import (
+    BatchStepper,
+    MobilityState,
+    _check_batch_positions,
+)
 from repro.util.rng import RandomState
+
+
+class WaypointState(MobilityState):
+    """Per-trial waypoint targets: an ``(k, 2)`` integer array."""
+
+    __slots__ = ("waypoints",)
+
+    def __init__(self, waypoints: np.ndarray) -> None:
+        self.waypoints = np.asarray(waypoints, dtype=np.int64)
+
+    @property
+    def n_agents(self) -> int:
+        """Number of agents the state was drawn for."""
+        return self.waypoints.shape[0]
+
+
+def _move_towards(positions: np.ndarray, waypoints: np.ndarray) -> np.ndarray:
+    """One Manhattan step of every agent towards its waypoint (vectorised).
+
+    Works on any leading batch shape: ``positions`` and ``waypoints`` are
+    ``(..., k, 2)``.  Moves along the axis with the larger remaining
+    distance (ties -> x); agents already at their waypoint stay.
+    """
+    new_positions = positions.copy()
+    dx = waypoints[..., 0] - positions[..., 0]
+    dy = waypoints[..., 1] - positions[..., 1]
+    move_x = np.abs(dx) >= np.abs(dy)
+    step_x = np.sign(dx) * move_x
+    step_y = np.sign(dy) * (~move_x)
+    new_positions[..., 0] += step_x.astype(np.int64)
+    new_positions[..., 1] += step_y.astype(np.int64)
+    return new_positions
 
 
 class RandomWaypointMobility(MobilityModel):
     """Move one step per tick toward a uniformly random waypoint."""
 
-    def __init__(self, grid: Grid2D) -> None:
-        super().__init__(grid)
-        self._waypoints: np.ndarray | None = None
-
-    def reset(self, n_agents: int, rng: RandomState) -> None:
+    def init_state(self, n_agents: int, rng: RandomState) -> WaypointState:
         """Draw a fresh waypoint for every agent."""
-        self._waypoints = self._grid.random_positions(n_agents, rng)
+        return WaypointState(self._grid.random_positions(n_agents, rng))
 
-    def step(self, positions: np.ndarray, rng: RandomState) -> np.ndarray:
+    def _resolve_state(
+        self, k: int, rng: RandomState, state: Optional[MobilityState]
+    ) -> WaypointState:
+        """Explicit state if given, else the (lazily drawn) model-held one."""
+        if state is not None:
+            if not isinstance(state, WaypointState):
+                raise TypeError(f"expected WaypointState, got {type(state).__name__}")
+            if state.n_agents != k:
+                raise ValueError(
+                    f"state holds waypoints for {state.n_agents} agents, positions for {k}"
+                )
+            return state
+        shared = self._shared_state
+        if not isinstance(shared, WaypointState) or shared.n_agents != k:
+            shared = self.init_state(k, rng)
+            self._shared_state = shared
+        return shared
+
+    def step(
+        self,
+        positions: np.ndarray,
+        rng: RandomState,
+        state: Optional[MobilityState] = None,
+    ) -> np.ndarray:
         positions = np.asarray(positions, dtype=np.int64)
-        k = positions.shape[0]
-        if self._waypoints is None or self._waypoints.shape[0] != k:
-            self.reset(k, rng)
-        assert self._waypoints is not None
-        waypoints = self._waypoints
-        new_positions = positions.copy()
-
-        dx = waypoints[:, 0] - positions[:, 0]
-        dy = waypoints[:, 1] - positions[:, 1]
-        # Move along the axis with the larger remaining distance (ties -> x).
-        move_x = np.abs(dx) >= np.abs(dy)
-        step_x = np.sign(dx) * move_x
-        step_y = np.sign(dy) * (~move_x)
-        new_positions[:, 0] += step_x.astype(np.int64)
-        new_positions[:, 1] += step_y.astype(np.int64)
+        state = self._resolve_state(positions.shape[0], rng, state)
+        waypoints = state.waypoints
+        new_positions = _move_towards(positions, waypoints)
 
         # Agents that reached their waypoint draw a new one.
         arrived = (new_positions[:, 0] == waypoints[:, 0]) & (
@@ -53,5 +104,64 @@ class RandomWaypointMobility(MobilityModel):
             fresh = self._grid.random_positions(int(arrived.sum()), rng)
             waypoints = waypoints.copy()
             waypoints[arrived] = fresh
-            self._waypoints = waypoints
+            state.waypoints = waypoints
+        return new_positions
+
+    def step_batch(
+        self,
+        positions: np.ndarray,
+        rngs: Sequence[RandomState],
+        states: Optional[Sequence[Optional[MobilityState]]] = None,
+    ) -> np.ndarray:
+        positions = _check_batch_positions(positions, rngs)
+        states = self._check_states(positions.shape[0], states)
+        stepper = _WaypointBatchStepper(self._grid, rngs, states)
+        return stepper.step(positions, np.arange(positions.shape[0]))
+
+    def batch_stepper(
+        self,
+        n_agents: int,
+        rngs: Sequence[RandomState],
+        states: Optional[Sequence[Optional[MobilityState]]] = None,
+    ) -> BatchStepper:
+        return _WaypointBatchStepper(self._grid, rngs, self._check_states(len(rngs), states))
+
+
+class _WaypointBatchStepper(BatchStepper):
+    """Vectorised waypoint stepping: batch-wide movement, per-trial redraws.
+
+    The movement itself consumes no randomness, so it runs on the whole
+    ``(A, k, 2)`` block at once; only the trials in which some agent arrived
+    at its waypoint touch their generator (drawing exactly what the serial
+    step would), so stream equivalence holds trial by trial.
+    """
+
+    def __init__(
+        self,
+        grid: Grid2D,
+        rngs: Sequence[RandomState],
+        states: Sequence[Optional[MobilityState]],
+    ) -> None:
+        self._grid = grid
+        self._rngs = list(rngs)
+        self._states: list[WaypointState] = []
+        for trial, state in enumerate(states):
+            if not isinstance(state, WaypointState):
+                raise TypeError(
+                    f"trial {trial}: expected WaypointState, got {type(state).__name__}"
+                )
+            self._states.append(state)
+
+    def step(self, positions: np.ndarray, active: np.ndarray) -> np.ndarray:
+        waypoints = np.stack([self._states[trial].waypoints for trial in active])
+        new_positions = _move_towards(positions, waypoints)
+        arrived = np.all(new_positions == waypoints, axis=-1)
+        for row in np.flatnonzero(arrived.any(axis=1)):
+            trial = int(active[row])
+            state = self._states[trial]
+            mask = arrived[row]
+            fresh = self._grid.random_positions(int(mask.sum()), self._rngs[trial])
+            updated = state.waypoints.copy()
+            updated[mask] = fresh
+            state.waypoints = updated
         return new_positions

@@ -1,147 +1,39 @@
 """Vectorised stepping of many independent random walks on the grid.
 
-Two step rules are provided:
-
-* ``lazy`` — the paper's rule: an agent on a node with ``n_v`` neighbours
-  moves to each neighbour with probability ``1/5`` and stays with probability
-  ``1 - n_v / 5``.  This keeps the uniform distribution over grid nodes
-  stationary, which the upper-bound proof relies on (the "density condition").
-* ``simple`` — the classical simple random walk that moves to a uniformly
-  random neighbour at every step (used for the Lemma 3 meeting experiments,
-  which are stated for simple walks).
-
-Both rules are implemented by drawing one of five *proposals*
-(stay / +x / -x / +y / -y) per agent and rejecting proposals that would leave
-the grid (the agent stays instead), which reproduces the boundary behaviour
-exactly while remaining a single vectorised numpy operation per step.
+The primitive step rules — ``lazy`` (the paper's kernel, which keeps the
+uniform distribution over grid nodes stationary) and ``simple`` (move to a
+uniformly random neighbour every step, used by the Lemma 3 meeting
+experiments) — live in :mod:`repro.mobility.kernels`, the kernel layer
+shared by the mobility models and both replication backends; this module
+re-exports them for backwards compatibility and provides
+:class:`WalkEngine`, a convenience wrapper that advances ``k`` walks while
+tracking time.
 """
 
 from __future__ import annotations
 
-from typing import Literal, Sequence
-
 import numpy as np
 
 from repro.grid.lattice import Grid2D
+from repro.mobility.kernels import (  # noqa: F401  (re-exported API)
+    StepRule,
+    apply_lazy_choices,
+    lazy_step,
+    lazy_step_batch,
+    simple_step,
+    simple_step_batch,
+)
 from repro.util.rng import RandomState, default_rng
 
-StepRule = Literal["lazy", "simple"]
-
-# Proposal table: row i is the displacement of proposal i.
-# Proposal 0 is "stay"; proposals 1-4 are the four axis moves.
-_PROPOSALS = np.array(
-    [[0, 0], [1, 0], [-1, 0], [0, 1], [0, -1]],
-    dtype=np.int64,
-)
-
-
-def lazy_step(grid: Grid2D, positions: np.ndarray, rng: RandomState) -> np.ndarray:
-    """Advance every walk by one *lazy* step (the paper's mobility rule).
-
-    Each agent draws one of the five proposals uniformly; off-grid proposals
-    are rejected (the agent stays).  Because each of the ``n_v`` valid
-    neighbours is selected with probability exactly ``1/5`` and the stay
-    probability absorbs the rest, this matches the transition kernel of
-    Section 2 of the paper.
-    """
-    positions = np.asarray(positions, dtype=np.int64)
-    k = positions.shape[0]
-    choice = rng.integers(0, 5, size=k)
-    return apply_lazy_choices(grid, positions, choice)
-
-
-def simple_step(grid: Grid2D, positions: np.ndarray, rng: RandomState) -> np.ndarray:
-    """Advance every walk by one *simple* (non-lazy) step.
-
-    Each agent moves to a uniformly random valid neighbour.  Implemented by
-    rejection: draw one of the four axis moves, and re-draw (vectorised) for
-    the agents whose proposal left the grid.
-    """
-    positions = np.asarray(positions, dtype=np.int64)
-    k = positions.shape[0]
-    current = positions.copy()
-    pending = np.arange(k)
-    result = positions.copy()
-    # At most a handful of rounds are needed in practice: corner nodes accept
-    # half of the proposals, so the pending set shrinks geometrically.
-    while pending.size:
-        choice = rng.integers(1, 5, size=pending.size)
-        proposed = current[pending] + _PROPOSALS[choice]
-        inside = (
-            (proposed[:, 0] >= 0)
-            & (proposed[:, 0] < grid.side)
-            & (proposed[:, 1] >= 0)
-            & (proposed[:, 1] < grid.side)
-        )
-        accepted = pending[inside]
-        result[accepted] = proposed[inside]
-        pending = pending[~inside]
-    return result
-
-
-def apply_lazy_choices(grid: Grid2D, positions: np.ndarray, choice: np.ndarray) -> np.ndarray:
-    """Apply pre-drawn lazy-step proposals to a positions array.
-
-    ``positions`` has shape ``(..., 2)`` and ``choice`` the matching leading
-    shape, with values in ``0..4`` indexing the proposal table (stay / +x /
-    -x / +y / -y).  Off-grid proposals are rejected (the agent stays),
-    exactly as in :func:`lazy_step`.  Splitting the draw from the apply lets
-    the batched backend pre-draw choices in per-trial blocks while keeping
-    the trajectory identical.
-    """
-    proposed = positions + _PROPOSALS[choice]
-    inside = np.all((proposed >= 0) & (proposed < grid.side), axis=-1)
-    return np.where(inside[..., None], proposed, positions)
-
-
-def lazy_step_batch(
-    grid: Grid2D, positions: np.ndarray, rngs: Sequence[RandomState]
-) -> np.ndarray:
-    """Advance a batch of replications by one *lazy* step each.
-
-    Parameters
-    ----------
-    grid:
-        The lattice shared by every replication.
-    positions:
-        Integer array of shape ``(R, k, 2)``: the positions of ``R``
-        independent replications.
-    rngs:
-        One generator per replication.  Each trial draws exactly the numbers
-        :func:`lazy_step` would draw from the same generator, so a batched
-        trial reproduces its serial counterpart bit for bit.
-    """
-    positions = np.asarray(positions, dtype=np.int64)
-    if positions.ndim != 3 or positions.shape[2] != 2:
-        raise ValueError(f"positions must have shape (R, k, 2), got {positions.shape}")
-    n_trials, k = positions.shape[:2]
-    if len(rngs) != n_trials:
-        raise ValueError(f"expected {n_trials} generators, got {len(rngs)}")
-    choice = np.empty((n_trials, k), dtype=np.int64)
-    for i, rng in enumerate(rngs):
-        choice[i] = rng.integers(0, 5, size=k)
-    return apply_lazy_choices(grid, positions, choice)
-
-
-def simple_step_batch(
-    grid: Grid2D, positions: np.ndarray, rngs: Sequence[RandomState]
-) -> np.ndarray:
-    """Advance a batch of replications by one *simple* step each.
-
-    The rejection loop of :func:`simple_step` consumes a data-dependent
-    number of draws per trial, so trials are stepped one generator at a time
-    (still vectorised over the ``k`` agents) to preserve bit-for-bit
-    agreement with the serial backend.
-    """
-    positions = np.asarray(positions, dtype=np.int64)
-    if positions.ndim != 3 or positions.shape[2] != 2:
-        raise ValueError(f"positions must have shape (R, k, 2), got {positions.shape}")
-    if len(rngs) != positions.shape[0]:
-        raise ValueError(f"expected {positions.shape[0]} generators, got {len(rngs)}")
-    out = np.empty_like(positions)
-    for i, rng in enumerate(rngs):
-        out[i] = simple_step(grid, positions[i], rng)
-    return out
+__all__ = [
+    "StepRule",
+    "apply_lazy_choices",
+    "lazy_step",
+    "lazy_step_batch",
+    "simple_step",
+    "simple_step_batch",
+    "WalkEngine",
+]
 
 
 class WalkEngine:

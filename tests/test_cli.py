@@ -50,3 +50,29 @@ class TestRunCommand:
     def test_unknown_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "E1", "--scale", "huge"])
+
+
+class TestBackendFlag:
+    def test_backend_flag_accepted(self, capsys):
+        assert main(["run", "E1", "--scale", "tiny", "--backend", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "E1:" in out
+
+    def test_backend_choice_is_scriptable(self, capsys):
+        # The same experiment, seed and scale must give the same report text
+        # under both backends (they are bit-for-bit interchangeable).
+        assert main(["run", "E1", "--scale", "tiny", "--seed", "3", "--backend", "serial"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["run", "E1", "--scale", "tiny", "--seed", "3", "--backend", "batched"]) == 0
+        batched_out = capsys.readouterr().out
+        assert serial_out == batched_out
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "E1", "--backend", "gpu"])
+
+    def test_override_is_restored_after_run(self):
+        from repro.core import runner
+
+        main(["run", "E4", "--scale", "tiny", "--backend", "serial"])
+        assert runner._BACKEND_OVERRIDE is None

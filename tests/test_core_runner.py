@@ -122,18 +122,43 @@ class TestBackendSeam:
         assert resolve_backend(config) == "batched"
         assert resolve_backend(GossipConfig(n_nodes=100, n_agents=4)) == "batched"
 
+    def test_every_builtin_mobility_is_batched_under_auto(self):
+        for mobility, kwargs in [
+            ("random_walk", {}),
+            ("random_walk", {"rule": "simple"}),
+            ("static", {}),
+            ("jump", {"jump_radius": 2}),
+            ("brownian", {"sigma": 1.0}),
+            ("waypoint", {}),
+        ]:
+            config = BroadcastConfig(
+                n_nodes=144, n_agents=8, mobility=mobility, mobility_kwargs=kwargs
+            )
+            assert supports_batched_broadcast(config), mobility
+            assert resolve_backend(config) == "batched"
+            gossip = GossipConfig(
+                n_nodes=100, n_agents=4, mobility=mobility, mobility_kwargs=kwargs
+            )
+            assert supports_batched_gossip(gossip), mobility
+            assert resolve_backend(gossip) == "batched"
+
+    def test_obstacle_walk_is_batched_under_auto(self):
+        from repro.grid.obstacles import ObstacleGrid
+
+        domain = ObstacleGrid.with_wall(12, gap_width=2)
+        config = BroadcastConfig(
+            n_nodes=144, n_agents=8, mobility="obstacle_walk",
+            mobility_kwargs={"domain": domain},
+        )
+        assert supports_batched_broadcast(config)
+        assert resolve_backend(config) == "batched"
+
     def test_auto_falls_back_to_serial_when_unsupported(self):
         assert not supports_batched_broadcast(
             BroadcastConfig(n_nodes=144, n_agents=8, record_frontier=True)
         )
         assert not supports_batched_broadcast(
             BroadcastConfig(n_nodes=144, n_agents=8, record_coverage=True)
-        )
-        assert not supports_batched_broadcast(
-            BroadcastConfig(n_nodes=144, n_agents=8, mobility="static")
-        )
-        assert not supports_batched_gossip(
-            GossipConfig(n_nodes=100, n_agents=4, mobility="brownian")
         )
         # Unknown mobility kwargs must fall back to serial, which rejects
         # them — the batched backend must not accept what serial refuses.
@@ -167,7 +192,7 @@ class TestBackendSeam:
         config = BroadcastConfig(n_nodes=144, n_agents=8, record_frontier=True)
         with pytest.raises(ValueError):
             run_broadcast_replications_batched(config, 2, seed=0)
-        gossip = GossipConfig(n_nodes=100, n_agents=4, mobility="static")
+        gossip = GossipConfig(n_nodes=100, n_agents=4, mobility_kwargs={"bad": 1})
         with pytest.raises(ValueError):
             run_gossip_replications_batched(gossip, 2, seed=0)
 

@@ -1,0 +1,44 @@
+"""The committed docs/EXPERIMENTS.md must match what the code measures.
+
+``scripts/generate_experiments_md.py`` renders the document by running every
+experiment; this test regenerates it at the committed (tiny) scale and seed
+and compares byte for byte, so the document can never drift from the code.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SCRIPT = _REPO_ROOT / "scripts" / "generate_experiments_md.py"
+_DOC = _REPO_ROOT / "docs" / "EXPERIMENTS.md"
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location("generate_experiments_md", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_experiments_md_is_up_to_date():
+    generator = _load_generator()
+    expected = generator.render(scale=generator.DEFAULT_SCALE, seed=generator.DEFAULT_SEED)
+    assert _DOC.exists(), (
+        "docs/EXPERIMENTS.md is missing; regenerate it with "
+        "`python scripts/generate_experiments_md.py`"
+    )
+    actual = _DOC.read_text(encoding="utf-8")
+    assert actual == expected, (
+        "docs/EXPERIMENTS.md is stale; regenerate it with "
+        "`python scripts/generate_experiments_md.py`"
+    )
+
+
+def test_experiments_md_covers_every_experiment():
+    from repro.experiments import available_experiments
+
+    content = _DOC.read_text(encoding="utf-8")
+    for experiment_id in available_experiments():
+        assert f"## {experiment_id} — " in content

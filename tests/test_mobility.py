@@ -7,12 +7,14 @@ import pytest
 
 from repro.grid.geometry import manhattan_distance
 from repro.grid.lattice import Grid2D
+from repro.grid.obstacles import ObstacleGrid
 from repro.mobility import make_mobility
 from repro.mobility.brownian import BrownianMobility, _reflect
 from repro.mobility.jump import JumpMobility
+from repro.mobility.obstacle_walk import ObstacleWalkMobility
 from repro.mobility.random_walk import RandomWalkMobility
 from repro.mobility.static import StaticMobility
-from repro.mobility.waypoint import RandomWaypointMobility
+from repro.mobility.waypoint import RandomWaypointMobility, WaypointState
 
 
 class TestFactory:
@@ -165,14 +167,11 @@ class TestRandomWaypointMobility:
     def test_progresses_towards_waypoint(self, rng):
         grid = Grid2D(20)
         model = RandomWaypointMobility(grid)
-        model.reset(1, rng)
-        model._waypoints = np.array([[19, 19]])
+        state = WaypointState(np.array([[19, 19]]))
         pts = np.array([[0, 0]])
         for _ in range(38):
-            pts = model.step(pts, rng)
-        assert manhattan_distance(pts[0], np.array([19, 19])) == 0 or np.all(
-            pts[0] >= 0
-        )
+            pts = model.step(pts, rng, state)
+        assert manhattan_distance(pts[0], np.array([19, 19])) == 0
 
     def test_reset_on_size_mismatch(self, small_grid, rng):
         model = RandomWaypointMobility(small_grid)
@@ -180,3 +179,85 @@ class TestRandomWaypointMobility:
         pts = small_grid.random_positions(7, rng)
         new = model.step(pts, rng)  # must silently re-reset for 7 agents
         assert new.shape == (7, 2)
+
+
+class TestObstacleWalkFactory:
+    def test_make_mobility_builds_obstacle_walk(self):
+        domain = ObstacleGrid.with_wall(16, gap_width=2)
+        model = make_mobility("obstacle_walk", domain.grid, domain=domain)
+        assert isinstance(model, ObstacleWalkMobility)
+        assert model.domain is domain
+
+    def test_grid_mismatch_rejected(self):
+        domain = ObstacleGrid.with_wall(16, gap_width=2)
+        with pytest.raises(ValueError, match="grid"):
+            make_mobility("obstacle_walk", Grid2D(8), domain=domain)
+
+
+class TestExplicitMobilityState:
+    """Per-trial auxiliary state is explicit, not keyed on array identity."""
+
+    def test_stateless_models_return_none(self, small_grid, rng):
+        for name in ("random_walk", "static", "jump", "brownian"):
+            model = make_mobility(name, small_grid)
+            assert model.init_state(10, rng) is None
+
+    def test_waypoint_states_are_independent(self, small_grid, rng):
+        model = RandomWaypointMobility(small_grid)
+        state_a = model.init_state(5, rng)
+        state_b = model.init_state(5, rng)
+        assert isinstance(state_a, WaypointState)
+        assert state_a is not state_b
+        pts = small_grid.random_positions(5, rng)
+        before_b = state_b.waypoints.copy()
+        for _ in range(30):
+            pts = model.step(pts, rng, state_a)
+        # Advancing trial A never touches trial B's state.
+        assert np.array_equal(state_b.waypoints, before_b)
+
+    def test_copied_positions_array_does_not_break_state(self, small_grid, rng):
+        # Regression: state must not be keyed on the identity of the
+        # positions array — stepping a copy must behave identically.
+        model = RandomWaypointMobility(small_grid)
+        rng_a, rng_b = np.random.default_rng(3), np.random.default_rng(3)
+        state_a = model.init_state(4, rng_a)
+        state_b = model.init_state(4, rng_b)
+        pts = small_grid.random_positions(4, np.random.default_rng(7))
+        a = model.step(pts, rng_a, state_a)
+        b = model.step(pts.copy(), rng_b, state_b)
+        assert np.array_equal(a, b)
+
+    def test_two_simulations_can_share_one_model(self, small_grid):
+        # Two concurrent trials with equal agent counts used to clobber each
+        # other's waypoints through the model-held state.
+        from repro.core.config import BroadcastConfig
+        from repro.core.simulation import BroadcastSimulation
+
+        config = BroadcastConfig(
+            n_nodes=256, n_agents=6, mobility="waypoint", max_steps=30
+        )
+        model = RandomWaypointMobility(small_grid)
+        sim_a = BroadcastSimulation(config, rng=0, mobility=model)
+        sim_b = BroadcastSimulation(config, rng=1, mobility=model)
+        solo = BroadcastSimulation(config, rng=0, mobility=RandomWaypointMobility(small_grid))
+        for _ in range(30):
+            sim_a.step()
+            sim_b.step()
+            solo.step()
+        # Interleaving an unrelated simulation must not perturb trial A.
+        assert np.array_equal(sim_a.positions, solo.positions)
+
+    def test_waypoint_state_size_mismatch_rejected(self, small_grid, rng):
+        model = RandomWaypointMobility(small_grid)
+        state = model.init_state(3, rng)
+        with pytest.raises(ValueError, match="waypoints"):
+            model.step(small_grid.random_positions(5, rng), rng, state)
+
+    def test_batched_stepping_requires_states_for_stateful_models(self, small_grid, rng):
+        from repro.util.rng import spawn_rngs
+
+        model = RandomWaypointMobility(small_grid)
+        rngs = spawn_rngs(0, 3)
+        positions = np.stack([small_grid.random_positions(4, r) for r in rngs])
+        with pytest.raises(ValueError, match="init_states"):
+            model.step_batch(positions, rngs)

@@ -258,3 +258,188 @@ class TestBackendEquivalence:
             assert serial.min_rumors_known == batched.min_rumors_known
             assert serial.first_rumor_broadcast_time == batched.first_rumor_broadcast_time
             assert np.array_equal(serial.knowledge_curve, batched.knowledge_curve)
+
+
+# --------------------------------------------------------------------------- #
+# Per-kernel serial <-> batched equivalence (all mobility models)
+# --------------------------------------------------------------------------- #
+def _make_model(name: str, side: int):
+    """A mobility model on a ``side x side`` grid, plus its config kwargs."""
+    from repro.grid.lattice import Grid2D
+    from repro.grid.obstacles import ObstacleGrid
+    from repro.mobility import make_mobility
+
+    grid = Grid2D(side)
+    kwargs = {
+        "random_walk": {},
+        "simple_walk": {"rule": "simple"},
+        "static": {},
+        "jump": {"jump_radius": 2},
+        "brownian": {"sigma": 1.3},
+        "waypoint": {},
+        "obstacle_walk": {"domain": ObstacleGrid.with_wall(side, gap_width=2)},
+    }[name]
+    registry_name = "random_walk" if name == "simple_walk" else name
+    return make_mobility(registry_name, grid, **kwargs), registry_name, kwargs
+
+
+MOBILITY_NAMES = [
+    "random_walk",
+    "simple_walk",
+    "static",
+    "jump",
+    "brownian",
+    "waypoint",
+    "obstacle_walk",
+]
+
+
+class TestKernelStepping:
+    """Every kernel's batched entry points reproduce its serial steps bit for bit."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        side=st.integers(4, 12),
+        n_trials=st.integers(1, 5),
+        k=st.integers(1, 10),
+        name=st.sampled_from(MOBILITY_NAMES),
+        seed=st.integers(0, 2**31 - 1),
+        n_steps=st.integers(1, 8),
+    )
+    def test_step_batch_matches_per_trial_serial_steps(
+        self, side, n_trials, k, name, seed, n_steps
+    ):
+        from repro.util.rng import spawn_rngs
+
+        model, _, _ = _make_model(name, side)
+        init_rngs = spawn_rngs(seed, n_trials)
+        batch_rngs = spawn_rngs(seed, n_trials)
+        serial_rngs = spawn_rngs(seed, n_trials)
+        init = np.stack(
+            [model.initial_positions(k, rng) for rng in init_rngs]
+        )
+        batch_states = model.init_states(k, batch_rngs)
+        serial_states = model.init_states(k, serial_rngs)
+
+        batched = init.copy()
+        serial = init.copy()
+        for _ in range(n_steps):
+            batched = model.step_batch(batched, batch_rngs, batch_states)
+            for trial in range(n_trials):
+                serial[trial] = model.step(
+                    serial[trial], serial_rngs[trial], serial_states[trial]
+                )
+        assert np.array_equal(batched, serial)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        side=st.integers(4, 12),
+        n_trials=st.integers(1, 5),
+        k=st.integers(1, 10),
+        name=st.sampled_from(MOBILITY_NAMES),
+        seed=st.integers(0, 2**31 - 1),
+        n_steps=st.integers(1, 12),
+    )
+    def test_batch_stepper_matches_per_trial_serial_steps(
+        self, side, n_trials, k, name, seed, n_steps
+    ):
+        """The loop-persistent (block pre-drawing) stepper is stream-equivalent,
+        including under active-trial compaction."""
+        from repro.util.rng import spawn_rngs
+
+        model, _, _ = _make_model(name, side)
+        init = np.stack(
+            [model.initial_positions(k, rng) for rng in spawn_rngs(seed, n_trials)]
+        )
+        batch_rngs = spawn_rngs(seed, n_trials)
+        serial_rngs = spawn_rngs(seed, n_trials)
+        batch_states = model.init_states(k, batch_rngs)
+        serial_states = model.init_states(k, serial_rngs)
+        stepper = model.batch_stepper(k, batch_rngs, batch_states)
+
+        # Drop one trial halfway through, as the replication loop does.
+        active = np.arange(n_trials)
+        batched = init.copy()
+        serial = init.copy()
+        for step_no in range(n_steps):
+            if step_no == n_steps // 2 and active.size > 1:
+                batched = batched[1:]
+                active = active[1:]
+            batched = stepper.step(batched, active)
+            for trial in active:
+                serial[trial] = model.step(
+                    serial[trial], serial_rngs[trial], serial_states[trial]
+                )
+        assert np.array_equal(batched, serial[active])
+
+
+class TestBackendEquivalenceAllModels:
+    """run_*_replications: serial == batched for every mobility model."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        side=st.integers(6, 12),
+        k=st.integers(2, 8),
+        radius=st.sampled_from([0.0, 1.0]),
+        name=st.sampled_from(MOBILITY_NAMES),
+        n_replications=st.integers(1, 4),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_broadcast_backends_identical_for_every_model(
+        self, side, k, radius, name, n_replications, seed
+    ):
+        _, registry_name, kwargs = _make_model(name, side)
+        config = BroadcastConfig(
+            n_nodes=side * side,
+            n_agents=k,
+            radius=radius,
+            max_steps=60,
+            mobility=registry_name,
+            mobility_kwargs=kwargs,
+        )
+        serial_summary, serial_results = run_broadcast_replications(
+            config, n_replications, seed=seed, backend="serial"
+        )
+        batched_summary, batched_results = run_broadcast_replications(
+            config, n_replications, seed=seed, backend="batched"
+        )
+        assert np.array_equal(serial_summary.values, batched_summary.values)
+        for serial, batched in zip(serial_results, batched_results):
+            assert serial.broadcast_time == batched.broadcast_time
+            assert serial.completed == batched.completed
+            assert serial.n_steps == batched.n_steps
+            assert serial.n_informed == batched.n_informed
+            assert np.array_equal(serial.informed_curve, batched.informed_curve)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        side=st.integers(5, 9),
+        k=st.integers(2, 6),
+        name=st.sampled_from(MOBILITY_NAMES),
+        n_replications=st.integers(1, 3),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_gossip_backends_identical_for_every_model(
+        self, side, k, name, n_replications, seed
+    ):
+        _, registry_name, kwargs = _make_model(name, side)
+        config = GossipConfig(
+            n_nodes=side * side,
+            n_agents=k,
+            radius=1.0,
+            max_steps=60,
+            mobility=registry_name,
+            mobility_kwargs=kwargs,
+        )
+        serial_summary, serial_results = run_gossip_replications(
+            config, n_replications, seed=seed, backend="serial"
+        )
+        batched_summary, batched_results = run_gossip_replications(
+            config, n_replications, seed=seed, backend="batched"
+        )
+        assert np.array_equal(serial_summary.values, batched_summary.values)
+        for serial, batched in zip(serial_results, batched_results):
+            assert serial.gossip_time == batched.gossip_time
+            assert serial.n_steps == batched.n_steps
+            assert serial.min_rumors_known == batched.min_rumors_known
+            assert np.array_equal(serial.knowledge_curve, batched.knowledge_curve)
