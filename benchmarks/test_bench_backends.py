@@ -35,6 +35,17 @@ def test_bench_backends_quick_smoke(tmp_path):
     assert (tmp_path / "bench.json").exists()
 
 
+def test_bench_jobs_matrix_quick_smoke(tmp_path):
+    record = bench_main(["--jobs-matrix", "--quick", "--output", str(tmp_path / "bench.json")])
+    assert record["benchmark"] == "sweep_executor_jobs_backend_matrix"
+    for backend in ("serial", "batched"):
+        for entry in record["matrix"][backend].values():
+            assert entry["bitwise_identical"] is True
+            assert entry["seconds"] > 0
+    assert record["cpus_usable"] >= 1
+    assert (tmp_path / "bench.json").exists()
+
+
 @pytest.mark.benchmark(group="ablation-backend")
 def test_backend_serial(benchmark):
     summary, _ = benchmark.pedantic(

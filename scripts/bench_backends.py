@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark the serial vs batched replication backends.
 
-Two modes:
+Three modes:
 
 * default — times ``run_broadcast_replications`` on a fixed
   replication-heavy workload (64 replications of a broadcast on an
@@ -13,21 +13,29 @@ Two modes:
   per-scenario records to ``BENCH_PR2.json``: the second point of the
   trajectory, demonstrating that every mobility kernel runs on the batched
   backend.
+* ``--jobs-matrix`` — times a multi-point sweep through the sharded
+  executor at jobs x backend combinations and writes the records to
+  ``BENCH_PR3.json``: the third point of the trajectory, demonstrating
+  process-level sweep sharding on top of both backends.  The record keeps
+  the host's usable core count — speedups are only meaningful relative to
+  it.
 
-Every measurement checks that the two backends produce bit-for-bit
+Every measurement checks that all execution paths produce bit-for-bit
 identical per-trial broadcast times before recording anything.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_backends.py            # full PR1 workload
-    PYTHONPATH=src python scripts/bench_backends.py --matrix   # full PR2 matrix
-    PYTHONPATH=src python scripts/bench_backends.py --quick    # smoke test
+    PYTHONPATH=src python scripts/bench_backends.py               # full PR1 workload
+    PYTHONPATH=src python scripts/bench_backends.py --matrix      # full PR2 matrix
+    PYTHONPATH=src python scripts/bench_backends.py --jobs-matrix # full PR3 matrix
+    PYTHONPATH=src python scripts/bench_backends.py --quick       # smoke test
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -36,6 +44,7 @@ import numpy as np
 
 from repro.core.config import BroadcastConfig
 from repro.core.runner import run_broadcast_replications
+from repro.exec import SweepExecutor, execution_override
 from repro.grid.obstacles import ObstacleGrid
 
 
@@ -191,6 +200,125 @@ def run_matrix(quick: bool = False, seed: int = 2024) -> dict:
     return record
 
 
+def jobs_matrix_workload(quick: bool = False) -> dict:
+    """The multi-point sweep the ``--jobs-matrix`` mode shards.
+
+    Small-scale sweep points (the paper's sparse r = 0 regime) with enough
+    replications per point that each point decomposes into several work
+    units.
+    """
+    if quick:
+        return {
+            "n_nodes": 16 * 16,
+            "agent_counts": [4, 8],
+            "n_replications": 4,
+            "max_steps": 400,
+            "chunk_size": 2,
+        }
+    return {
+        "n_nodes": 32 * 32,
+        "agent_counts": [16, 32, 64, 128],
+        "n_replications": 32,
+        "max_steps": None,
+        "chunk_size": 4,
+    }
+
+
+def _time_sweep_jobs(
+    configs: list[BroadcastConfig],
+    n_replications: int,
+    seed: int,
+    backend: str,
+    jobs: int,
+    chunk_size: int,
+) -> tuple[float, np.ndarray]:
+    """Wall-clock seconds + concatenated per-trial values for one sweep pass.
+
+    ``jobs == 0`` means the pre-executor in-process path (no override).
+    """
+    start = time.perf_counter()
+    values = []
+    if jobs == 0:
+        for config in configs:
+            summary, _ = run_broadcast_replications(
+                config, n_replications, seed=seed, backend=backend
+            )
+            values.append(summary.values)
+    else:
+        with execution_override(SweepExecutor(jobs=jobs, chunk_size=chunk_size)):
+            for config in configs:
+                summary, _ = run_broadcast_replications(
+                    config, n_replications, seed=seed, backend=backend
+                )
+                values.append(summary.values)
+    elapsed = time.perf_counter() - start
+    return elapsed, np.concatenate(values)
+
+
+def run_jobs_matrix(quick: bool = False, seed: int = 2024) -> dict:
+    """Run the jobs x backend sharding matrix and return the result record."""
+    workload = jobs_matrix_workload(quick)
+    configs = [
+        BroadcastConfig(
+            n_nodes=workload["n_nodes"],
+            n_agents=k,
+            radius=0.0,
+            max_steps=workload["max_steps"],
+        )
+        for k in workload["agent_counts"]
+    ]
+    n_replications = workload["n_replications"]
+    chunk_size = workload["chunk_size"]
+    job_counts = (1, 2) if quick else (1, 2, 4)
+
+    reference, reference_values = _time_sweep_jobs(
+        configs, n_replications, seed, "serial", 0, chunk_size
+    )
+
+    matrix: dict[str, dict[str, dict]] = {}
+    for backend in ("serial", "batched"):
+        matrix[backend] = {}
+        base_seconds = None
+        for jobs in job_counts:
+            elapsed, values = _time_sweep_jobs(
+                configs, n_replications, seed, backend, jobs, chunk_size
+            )
+            if not np.array_equal(values, reference_values):
+                raise AssertionError(
+                    f"sharded sweep ({backend}, jobs={jobs}) is not bit-for-bit "
+                    "identical to the pre-executor serial path"
+                )
+            if jobs == 1:
+                base_seconds = elapsed
+            entry = {
+                "seconds": elapsed,
+                "bitwise_identical": True,
+                "speedup_vs_jobs1": base_seconds / elapsed if elapsed else float("inf"),
+            }
+            matrix[backend][f"jobs{jobs}"] = entry
+            print(
+                f"{backend:8s} jobs={jobs}  {elapsed:7.2f} s   "
+                f"x{entry['speedup_vs_jobs1']:5.2f} vs jobs=1"
+            )
+    record = {
+        "benchmark": "sweep_executor_jobs_backend_matrix",
+        "workload": {**workload, "seed": seed, "job_counts": list(job_counts)},
+        "pre_executor_serial_seconds": reference,
+        "matrix": matrix,
+        "max_speedup_serial": max(
+            entry["speedup_vs_jobs1"] for entry in matrix["serial"].values()
+        ),
+        "cpus_usable": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+        "cpus_total": os.cpu_count(),
+        "note": (
+            "process sharding can only scale up to the usable core count; "
+            "on a single-core host every jobs>1 row degenerates to ~1x"
+        ),
+    }
+    record.update(_environment())
+    return record
+
+
 def main(argv: list[str] | None = None) -> dict:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--n-nodes", type=int, default=10_000)
@@ -206,12 +334,18 @@ def main(argv: list[str] | None = None) -> dict:
         "PR1 workload (default output: repo-root BENCH_PR2.json)",
     )
     parser.add_argument(
+        "--jobs-matrix",
+        action="store_true",
+        help="run the sharded-executor jobs x backend matrix on a multi-point "
+        "sweep (default output: repo-root BENCH_PR3.json)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=None,
         help="where to write the JSON record (default: repo-root BENCH_PR1.json, "
-        "or BENCH_PR2.json with --matrix; with --quick the default is to not "
-        "write a file)",
+        "BENCH_PR2.json with --matrix, or BENCH_PR3.json with --jobs-matrix; "
+        "with --quick the default is to not write a file)",
     )
     parser.add_argument(
         "--quick",
@@ -221,7 +355,10 @@ def main(argv: list[str] | None = None) -> dict:
     )
     args = parser.parse_args(argv)
 
-    if args.matrix:
+    if args.matrix and args.jobs_matrix:
+        parser.error("--matrix and --jobs-matrix are mutually exclusive")
+    if args.matrix or args.jobs_matrix:
+        mode = "--matrix" if args.matrix else "--jobs-matrix"
         ignored = {
             "--n-nodes": args.n_nodes != 10_000,
             "--n-agents": args.n_agents != 100,
@@ -232,10 +369,13 @@ def main(argv: list[str] | None = None) -> dict:
         if any(ignored.values()):
             flags = ", ".join(name for name, hit in ignored.items() if hit)
             parser.error(
-                f"{flags} only apply to the single-workload mode; the --matrix "
+                f"{flags} only apply to the single-workload mode; the {mode} "
                 "scenarios are fixed (use --quick for the small variant)"
             )
+    if args.matrix:
         record = run_matrix(quick=args.quick, seed=args.seed)
+    elif args.jobs_matrix:
+        record = run_jobs_matrix(quick=args.quick, seed=args.seed)
     elif args.quick:
         record = run_benchmark(
             n_nodes=32 * 32, n_agents=16, radius=args.radius,
@@ -247,7 +387,7 @@ def main(argv: list[str] | None = None) -> dict:
             n_replications=args.replications, seed=args.seed, max_steps=args.max_steps,
         )
 
-    if not args.matrix:
+    if not args.matrix and not args.jobs_matrix:
         print(
             f"serial  : {record['serial_seconds']:8.2f} s\n"
             f"batched : {record['batched_seconds']:8.2f} s\n"
@@ -255,7 +395,12 @@ def main(argv: list[str] | None = None) -> dict:
         )
     output = args.output
     if output is None and not args.quick:
-        name = "BENCH_PR2.json" if args.matrix else "BENCH_PR1.json"
+        if args.jobs_matrix:
+            name = "BENCH_PR3.json"
+        elif args.matrix:
+            name = "BENCH_PR2.json"
+        else:
+            name = "BENCH_PR1.json"
         output = Path(__file__).resolve().parent.parent / name
     if output is not None:
         output.write_text(json.dumps(record, indent=2) + "\n")

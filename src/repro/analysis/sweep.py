@@ -25,6 +25,10 @@ class SweepPoint:
         kwargs[self.parameter] = self.value
         return kwargs
 
+    def label(self) -> str:
+        """A stable human-readable identity (used in executor unit labels)."""
+        return f"{self.parameter}={self.value}"
+
 
 @dataclass(frozen=True)
 class ParameterSweep:

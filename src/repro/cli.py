@@ -22,6 +22,20 @@ from repro.util.serialization import dump_json, to_jsonable
 from repro.workloads import SCALES, get_workload
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _experiment_span() -> str:
+    """The registry's id range (e.g. ``"E1..E17"``), kept in sync with it."""
+    ids = available_experiments()
+    return f"{ids[0]}..{ids[-1]}"
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -36,9 +50,33 @@ def _build_parser() -> argparse.ArgumentParser:
     list_parser.set_defaults(func=_cmd_list)
 
     run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
-    run_parser.add_argument("experiment", help="experiment id (E1..E16) or 'all'")
+    run_parser.add_argument("experiment", help=f"experiment id ({_experiment_span()}) or 'all'")
     run_parser.add_argument("--scale", choices=SCALES, default="small")
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for sharded replication execution; results are "
+        "bit-for-bit identical to --jobs 1 (default: 1, in-process)",
+    )
+    run_parser.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="result-store directory: completed work units found there are "
+        "skipped, fresh ones are recorded, so interrupted runs pick up "
+        "where they stopped",
+    )
+    run_parser.add_argument(
+        "--chunk-size",
+        type=_positive_int,
+        default=None,
+        metavar="R",
+        help="replications per work unit (default: derived from the "
+        "replication count; never affects results)",
+    )
     run_parser.add_argument(
         "--backend",
         choices=BACKENDS,
@@ -51,7 +89,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.set_defaults(func=_cmd_run)
 
     workload_parser = subparsers.add_parser("workload", help="show an experiment's workload")
-    workload_parser.add_argument("experiment", help="experiment id (E1..E16)")
+    workload_parser.add_argument("experiment", help=f"experiment id ({_experiment_span()})")
     workload_parser.add_argument("--scale", choices=SCALES, default="small")
     workload_parser.set_defaults(func=_cmd_workload)
 
@@ -65,18 +103,28 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.exec import SweepExecutor, execution_override
+
     if args.experiment.lower() == "all":
         experiment_ids = available_experiments()
     else:
         experiment_ids = [args.experiment.upper()]
+    # One executor (and worker pool) for the whole run: `run all --jobs N`
+    # must not pay a pool spin-up per experiment.  run_experiment's own
+    # executor arguments stay at their defaults, which leave this ambient
+    # override in charge.
+    executor = SweepExecutor.from_options(
+        jobs=args.jobs, chunk_size=args.chunk_size, store=args.resume
+    )
     reports: list[ExperimentReport] = []
-    for experiment_id in experiment_ids:
-        report = run_experiment(
-            experiment_id, scale=args.scale, seed=args.seed, backend=args.backend
-        )
-        reports.append(report)
-        print(report.render())
-        print()
+    with execution_override(executor):
+        for experiment_id in experiment_ids:
+            report = run_experiment(
+                experiment_id, scale=args.scale, seed=args.seed, backend=args.backend
+            )
+            reports.append(report)
+            print(report.render())
+            print()
     if args.json:
         payload = [to_jsonable(report) for report in reports]
         dump_json(payload if len(payload) > 1 else payload[0], args.json)

@@ -34,13 +34,15 @@ the property tests, for every built-in mobility model.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 import numpy as np
 
 from repro.connectivity.batched import batched_visibility_labels
 from repro.core.config import BroadcastConfig, GossipConfig
 from repro.core.gossip import GossipResult
 from repro.core.protocol import flood_informed_batch, flood_rumors_batch
-from repro.core.runner import ReplicationSummary, summarise_values
+from repro.core.runner import ReplicationSummary, check_rng_streams, summarise_values
 from repro.core.simulation import BroadcastResult
 from repro.grid.lattice import Grid2D
 from repro.mobility import make_mobility
@@ -164,12 +166,16 @@ def run_broadcast_replications_batched(
     config: BroadcastConfig,
     n_replications: int,
     seed: SeedLike = None,
+    *,
+    rng_streams: Optional[Sequence[RandomState]] = None,
 ) -> tuple[ReplicationSummary, list[BroadcastResult]]:
     """Batched equivalent of :func:`repro.core.runner.run_broadcast_replications`.
 
     Returns the same ``(summary, results)`` pair, with every
     :class:`~repro.core.simulation.BroadcastResult` identical to the one the
-    serial backend produces for the same seed.
+    serial backend produces for the same seed.  ``rng_streams`` supplies one
+    explicit per-trial generator instead of deriving them from ``seed`` (the
+    executor's chunked work units use this).
     """
     n_replications = check_positive_int(n_replications, "n_replications")
     if not supports_batched_broadcast(config):
@@ -177,7 +183,8 @@ def run_broadcast_replications_batched(
             "configuration not supported by the batched backend (requires a "
             "valid mobility configuration and no frontier/coverage recording)"
         )
-    rngs = spawn_rngs(seed, n_replications)
+    check_rng_streams(rng_streams, n_replications)
+    rngs = list(rng_streams) if rng_streams is not None else spawn_rngs(seed, n_replications)
     grid, mobility = _build_mobility(config)
     states, positions, sources = _initial_state(mobility, config, rngs, with_source=True)
     k = config.n_agents
@@ -243,11 +250,14 @@ def run_gossip_replications_batched(
     config: GossipConfig,
     n_replications: int,
     seed: SeedLike = None,
+    *,
+    rng_streams: Optional[Sequence[RandomState]] = None,
 ) -> tuple[ReplicationSummary, list[GossipResult]]:
     """Batched equivalent of :func:`repro.core.runner.run_gossip_replications`.
 
     The knowledge state is an ``(R, k, k)`` boolean tensor flooded across all
-    trials in one pass per step.
+    trials in one pass per step.  ``rng_streams`` behaves as in
+    :func:`run_broadcast_replications_batched`.
     """
     n_replications = check_positive_int(n_replications, "n_replications")
     if not supports_batched_gossip(config):
@@ -255,7 +265,8 @@ def run_gossip_replications_batched(
             "configuration not supported by the batched backend (requires a "
             "valid mobility configuration)"
         )
-    rngs = spawn_rngs(seed, n_replications)
+    check_rng_streams(rng_streams, n_replications)
+    rngs = list(rng_streams) if rng_streams is not None else spawn_rngs(seed, n_replications)
     grid, mobility = _build_mobility(config)
     states, positions, _ = _initial_state(mobility, config, rngs, with_source=False)
     k = config.n_agents

@@ -17,6 +17,13 @@ the ``backend`` argument (or the config's ``backend`` field):
 The two backends consume identical per-trial random streams (derived with
 :func:`repro.util.rng.spawn_rngs`) and return bit-for-bit identical results,
 so the choice is purely a performance knob.  See ``docs/PERFORMANCE.md``.
+
+Orthogonally to the backend, an active
+:func:`repro.exec.execution_override` shards every replication run into
+(sweep-point × replication-chunk) work units executed in process or over a
+process pool — with per-trial streams re-derived deterministically, so the
+sharded path is also bit-for-bit identical to the plain one.  See
+``docs/PARALLEL.md``.
 """
 
 from __future__ import annotations
@@ -103,11 +110,14 @@ def replicate(
     """Run ``factory(rng)`` with independent streams and summarise the results.
 
     ``factory`` must return a scalar measurement (``-1`` meaning "did not
-    complete").
+    complete").  Under an active :func:`repro.exec.execution_override` the
+    trials are sharded into work units (module-level factories run in worker
+    processes; unpicklable factories fall back to in-process chunks).
     """
+    from repro.exec.executor import map_replications
+
     n_replications = check_positive_int(n_replications, "n_replications")
-    rngs = spawn_rngs(seed, n_replications)
-    values = [float(factory(rng)) for rng in rngs]
+    values = [float(v) for v in map_replications(factory, n_replications, seed)]
     return summarise_values(values)
 
 
@@ -164,24 +174,54 @@ def resolve_backend(
     return "batched" if supported else "serial"
 
 
+def check_rng_streams(rng_streams: Optional[Sequence], n_replications: int) -> None:
+    """Validate an explicit per-trial stream list against the trial count."""
+    if rng_streams is not None and len(rng_streams) != n_replications:
+        raise ValueError(
+            f"rng_streams must hold exactly {n_replications} generators, "
+            f"got {len(rng_streams)}"
+        )
+
+
 def run_broadcast_replications(
     config: BroadcastConfig,
     n_replications: int,
     seed: SeedLike = None,
     backend: Optional[str] = None,
+    *,
+    rng_streams: Optional[Sequence[np.random.Generator]] = None,
 ) -> tuple[ReplicationSummary, list[BroadcastResult]]:
     """Run ``n_replications`` broadcast simulations and summarise ``T_B``.
 
     ``backend`` selects ``"serial"``, ``"batched"`` or ``"auto"`` execution
     (default: the config's ``backend`` field); both backends produce
     bit-for-bit identical results for identical seeds.
+
+    ``rng_streams`` supplies one explicit generator per trial in place of
+    :func:`~repro.util.rng.spawn_rngs` derivation — this is how executor
+    work units run a chunk of the trial range on exactly the streams the
+    full run would use.  When it is absent and a
+    :func:`repro.exec.execution_override` is active, the run is sharded
+    through the active :class:`~repro.exec.SweepExecutor`.
     """
     n_replications = check_positive_int(n_replications, "n_replications")
+    check_rng_streams(rng_streams, n_replications)
+    if rng_streams is None:
+        from repro.exec.executor import current_executor
+
+        executor = current_executor()
+        if executor is not None:
+            return executor.run_replications(
+                "broadcast", config, n_replications, seed,
+                backend=resolve_backend(config, backend),
+            )
     if resolve_backend(config, backend) == "batched":
         from repro.core.batched import run_broadcast_replications_batched
 
-        return run_broadcast_replications_batched(config, n_replications, seed)
-    rngs = spawn_rngs(seed, n_replications)
+        return run_broadcast_replications_batched(
+            config, n_replications, seed, rng_streams=rng_streams
+        )
+    rngs = rng_streams if rng_streams is not None else spawn_rngs(seed, n_replications)
     results = [BroadcastSimulation(config, rng=rng).run() for rng in rngs]
     summary = summarise_values([res.broadcast_time for res in results])
     return summary, results
@@ -192,19 +232,35 @@ def run_gossip_replications(
     n_replications: int,
     seed: SeedLike = None,
     backend: Optional[str] = None,
+    *,
+    rng_streams: Optional[Sequence[np.random.Generator]] = None,
 ) -> tuple[ReplicationSummary, list[GossipResult]]:
     """Run ``n_replications`` gossip simulations and summarise ``T_G``.
 
     ``backend`` selects ``"serial"``, ``"batched"`` or ``"auto"`` execution
     (default: the config's ``backend`` field); both backends produce
-    bit-for-bit identical results for identical seeds.
+    bit-for-bit identical results for identical seeds.  ``rng_streams`` and
+    the executor interception behave as in
+    :func:`run_broadcast_replications`.
     """
     n_replications = check_positive_int(n_replications, "n_replications")
+    check_rng_streams(rng_streams, n_replications)
+    if rng_streams is None:
+        from repro.exec.executor import current_executor
+
+        executor = current_executor()
+        if executor is not None:
+            return executor.run_replications(
+                "gossip", config, n_replications, seed,
+                backend=resolve_backend(config, backend),
+            )
     if resolve_backend(config, backend) == "batched":
         from repro.core.batched import run_gossip_replications_batched
 
-        return run_gossip_replications_batched(config, n_replications, seed)
-    rngs = spawn_rngs(seed, n_replications)
+        return run_gossip_replications_batched(
+            config, n_replications, seed, rng_streams=rng_streams
+        )
+    rngs = rng_streams if rng_streams is not None else spawn_rngs(seed, n_replications)
     results = [GossipSimulation(config, rng=rng).run() for rng in rngs]
     summary = summarise_values([res.gossip_time for res in results])
     return summary, results

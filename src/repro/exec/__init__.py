@@ -1,0 +1,50 @@
+"""Sharded parallel sweep execution with deterministic resume.
+
+Public surface of the ``repro.exec`` subsystem:
+
+* :class:`SweepExecutor` — decomposes replicated measurements into
+  (sweep-point × replication-chunk) work units, runs them in process or
+  over a process pool, and merges the records back;
+* :class:`ResultStore` — the on-disk record store that makes interrupted
+  sweeps resumable;
+* :func:`execution_override` / :func:`current_executor` — the process-wide
+  override through which ``--jobs`` / ``--resume`` reach every experiment's
+  replication loops;
+* :func:`map_replications` — the executor-aware per-trial map experiments
+  use for custom (non broadcast/gossip) replication loops;
+* :class:`WorkUnit` / :func:`unit_key` / :class:`SeedStreamSpec` — the
+  work-unit model, for building custom sweeps on the executor directly.
+
+See ``docs/PARALLEL.md`` for the work-unit model, the determinism contract
+and resume semantics.
+"""
+
+from repro.exec.executor import (
+    SweepExecutor,
+    current_executor,
+    execute_unit,
+    execution_override,
+    map_replications,
+)
+from repro.exec.seeds import SeedStreamSpec
+from repro.exec.store import ResultStore
+from repro.exec.units import (
+    WorkUnit,
+    chunk_bounds,
+    default_chunk_size,
+    unit_key,
+)
+
+__all__ = [
+    "SweepExecutor",
+    "ResultStore",
+    "SeedStreamSpec",
+    "WorkUnit",
+    "chunk_bounds",
+    "current_executor",
+    "default_chunk_size",
+    "execute_unit",
+    "execution_override",
+    "map_replications",
+    "unit_key",
+]

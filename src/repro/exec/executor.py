@@ -1,0 +1,508 @@
+"""Sharded sweep execution with deterministic resume.
+
+:class:`SweepExecutor` decomposes replicated measurements into
+(sweep-point × replication-chunk) :class:`~repro.exec.units.WorkUnit`\\ s,
+derives each unit's RNG streams from a serialisable
+:class:`~repro.exec.seeds.SeedStreamSpec`, dispatches units either in
+process (``jobs=1``, the reference path) or over a
+``concurrent.futures.ProcessPoolExecutor`` (``jobs>1``), and merges chunk
+records back into the ordinary ``(ReplicationSummary, results)`` shapes.
+
+Determinism contract
+--------------------
+Trial ``i`` of a sweep point always consumes the stream derived from the
+point seed's ``i``-th spawned child — exactly the stream the pre-executor
+serial path hands it — so results are bit-for-bit independent of the worker
+count, the chunk size and the completion order of units.  Every unit record
+passes through the canonical JSON-able form (the same form the
+:class:`~repro.exec.store.ResultStore` persists), so a resumed run and an
+uninterrupted run assemble identical reports.
+
+The module-global override installed by :func:`execution_override` is how
+``--jobs`` reaches the replication runners inside experiments without
+per-experiment plumbing, mirroring
+:func:`repro.core.runner.backend_override`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.exec.seeds import SeedStreamSpec
+from repro.exec.store import ResultStore
+from repro.exec.units import (
+    WorkUnit,
+    chunk_bounds,
+    describe_payload,
+    payload_is_picklable,
+    unit_key,
+)
+from repro.util.rng import SeedLike, spawn_rngs
+from repro.util.serialization import to_jsonable
+
+#: Environment variable selecting the multiprocessing start method
+#: ("fork", "spawn", "forkserver"); unset uses the platform default.
+START_METHOD_ENV = "REPRO_EXEC_START_METHOD"
+
+
+# --------------------------------------------------------------------------- #
+# Unit execution (runs inside pool workers; must stay module-level picklable).
+# --------------------------------------------------------------------------- #
+def execute_unit(unit: WorkUnit) -> dict[str, Any]:
+    """Execute one work unit and return its canonical JSON-able record.
+
+    Safe to call in any process: streams are re-derived from the unit's seed
+    spec, and any inherited executor override is suspended so nested
+    execution can never recurse into a pool.
+    """
+    with _suspended_override():
+        if unit.kind in ("broadcast", "gossip"):
+            return _execute_simulation_unit(unit)
+        if unit.kind == "map":
+            return _execute_map_unit(unit)
+        raise ValueError(f"unknown unit kind {unit.kind!r}")
+
+
+def _execute_simulation_unit(unit: WorkUnit) -> dict[str, Any]:
+    from repro.core.runner import run_broadcast_replications, run_gossip_replications
+
+    config = unit.payload["config"]
+    streams = unit.seed.trial_rngs(unit.start, unit.stop)
+    runner = run_broadcast_replications if unit.kind == "broadcast" else run_gossip_replications
+    summary, results = runner(
+        config, unit.n_trials, backend=unit.backend, rng_streams=streams
+    )
+    return {
+        "values": [float(v) for v in summary.values],
+        "results": [_result_record(res) for res in results],
+    }
+
+
+def _execute_map_unit(unit: WorkUnit) -> dict[str, Any]:
+    fn: Callable[..., Any] = unit.payload["fn"]
+    kwargs = dict(unit.payload.get("kwargs") or {})
+    trials = []
+    for rng in unit.seed.trial_rngs(unit.start, unit.stop):
+        trials.append(to_jsonable(fn(rng, **kwargs)))
+    return {"trials": trials}
+
+
+#: BroadcastResult / GossipResult fields carried through records; ``config``
+#: is reattached from the unit payload at merge time instead of being
+#: serialised once per trial.
+_INT_ARRAY_FIELDS = ("informed_curve", "knowledge_curve", "frontier_history")
+
+
+def _result_record(result: Any) -> dict[str, Any]:
+    """A simulation result dataclass as a JSON-able record (minus config)."""
+    import dataclasses
+
+    record = {}
+    for f in dataclasses.fields(result):
+        if f.name == "config":
+            continue
+        record[f.name] = to_jsonable(getattr(result, f.name))
+    return record
+
+
+def _result_from_record(kind: str, record: Mapping[str, Any], config: Any) -> Any:
+    from repro.core.gossip import GossipResult
+    from repro.core.simulation import BroadcastResult
+
+    fields = dict(record)
+    for name in _INT_ARRAY_FIELDS:
+        if fields.get(name) is not None:
+            fields[name] = np.asarray(fields[name], dtype=np.int64)
+    cls = BroadcastResult if kind == "broadcast" else GossipResult
+    return cls(config=config, **fields)
+
+
+def _merge_simulation_records(
+    kind: str, config: Any, records: Sequence[Mapping[str, Any]]
+) -> tuple[Any, list[Any]]:
+    """Chunk records (in trial order) -> ``(ReplicationSummary, results)``."""
+    from repro.core.runner import summarise_values
+
+    values: list[float] = []
+    results: list[Any] = []
+    for record in records:
+        values.extend(float(v) for v in record["values"])
+        results.extend(_result_from_record(kind, res, config) for res in record["results"])
+    return summarise_values(values), results
+
+
+# --------------------------------------------------------------------------- #
+# The executor
+# --------------------------------------------------------------------------- #
+class SweepExecutor:
+    """Sharded, resumable executor for replicated sweep measurements.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` executes every unit in process, in order —
+        the reference path the parallel path must match bit for bit.
+    chunk_size:
+        Trials per work unit (default:
+        :func:`~repro.exec.units.default_chunk_size`, a function of the
+        replication count only, never of ``jobs``, so unit keys are stable
+        across worker counts).
+    store:
+        Optional :class:`~repro.exec.store.ResultStore` (or directory path).
+        Completed units are persisted there and skipped on re-runs.
+    start_method:
+        Multiprocessing start method; default: ``$REPRO_EXEC_START_METHOD``
+        or the platform default.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        chunk_size: Optional[int] = None,
+        store: Optional[ResultStore | str] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.jobs = int(jobs)
+        self.chunk_size = chunk_size
+        self.store = ResultStore(store) if isinstance(store, (str, os.PathLike)) else store
+        self.start_method = start_method or os.environ.get(START_METHOD_ENV) or None
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    @classmethod
+    def from_options(
+        cls,
+        jobs: int = 1,
+        chunk_size: Optional[int] = None,
+        store: Optional[ResultStore | str] = None,
+    ) -> Optional["SweepExecutor"]:
+        """An executor when any option departs from the defaults, else ``None``.
+
+        The single activation rule behind ``--jobs`` / ``--resume`` /
+        ``--chunk-size``: all-default options mean "keep the classic
+        in-process path" (``None`` composes with
+        :func:`execution_override` as a true no-op).
+        """
+        if jobs == 1 and chunk_size is None and store is None:
+            return None
+        return cls(jobs=jobs, chunk_size=chunk_size, store=store)
+
+    # -- lifecycle ---------------------------------------------------------- #
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _pool_instance(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            mp_context = None
+            if self.start_method is not None:
+                import multiprocessing
+
+                mp_context = multiprocessing.get_context(self.start_method)
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs, mp_context=mp_context)
+        return self._pool
+
+    # -- decomposition ------------------------------------------------------ #
+    def decompose(
+        self,
+        label: str,
+        kind: str,
+        payload: Mapping[str, Any],
+        n_replications: int,
+        seed: SeedLike,
+        backend: Optional[str] = None,
+    ) -> list[WorkUnit]:
+        """Split one sweep point into replication-chunk work units.
+
+        Consumes the live seed state exactly like the inline path's
+        ``spawn_rngs`` call would (:meth:`SeedStreamSpec.reserve`), so
+        reusing one seed object across runs yields disjoint streams on
+        either path.
+        """
+        spec = SeedStreamSpec.reserve(seed, n_replications)
+        return [
+            WorkUnit(
+                label=label,
+                kind=kind,
+                payload=payload,
+                n_replications=n_replications,
+                start=start,
+                stop=stop,
+                seed=spec,
+                backend=backend,
+            )
+            for start, stop in chunk_bounds(n_replications, self.chunk_size)
+        ]
+
+    # -- execution ---------------------------------------------------------- #
+    def run_units(self, units: Sequence[WorkUnit]) -> list[dict[str, Any]]:
+        """Execute (or load) every unit; records are returned in unit order.
+
+        Units whose key is already in the store are loaded from disk and not
+        re-executed.  Fresh results are written to the store as they
+        complete, so an interrupted call leaves a valid partial store.
+        """
+        records: list[Optional[dict[str, Any]]] = [None] * len(units)
+        # Picklability gates both pool dispatch and the store: an unpicklable
+        # payload (e.g. a closure) has no faithful content fingerprint — its
+        # captured state is invisible to the unit key — so it must neither
+        # read from nor write to the store.  Checked once per distinct
+        # payload object, not once per unit.
+        picklable_by_payload: dict[int, bool] = {}
+        storable: list[bool] = []
+        for unit in units:
+            payload_id = id(unit.payload)
+            if payload_id not in picklable_by_payload:
+                picklable_by_payload[payload_id] = payload_is_picklable(unit.payload)
+            storable.append(picklable_by_payload[payload_id])
+
+        # Keys (and the payload descriptions they hash) exist for the store
+        # only; units sharing one payload object share one description.
+        keys: list[Optional[str]] = [None] * len(units)
+        fingerprints: list[Optional[dict[str, Any]]] = [None] * len(units)
+        if self.store is not None:
+            described_by_payload: dict[int, dict[str, Any]] = {}
+            for index, unit in enumerate(units):
+                if not storable[index]:
+                    continue
+                payload_id = id(unit.payload)
+                if payload_id not in described_by_payload:
+                    described_by_payload[payload_id] = describe_payload(unit.payload)
+                fingerprints[index] = unit.fingerprint(described_by_payload[payload_id])
+                keys[index] = unit_key(unit, described_by_payload[payload_id])
+
+        pending: list[int] = []
+        for index, key in enumerate(keys):
+            stored = self.store.get(key) if key is not None else None
+            if stored is not None:
+                records[index] = stored
+            else:
+                pending.append(index)
+
+        parallel: list[int] = []
+        if self.jobs > 1 and len(pending) > 1:
+            parallel = [i for i in pending if storable[i]]
+        parallel_set = set(parallel)
+        inline = [i for i in pending if i not in parallel_set]
+
+        if parallel:
+            pool = self._pool_instance()
+            futures = {pool.submit(execute_unit, units[i]): i for i in parallel}
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    records[index] = self._complete(
+                        keys[index], fingerprints[index], future.result()
+                    )
+        for index in inline:
+            records[index] = self._complete(
+                keys[index], fingerprints[index], execute_unit(units[index])
+            )
+        return [record for record in records if record is not None]
+
+    def _complete(
+        self,
+        key: Optional[str],
+        fingerprint: Optional[dict[str, Any]],
+        record: dict[str, Any],
+    ) -> dict[str, Any]:
+        if self.store is not None and key is not None:
+            self.store.put(key, record, fingerprint=fingerprint)
+        return record
+
+    # -- high-level entry points -------------------------------------------- #
+    def run_replications(
+        self,
+        kind: str,
+        config: Any,
+        n_replications: int,
+        seed: SeedLike,
+        backend: str,
+        label: Optional[str] = None,
+    ) -> tuple[Any, list[Any]]:
+        """Sharded equivalent of ``run_broadcast/gossip_replications``.
+
+        ``backend`` must already be resolved to ``"serial"`` or
+        ``"batched"`` (resolution happens in the calling process so worker
+        processes never depend on ambient override state).
+        """
+        units = self.decompose(
+            label=label or _config_label(kind, config),
+            kind=kind,
+            payload={"config": config},
+            n_replications=n_replications,
+            seed=seed,
+            backend=backend,
+        )
+        return _merge_simulation_records(kind, config, self.run_units(units))
+
+    def run_sweep(
+        self,
+        sweep: Any,
+        config_factory: Callable[[Any], Any],
+        n_replications: int,
+        seed: SeedLike,
+        kind: str = "broadcast",
+        backend: Optional[str] = None,
+        label: str = "sweep",
+    ) -> list[tuple[Any, Any, list[Any]]]:
+        """Decompose a whole :class:`~repro.analysis.sweep.ParameterSweep`.
+
+        Builds the (sweep-point × replication-chunk) units of *every* point
+        up front and dispatches them in one pass, so workers stay busy
+        across point boundaries (unlike the per-point interception seam,
+        which fans out one point at a time).  Point ``i`` uses the ``i``-th
+        spawned child of ``seed`` as its root — exactly the stream an
+        experiment-style ``spawn_rngs(seed, n_points)`` loop hands point
+        ``i`` — and trial streams within a point follow the usual
+        per-trial spawn, so results match the sequential loop bit for bit.
+
+        Returns one ``(point, ReplicationSummary, results)`` triple per
+        sweep point, in sweep order.
+        """
+        from repro.core.runner import resolve_backend
+
+        points = list(sweep)
+        root = SeedStreamSpec.reserve(seed, len(points))
+        units: list[WorkUnit] = []
+        spans: list[tuple[int, int, Any]] = []
+        for index, point in enumerate(points):
+            config = config_factory(point)
+            point_units = self.decompose(
+                label=f"{label}[{point.label()}]",
+                kind=kind,
+                payload={"config": config},
+                n_replications=n_replications,
+                seed=root.child_sequence(index),
+                backend=resolve_backend(config, backend),
+            )
+            spans.append((len(units), len(units) + len(point_units), config))
+            units.extend(point_units)
+        records = self.run_units(units)
+        return [
+            (point, *_merge_simulation_records(kind, config, records[start:stop]))
+            for point, (start, stop, config) in zip(points, spans)
+        ]
+
+    def map_replications(
+        self,
+        fn: Callable[..., Any],
+        n_replications: int,
+        seed: SeedLike,
+        kwargs: Optional[Mapping[str, Any]] = None,
+        label: Optional[str] = None,
+    ) -> list[Any]:
+        """Sharded per-trial map: ``fn(rng, **kwargs)`` for every trial.
+
+        ``fn`` must be module-level (picklable) and return a JSON-able
+        payload; trial payloads come back in trial order.  Unpicklable
+        payloads (e.g. closures) degrade gracefully to chunked in-process
+        execution, but are excluded from the result store — captured state
+        is invisible to the content fingerprint, so caching them could
+        alias distinct functions.
+        """
+        units = self.decompose(
+            label=label or f"{fn.__module__}:{getattr(fn, '__qualname__', 'fn')}",
+            kind="map",
+            payload={"fn": fn, "kwargs": dict(kwargs or {})},
+            n_replications=n_replications,
+            seed=seed,
+        )
+        records = self.run_units(units)
+        trials: list[Any] = []
+        for record in records:
+            trials.extend(record["trials"])
+        return trials
+
+
+def _config_label(kind: str, config: Any) -> str:
+    return f"{kind}[n={getattr(config, 'n_nodes', '?')},k={getattr(config, 'n_agents', '?')}]"
+
+
+# --------------------------------------------------------------------------- #
+# The process-wide override (how --jobs reaches experiments' inner loops).
+# --------------------------------------------------------------------------- #
+_EXECUTOR: Optional[SweepExecutor] = None
+
+
+@contextmanager
+def execution_override(executor: Optional[SweepExecutor]) -> Iterator[None]:
+    """Route replication runs inside the ``with`` block through ``executor``.
+
+    ``None`` is a true no-op: an executor installed by an enclosing block
+    stays active.  The executor's worker pool is shut down when the block
+    exits.  Mirrors :func:`repro.core.runner.backend_override`: this is how
+    the command line's ``--jobs`` / ``--resume`` flags reach experiments
+    that drive their replications internally.
+    """
+    global _EXECUTOR
+    if executor is None:
+        yield
+        return
+    previous = _EXECUTOR
+    _EXECUTOR = executor
+    try:
+        yield
+    finally:
+        _EXECUTOR = previous
+        executor.close()
+
+
+@contextmanager
+def _suspended_override() -> Iterator[None]:
+    """Temporarily clear the executor override (worker recursion guard)."""
+    global _EXECUTOR
+    previous = _EXECUTOR
+    _EXECUTOR = None
+    try:
+        yield
+    finally:
+        _EXECUTOR = previous
+
+
+def current_executor() -> Optional[SweepExecutor]:
+    """The active :class:`SweepExecutor`, or ``None``."""
+    return _EXECUTOR
+
+
+def map_replications(
+    fn: Callable[..., Any],
+    n_replications: int,
+    seed: SeedLike = None,
+    kwargs: Optional[Mapping[str, Any]] = None,
+    label: Optional[str] = None,
+) -> list[Any]:
+    """Run ``fn(rng, **kwargs)`` for ``n_replications`` independent streams.
+
+    The executor-aware replication map: with no active
+    :func:`execution_override`, trials run inline on streams from
+    :func:`repro.util.rng.spawn_rngs` — bit-for-bit the classic experiment
+    loop.  Under an active executor the same streams are re-derived per
+    chunk and trials are sharded (and, with a store, resumable).  Trial
+    return values must be JSON-able for the two paths to be interchangeable.
+    """
+    executor = current_executor()
+    if executor is None:
+        rngs = spawn_rngs(seed, n_replications)
+        return [fn(rng, **dict(kwargs or {})) for rng in rngs]
+    return executor.map_replications(
+        fn, n_replications, seed, kwargs=kwargs, label=label
+    )

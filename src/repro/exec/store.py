@@ -1,0 +1,70 @@
+"""On-disk result store: one JSON record per completed work unit.
+
+The store is what makes interrupted sweeps resumable: every completed
+:class:`~repro.exec.units.WorkUnit` is written as ``<unit-key>.json`` under
+the store directory, where the key is a content hash of the unit's
+fingerprint (experiment label, payload, seed spec, chunk bounds, backend).
+A re-run with the same parameters recomputes the same keys, finds the
+records of completed units and skips their execution entirely — existing
+record files are only ever *read*, never rewritten, so their mtimes are
+untouched.
+
+Writes are atomic (temp file + ``os.replace``), so a run killed mid-write
+never leaves a half-record: the next run simply re-executes that unit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional, Union
+
+
+class ResultStore:
+    """Directory of completed work-unit records, keyed by content hash."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        """Path of the record file for ``key``."""
+        return self.directory / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def get(self, key: str) -> Optional[dict[str, Any]]:
+        """The stored record for ``key``, or ``None`` if absent or unreadable.
+
+        A corrupt record (e.g. from a kill that predates the atomic-write
+        path) is treated as missing, so the unit is simply re-executed.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(document, dict) or "record" not in document:
+            return None
+        return document["record"]
+
+    def put(self, key: str, record: dict[str, Any], fingerprint: Optional[dict] = None) -> Path:
+        """Atomically write ``record`` (plus its fingerprint) under ``key``."""
+        path = self.path_for(key)
+        document = {"fingerprint": fingerprint or {}, "record": record}
+        tmp = path.with_name(path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    def keys(self) -> list[str]:
+        """Keys of all stored records."""
+        return sorted(p.stem for p in self.directory.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())

@@ -1,0 +1,170 @@
+"""Work units: the atom of sharded sweep execution.
+
+A :class:`WorkUnit` is one (sweep-point × replication-chunk) slice of a
+sweep: "run trials ``start .. stop-1`` of this payload, with streams derived
+from this seed spec, on this backend".  Units are
+
+* **picklable** — they cross the process boundary to pool workers;
+* **content-addressed** — :func:`unit_key` hashes a canonical fingerprint of
+  everything that determines the unit's result, so the on-disk
+  :class:`~repro.exec.store.ResultStore` can recognise completed units
+  across interrupted runs;
+* **order-free** — a unit's result depends only on its own fields, never on
+  worker count, scheduling order or how the remaining trials are chunked.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+from repro.exec.seeds import SeedStreamSpec
+
+#: Payload kinds understood by :func:`repro.exec.executor.execute_unit`.
+UNIT_KINDS = ("broadcast", "gossip", "map")
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One replication chunk of one sweep point.
+
+    Attributes
+    ----------
+    label:
+        Human-readable identity of the sweep point (e.g. ``"E1[k=32]"``);
+        part of the fingerprint, so it must be stable across runs.
+    kind:
+        ``"broadcast"`` / ``"gossip"`` (a simulation config payload) or
+        ``"map"`` (a module-level trial function payload).
+    payload:
+        Kind-specific work description.  For simulation kinds:
+        ``{"config": BroadcastConfig | GossipConfig}``.  For map kind:
+        ``{"fn": <module-level callable>, "kwargs": {...}}``.
+    n_replications:
+        Total number of trials at this sweep point (the chunk is a slice of
+        this range; the total is part of the identity so chunk layouts of
+        different totals never collide).
+    start, stop:
+        The half-open trial range this unit covers.
+    seed:
+        Stream spec of the sweep point's root seed; trial ``i`` uses child
+        stream ``i``.
+    backend:
+        Resolved replication backend for simulation kinds (``"serial"`` or
+        ``"batched"``), or ``None`` for map units.
+    """
+
+    label: str
+    kind: str
+    payload: Mapping[str, Any]
+    n_replications: int
+    start: int
+    stop: int
+    seed: SeedStreamSpec
+    backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in UNIT_KINDS:
+            raise ValueError(f"kind must be one of {UNIT_KINDS}, got {self.kind!r}")
+        if not (0 <= self.start < self.stop <= self.n_replications):
+            raise ValueError(
+                f"invalid chunk [{self.start}, {self.stop}) of "
+                f"{self.n_replications} replications"
+            )
+
+    @property
+    def n_trials(self) -> int:
+        """Number of trials in this chunk."""
+        return self.stop - self.start
+
+    def fingerprint(self, described_payload: Optional[dict[str, Any]] = None) -> dict[str, Any]:
+        """Canonical JSON-able identity of this unit (hashed by :func:`unit_key`).
+
+        ``described_payload`` short-circuits :func:`describe_payload` when
+        the caller already described the (typically shared) payload once for
+        a whole chunk range.
+        """
+        return {
+            "label": self.label,
+            "kind": self.kind,
+            "payload": describe_payload(self.payload) if described_payload is None else described_payload,
+            "n_replications": self.n_replications,
+            "start": self.start,
+            "stop": self.stop,
+            "seed": self.seed.as_json(),
+            "backend": self.backend,
+        }
+
+
+def unit_key(unit: WorkUnit, described_payload: Optional[dict[str, Any]] = None) -> str:
+    """Content hash identifying ``unit`` in a :class:`ResultStore`."""
+    canonical = json.dumps(
+        unit.fingerprint(described_payload), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+def describe_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """A JSON-able description of a unit payload, for fingerprints.
+
+    Callables are identified by module-qualified name; everything else goes
+    through :func:`repro.util.serialization.to_jsonable`, falling back to a
+    pickle digest for objects with no JSON form (e.g. domain grids).
+    """
+    described: dict[str, Any] = {}
+    for key, value in payload.items():
+        if callable(value):
+            described[key] = f"{value.__module__}:{getattr(value, '__qualname__', repr(value))}"
+        else:
+            described[key] = _describe_value(value)
+    return described
+
+
+def _describe_value(value: Any) -> Any:
+    from repro.util.serialization import to_jsonable
+
+    try:
+        return to_jsonable(value)
+    except TypeError:
+        pass
+    try:
+        digest = hashlib.sha256(pickle.dumps(value, protocol=4)).hexdigest()[:16]
+        return {"__pickle_sha256__": digest, "type": type(value).__name__}
+    except Exception:
+        # No faithful content description exists (e.g. a lambda buried in
+        # kwargs).  Such payloads never reach the store — the executor
+        # excludes unpicklable payloads from it — so the placeholder only
+        # has to be JSON-able, not collision-free.
+        return {"__unpicklable__": True, "type": type(value).__name__}
+
+
+def default_chunk_size(n_replications: int) -> int:
+    """Default trials per unit: about eight units per sweep point.
+
+    Deliberately a function of the replication count only — never of the
+    worker count — so that the chunk layout (and with it every unit key in a
+    resume store) is identical across ``--jobs`` settings.
+    """
+    return max(1, -(-n_replications // 8))
+
+
+def chunk_bounds(n_replications: int, chunk_size: Optional[int] = None) -> list[tuple[int, int]]:
+    """Split ``n_replications`` trials into contiguous ``(start, stop)`` chunks."""
+    if n_replications <= 0:
+        raise ValueError(f"n_replications must be positive, got {n_replications}")
+    size = default_chunk_size(n_replications) if chunk_size is None else int(chunk_size)
+    if size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {size}")
+    return [(start, min(start + size, n_replications)) for start in range(0, n_replications, size)]
+
+
+def payload_is_picklable(payload: Mapping[str, Any]) -> bool:
+    """Whether a payload can cross the process boundary."""
+    try:
+        pickle.dumps(dict(payload), protocol=4)
+        return True
+    except Exception:
+        return False

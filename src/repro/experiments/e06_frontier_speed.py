@@ -18,8 +18,9 @@ from repro.connectivity.percolation import island_parameter_gamma, lower_bound_r
 from repro.core.config import BroadcastConfig
 from repro.core.metrics import FrontierTracker
 from repro.core.simulation import BroadcastSimulation
+from repro.exec import map_replications
 from repro.theory.lemmas import lemma7_frontier_advance_bound, lemma7_frontier_window
-from repro.util.rng import SeedLike, spawn_rngs
+from repro.util.rng import RandomState, SeedLike
 from repro.workloads.configs import get_workload
 
 EXPERIMENT_ID = "E6"
@@ -32,33 +33,56 @@ def _max_advance(history, window: int) -> int:
     return int(max(history[i + window] - history[i] for i in range(len(history) - window)))
 
 
+def _frontier_trial(
+    rng: RandomState, n_nodes: int, n_agents: int, radius: float, window: int
+) -> dict:
+    """One frontier-tracked broadcast replication (executor work unit)."""
+    config = BroadcastConfig(
+        n_nodes=n_nodes,
+        n_agents=n_agents,
+        radius=radius,
+        record_frontier=True,
+    )
+    result = BroadcastSimulation(config, rng=rng).run()
+    history = list(result.frontier_history) if result.frontier_history is not None else []
+    total_advance = int(history[-1] - history[0]) if history else 0
+    return {
+        "max_advance": _max_advance(history, window),
+        "total_advance": total_advance,
+        "history_length": len(history),
+        "broadcast_time": int(result.broadcast_time),
+    }
+
+
 def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
     """Run the E6 replications and return the report."""
     workload = get_workload(EXPERIMENT_ID, scale)
     n_nodes = workload["n_nodes"]
     n_agents = workload["n_agents"]
     replications = workload["replications"]
-    rngs = spawn_rngs(seed, replications)
 
     radius = lower_bound_radius(n_nodes, n_agents)
     gamma = island_parameter_gamma(n_nodes, n_agents)
     window = max(int(lemma7_frontier_window(n_nodes, n_agents)), 1)
     advance_bound = lemma7_frontier_advance_bound(n_nodes, n_agents)
 
+    trials = map_replications(
+        _frontier_trial,
+        replications,
+        seed=seed,
+        kwargs={
+            "n_nodes": n_nodes,
+            "n_agents": n_agents,
+            "radius": radius,
+            "window": window,
+        },
+        label=f"{EXPERIMENT_ID}[n={n_nodes},k={n_agents}]",
+    )
     rows: list[ExperimentRow] = []
     per_step_rates: list[float] = []
-    for rep, rng in enumerate(rngs):
-        config = BroadcastConfig(
-            n_nodes=n_nodes,
-            n_agents=n_agents,
-            radius=radius,
-            record_frontier=True,
-        )
-        result = BroadcastSimulation(config, rng=rng).run()
-        history = list(result.frontier_history) if result.frontier_history is not None else []
-        max_advance = _max_advance(history, window)
-        total_advance = (history[-1] - history[0]) if history else 0
-        per_step = total_advance / max(len(history), 1)
+    for rep, trial in enumerate(trials):
+        max_advance = trial["max_advance"]
+        per_step = trial["total_advance"] / max(trial["history_length"], 1)
         per_step_rates.append(per_step)
         rows.append(
             ExperimentRow(
@@ -71,7 +95,7 @@ def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
                     "max_advance_per_window": max_advance,
                     "lemma7_advance_bound": advance_bound,
                     "within_bound": max_advance <= advance_bound * 2.0 + 1.0,
-                    "broadcast_time": result.broadcast_time,
+                    "broadcast_time": trial["broadcast_time"],
                     "mean_advance_per_step": per_step,
                 }
             )

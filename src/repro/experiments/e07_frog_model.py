@@ -15,13 +15,20 @@ from repro.analysis.report import ExperimentReport, ExperimentRow
 from repro.core.config import BroadcastConfig
 from repro.core.runner import run_broadcast_replications
 from repro.dissemination.frog import FrogModelSimulation
+from repro.exec import map_replications
 from repro.theory.bounds import broadcast_time_scale
 from repro.theory.scaling import theoretical_exponent_in_k
-from repro.util.rng import SeedLike, spawn_rngs
+from repro.util.rng import RandomState, SeedLike, spawn_rngs
 from repro.workloads.configs import get_workload
 
 EXPERIMENT_ID = "E7"
 TITLE = "Frog model broadcast time (T_B ~ n / sqrt(k))"
+
+
+def _frog_trial(rng: RandomState, n_nodes: int, k: int) -> dict:
+    """One frog-model replication (executor work unit)."""
+    result = FrogModelSimulation(n_nodes, k, radius=0.0, rng=rng).run()
+    return {"activation_time": int(result.activation_time)}
 
 
 def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
@@ -35,18 +42,25 @@ def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
     rows: list[ExperimentRow] = []
     frog_means: list[float] = []
     for rng, k in zip(rngs, agent_counts):
-        rep_rngs = spawn_rngs(rng, replications + 1)
-        frog_times = []
-        for rep_rng in rep_rngs[:replications]:
-            result = FrogModelSimulation(n_nodes, k, radius=0.0, rng=rep_rng).run()
-            frog_times.append(result.activation_time)
-        completed = [t for t in frog_times if t >= 0]
+        # Frog trials consume the point's first `replications` spawned
+        # children; the dynamic-comparison run below is seeded by the next
+        # child (the same layout the pre-executor loop used).
+        frog_trials = map_replications(
+            _frog_trial,
+            replications,
+            seed=rng,
+            kwargs={"n_nodes": n_nodes, "k": k},
+            label=f"{EXPERIMENT_ID}[n={n_nodes},k={k}]",
+        )
+        completed = [t["activation_time"] for t in frog_trials if t["activation_time"] >= 0]
         frog_mean = float(np.mean(completed)) if completed else float("nan")
         frog_means.append(frog_mean)
 
         # The fully dynamic model at the same parameters, for comparison.
         config = BroadcastConfig(n_nodes=n_nodes, n_agents=k, radius=0.0)
-        dyn_summary, _ = run_broadcast_replications(config, replications, seed=rep_rngs[-1])
+        dyn_summary, _ = run_broadcast_replications(
+            config, replications, seed=spawn_rngs(rng, 1)[0]
+        )
 
         predicted = broadcast_time_scale(n_nodes, k)
         rows.append(

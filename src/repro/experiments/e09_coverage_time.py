@@ -14,12 +14,29 @@ from repro.analysis.fitting import fit_power_law
 from repro.analysis.report import ExperimentReport, ExperimentRow
 from repro.core.config import BroadcastConfig, default_max_steps
 from repro.core.simulation import BroadcastSimulation
+from repro.exec import map_replications
 from repro.theory.bounds import broadcast_time_scale
-from repro.util.rng import SeedLike, spawn_rngs
+from repro.util.rng import RandomState, SeedLike, spawn_rngs
 from repro.workloads.configs import get_workload
 
 EXPERIMENT_ID = "E9"
 TITLE = "Coverage time vs broadcast time (T_C ~ T_B)"
+
+
+def _coverage_trial(rng: RandomState, n_nodes: int, k: int) -> dict:
+    """One replication: broadcast with coverage tracking (executor work unit)."""
+    config = BroadcastConfig(
+        n_nodes=n_nodes,
+        n_agents=k,
+        radius=0.0,
+        record_coverage=True,
+        max_steps=default_max_steps(n_nodes, k) * 2,
+    )
+    result = BroadcastSimulation(config, rng=rng).run()
+    return {
+        "broadcast_time": int(result.broadcast_time),
+        "coverage_time": int(result.coverage_time),
+    }
 
 
 def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
@@ -33,22 +50,15 @@ def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
     rows: list[ExperimentRow] = []
     coverage_means: list[float] = []
     for rng, k in zip(rngs, agent_counts):
-        rep_rngs = spawn_rngs(rng, replications)
-        broadcast_times = []
-        coverage_times = []
-        for rep_rng in rep_rngs:
-            config = BroadcastConfig(
-                n_nodes=n_nodes,
-                n_agents=k,
-                radius=0.0,
-                record_coverage=True,
-                max_steps=default_max_steps(n_nodes, k) * 2,
-            )
-            result = BroadcastSimulation(config, rng=rep_rng).run()
-            if result.broadcast_time >= 0:
-                broadcast_times.append(result.broadcast_time)
-            if result.coverage_time >= 0:
-                coverage_times.append(result.coverage_time)
+        trials = map_replications(
+            _coverage_trial,
+            replications,
+            seed=rng,
+            kwargs={"n_nodes": n_nodes, "k": k},
+            label=f"{EXPERIMENT_ID}[n={n_nodes},k={k}]",
+        )
+        broadcast_times = [t["broadcast_time"] for t in trials if t["broadcast_time"] >= 0]
+        coverage_times = [t["coverage_time"] for t in trials if t["coverage_time"] >= 0]
         mean_tb = float(np.mean(broadcast_times)) if broadcast_times else float("nan")
         mean_tc = float(np.mean(coverage_times)) if coverage_times else float("nan")
         coverage_means.append(mean_tc)

@@ -15,13 +15,20 @@ import numpy as np
 from repro.analysis.fitting import fit_power_law
 from repro.analysis.report import ExperimentReport, ExperimentRow
 from repro.dissemination.coverage import multi_walk_cover_time
+from repro.exec import map_replications
 from repro.grid.lattice import Grid2D
 from repro.theory.bounds import cover_time_bound
-from repro.util.rng import SeedLike, spawn_rngs
+from repro.util.rng import RandomState, SeedLike, spawn_rngs
 from repro.workloads.configs import get_workload
 
 EXPERIMENT_ID = "E10"
 TITLE = "Cover time of k independent random walks"
+
+
+def _cover_trial(rng: RandomState, n_nodes: int, k: int, horizon: int) -> dict:
+    """One replication: cover time of ``k`` walks (executor work unit)."""
+    result = multi_walk_cover_time(Grid2D.from_nodes(n_nodes), k, horizon, rng=rng)
+    return {"cover_time": int(result.cover_time), "completed": bool(result.completed)}
 
 
 def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
@@ -40,12 +47,14 @@ def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
     rows: list[ExperimentRow] = []
     means: list[float] = []
     for rng, k in zip(rngs, walker_counts):
-        rep_rngs = spawn_rngs(rng, replications)
-        times = []
-        for rep_rng in rep_rngs:
-            result = multi_walk_cover_time(grid, k, horizon, rng=rep_rng)
-            if result.completed:
-                times.append(result.cover_time)
+        trials = map_replications(
+            _cover_trial,
+            replications,
+            seed=rng,
+            kwargs={"n_nodes": grid.n_nodes, "k": k, "horizon": horizon},
+            label=f"{EXPERIMENT_ID}[n={grid.n_nodes},k={k}]",
+        )
+        times = [t["cover_time"] for t in trials if t["completed"]]
         mean_cover = float(np.mean(times)) if times else float("nan")
         means.append(mean_cover)
         bound = cover_time_bound(grid.n_nodes, k)

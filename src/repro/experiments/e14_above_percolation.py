@@ -16,7 +16,8 @@ from repro.baselines.peres_above import above_percolation_broadcast
 from repro.connectivity.percolation import percolation_radius
 from repro.core.config import BroadcastConfig
 from repro.core.simulation import BroadcastSimulation
-from repro.util.rng import SeedLike, spawn_rngs
+from repro.exec import map_replications
+from repro.util.rng import RandomState, SeedLike, spawn_rngs
 from repro.workloads.configs import get_workload
 
 EXPERIMENT_ID = "E14"
@@ -27,28 +28,45 @@ BELOW_FACTOR = 0.25
 ABOVE_FACTOR = 2.0
 
 
+def _regime_trial(rng: RandomState, n_nodes: int, n_agents: int, radius_below: float) -> dict:
+    """One paired below/above-percolation replication (executor work unit).
+
+    The below/above runs draw from the trial stream's two spawned children,
+    exactly like the pre-executor loop.
+    """
+    pair = spawn_rngs(rng, 2)
+    below_config = BroadcastConfig(n_nodes=n_nodes, n_agents=n_agents, radius=radius_below)
+    below_result = BroadcastSimulation(below_config, rng=pair[0]).run()
+    above_time = above_percolation_broadcast(
+        n_nodes, n_agents, radius_factor=ABOVE_FACTOR, rng=pair[1]
+    )
+    return {"below_time": int(below_result.broadcast_time), "above_time": int(above_time)}
+
+
 def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
     """Run the E14 replications and return the report."""
     workload = get_workload(EXPERIMENT_ID, scale)
     n_nodes = workload["n_nodes"]
     n_agents = workload["n_agents"]
     replications = workload["replications"]
-    rngs = spawn_rngs(seed, replications)
 
     r_c = percolation_radius(n_nodes, n_agents)
     radius_below = BELOW_FACTOR * r_c
 
+    trials = map_replications(
+        _regime_trial,
+        replications,
+        seed=seed,
+        kwargs={"n_nodes": n_nodes, "n_agents": n_agents, "radius_below": radius_below},
+        label=f"{EXPERIMENT_ID}[n={n_nodes},k={n_agents}]",
+    )
     rows: list[ExperimentRow] = []
     below_times: list[float] = []
     above_times: list[float] = []
-    for rep, rng in enumerate(rngs):
-        pair = spawn_rngs(rng, 2)
-        below_config = BroadcastConfig(n_nodes=n_nodes, n_agents=n_agents, radius=radius_below)
-        below_result = BroadcastSimulation(below_config, rng=pair[0]).run()
-        above_time = above_percolation_broadcast(
-            n_nodes, n_agents, radius_factor=ABOVE_FACTOR, rng=pair[1]
-        )
-        below_times.append(below_result.broadcast_time)
+    for rep, trial in enumerate(trials):
+        below_time = trial["below_time"]
+        above_time = trial["above_time"]
+        below_times.append(below_time)
         above_times.append(above_time)
         rows.append(
             ExperimentRow(
@@ -58,11 +76,11 @@ def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
                     "k": n_agents,
                     "radius_below": radius_below,
                     "radius_above": ABOVE_FACTOR * r_c,
-                    "T_B_below": below_result.broadcast_time,
+                    "T_B_below": below_time,
                     "T_B_above": above_time,
                     "speedup": (
-                        below_result.broadcast_time / max(above_time, 1)
-                        if below_result.broadcast_time >= 0 and above_time >= 0
+                        below_time / max(above_time, 1)
+                        if below_time >= 0 and above_time >= 0
                         else float("nan")
                     ),
                 }

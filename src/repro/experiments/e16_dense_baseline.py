@@ -14,12 +14,30 @@ import numpy as np
 from repro.analysis.fitting import fit_power_law
 from repro.analysis.report import ExperimentReport, ExperimentRow
 from repro.baselines.dense_model import DenseModelSimulation
+from repro.exec import map_replications
 from repro.theory.bounds import dense_model_broadcast_bound
-from repro.util.rng import SeedLike, spawn_rngs
+from repro.util.rng import RandomState, SeedLike, spawn_rngs
 from repro.workloads.configs import get_workload
 
 EXPERIMENT_ID = "E16"
 TITLE = "Dense-model baseline: broadcast time vs exchange radius R"
+
+
+def _dense_trial(
+    rng: RandomState, n_nodes: int, n_agents: int, exchange_radius: int, jump_radius: int
+) -> dict:
+    """One replication of the dense-model broadcast (executor work unit)."""
+    sim = DenseModelSimulation(
+        n_nodes=n_nodes,
+        n_agents=n_agents,
+        exchange_radius=exchange_radius,
+        jump_radius=jump_radius,
+    )
+    result = sim.run(rng=rng)
+    return {
+        "broadcast_time": int(result.broadcast_time),
+        "completed": bool(result.completed),
+    }
 
 
 def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
@@ -35,18 +53,19 @@ def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
     rows: list[ExperimentRow] = []
     means: list[float] = []
     for rng, radius in zip(rngs, exchange_radii):
-        rep_rngs = spawn_rngs(rng, replications)
-        times = []
-        for rep_rng in rep_rngs:
-            sim = DenseModelSimulation(
-                n_nodes=n_nodes,
-                n_agents=n_agents,
-                exchange_radius=radius,
-                jump_radius=jump_radius,
-            )
-            result = sim.run(rng=rep_rng)
-            if result.completed:
-                times.append(result.broadcast_time)
+        trials = map_replications(
+            _dense_trial,
+            replications,
+            seed=rng,
+            kwargs={
+                "n_nodes": n_nodes,
+                "n_agents": n_agents,
+                "exchange_radius": radius,
+                "jump_radius": jump_radius,
+            },
+            label=f"{EXPERIMENT_ID}[n={n_nodes},R={radius}]",
+        )
+        times = [t["broadcast_time"] for t in trials if t["completed"]]
         mean_tb = float(np.mean(times)) if times else float("nan")
         means.append(mean_tb)
         predicted = dense_model_broadcast_bound(n_nodes, radius)

@@ -6,6 +6,7 @@ from typing import Callable
 
 from repro.analysis.report import ExperimentReport
 from repro.core.runner import backend_override
+from repro.exec import SweepExecutor, execution_override
 from repro.experiments import (
     e01_broadcast_vs_k,
     e02_broadcast_vs_n,
@@ -74,6 +75,9 @@ def run_experiment(
     scale: str = "small",
     seed: SeedLike = 0,
     backend: str | None = None,
+    jobs: int = 1,
+    resume: str | None = None,
+    chunk_size: int | None = None,
 ) -> ExperimentReport:
     """Run the experiment with the given id at the given scale.
 
@@ -81,8 +85,17 @@ def run_experiment(
     replication run inside the experiment onto that backend via
     :func:`repro.core.runner.backend_override`; ``None`` keeps each config's
     own choice.
+
+    ``jobs``, ``resume`` and ``chunk_size`` configure the sharded executor
+    (see ``docs/PARALLEL.md``): ``jobs > 1`` fans replication chunks out
+    over worker processes, ``resume`` names a result-store directory whose
+    completed work units are skipped, and ``chunk_size`` overrides the
+    default replications-per-unit.  The defaults (``1``/``None``/``None``)
+    keep the classic in-process path; either way the report is bit-for-bit
+    identical.
     """
     module = _module_for(experiment_id)
     runner: Callable[..., ExperimentReport] = module.run
-    with backend_override(backend):
+    executor = SweepExecutor.from_options(jobs=jobs, chunk_size=chunk_size, store=resume)
+    with backend_override(backend), execution_override(executor):
         return runner(scale=scale, seed=seed)

@@ -34,7 +34,7 @@ from repro.core.runner import (
 )
 from repro.grid.obstacles import ObstacleGrid
 from repro.mobility.obstacle_walk import ObstacleWalkMobility
-from repro.util.rng import RandomState, SeedLike, default_rng, spawn_rngs
+from repro.util.rng import RandomState, SeedLike, default_rng
 from repro.util.validation import check_non_negative, check_positive_int
 
 
@@ -227,17 +227,53 @@ def run_barrier_broadcast_replications(
             for res in core_results
         ]
         return summary, results
-    rngs = spawn_rngs(seed, n_replications)
-    results = [
-        BarrierBroadcastSimulation(
-            domain,
-            n_agents,
-            radius=radius,
-            block_communication=block_communication,
-            max_steps=max_steps,
-            rng=rng,
-        ).run()
-        for rng in rngs
-    ]
+    from repro.exec.executor import map_replications
+
+    raw = map_replications(
+        _line_of_sight_trial,
+        n_replications,
+        seed,
+        kwargs={
+            "domain": domain,
+            "n_agents": n_agents,
+            "radius": radius,
+            "block_communication": block_communication,
+            "max_steps": max_steps,
+        },
+        label=f"barrier[n_free={domain.n_free},k={n_agents},r={radius}]",
+    )
+    results = [_barrier_result(item) for item in raw]
     summary = summarise_values([res.broadcast_time for res in results])
     return summary, results
+
+
+def _line_of_sight_trial(
+    rng,
+    domain: ObstacleGrid,
+    n_agents: int,
+    radius: float,
+    block_communication: bool,
+    max_steps: int,
+) -> BarrierBroadcastResult:
+    """One serial line-of-sight replication (executor map-unit trial)."""
+    return BarrierBroadcastSimulation(
+        domain,
+        n_agents,
+        radius=radius,
+        block_communication=block_communication,
+        max_steps=max_steps,
+        rng=rng,
+    ).run()
+
+
+def _barrier_result(item) -> BarrierBroadcastResult:
+    """Normalise a map-unit trial payload back to a result object.
+
+    The inline path hands results through unchanged; the sharded/stored path
+    hands back their canonical JSON records.
+    """
+    if isinstance(item, BarrierBroadcastResult):
+        return item
+    fields = dict(item)
+    fields["informed_curve"] = np.asarray(fields["informed_curve"], dtype=np.int64)
+    return BarrierBroadcastResult(**fields)

@@ -31,6 +31,27 @@ def default_rng(seed: SeedLike = None) -> RandomState:
     return np.random.default_rng(seed)
 
 
+def as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """Normalise any :data:`SeedLike` to a ``SeedSequence``.
+
+    A generator contributes its bit generator's own sequence (so spawning
+    from the result advances the generator's spawn state, keeping repeated
+    derivations disjoint); a generator without one falls back to a single
+    integer draw — note this advances the generator.  This is the single
+    normalisation point for the whole code base: the executor's stream
+    re-derivation (``repro.exec.seeds``) must agree with :func:`spawn_rngs`
+    exactly, so both go through here.
+    """
+    if isinstance(seed, np.random.Generator):
+        seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+        if not isinstance(seq, np.random.SeedSequence):
+            seq = np.random.SeedSequence(int(seed.integers(0, 2**63)))
+        return seq
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
+
+
 def spawn_rngs(seed: SeedLike, count: int) -> list[RandomState]:
     """Derive ``count`` statistically independent generators from ``seed``.
 
@@ -40,15 +61,7 @@ def spawn_rngs(seed: SeedLike, count: int) -> list[RandomState]:
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    if isinstance(seed, np.random.Generator):
-        # Derive children from the generator's bit generator seed sequence.
-        seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
-        if not isinstance(seq, np.random.SeedSequence):
-            seq = np.random.SeedSequence(int(seed.integers(0, 2**63)))
-    elif isinstance(seed, np.random.SeedSequence):
-        seq = seed
-    else:
-        seq = np.random.SeedSequence(seed)
+    seq = as_seed_sequence(seed)
     return [np.random.default_rng(child) for child in seq.spawn(count)]
 
 

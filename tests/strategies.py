@@ -1,0 +1,96 @@
+"""Shared Hypothesis strategies for the property-based test suites.
+
+Every ``tests/test_properties*.py`` module draws its inputs from here, so
+the shapes of "a random point cloud", "a random seed" or "a random small
+simulation config" stay consistent across suites.
+
+CI caps example counts through the ``HYPOTHESIS_MAX_EXAMPLES`` environment
+variable: :func:`max_examples` never raises a suite's local default, it only
+lowers it, so a laptop run keeps full coverage while CI stays fast.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.core.config import BroadcastConfig, GossipConfig
+
+
+def max_examples(default: int) -> int:
+    """``default``, capped by ``$HYPOTHESIS_MAX_EXAMPLES`` when that is set."""
+    cap = os.environ.get("HYPOTHESIS_MAX_EXAMPLES")
+    if cap is None:
+        return default
+    return max(1, min(default, int(cap)))
+
+
+# --------------------------------------------------------------------------- #
+# Geometry / connectivity inputs
+# --------------------------------------------------------------------------- #
+#: A single grid point with generous coordinates.
+points = st.tuples(st.integers(0, 200), st.integers(0, 200)).map(np.array)
+
+
+def point_sets(
+    max_coord: int = 30, min_size: int = 1, max_size: int = 40
+) -> st.SearchStrategy[np.ndarray]:
+    """An ``(m, 2)`` integer array of grid points."""
+    return st.lists(
+        st.tuples(st.integers(0, max_coord), st.integers(0, max_coord)),
+        min_size=min_size,
+        max_size=max_size,
+    ).map(lambda pts: np.array(pts, dtype=np.int64))
+
+
+#: Small Manhattan visibility radii, including the sparse-regime r = 0.
+radii = st.sampled_from([0.0, 1.0, 2.0, 3.0])
+
+#: Integer seeds for reproducible generators.
+seeds = st.integers(0, 2**31 - 1)
+
+#: Replication counts for equivalence suites (kept small: each is a sim run).
+replication_counts = st.integers(1, 6)
+
+#: Work-unit chunk sizes (None = executor default).
+chunk_sizes = st.none() | st.integers(1, 5)
+
+
+# --------------------------------------------------------------------------- #
+# Simulation configs (small enough for property suites)
+# --------------------------------------------------------------------------- #
+@st.composite
+def broadcast_configs(draw, max_side: int = 12, max_agents: int = 8) -> BroadcastConfig:
+    """A small broadcast config exercising radius and step-rule variety."""
+    side = draw(st.integers(5, max_side))
+    return BroadcastConfig(
+        n_nodes=side * side,
+        n_agents=draw(st.integers(2, max_agents)),
+        radius=draw(st.sampled_from([0.0, 1.0, 2.0])),
+        max_steps=draw(st.sampled_from([40, 80])),
+        mobility_kwargs={"rule": draw(st.sampled_from(["lazy", "simple"]))},
+    )
+
+
+@st.composite
+def gossip_configs(draw, max_side: int = 9, max_agents: int = 6) -> GossipConfig:
+    """A small gossip config (the (k, k) knowledge state grows fast)."""
+    side = draw(st.integers(5, max_side))
+    return GossipConfig(
+        n_nodes=side * side,
+        n_agents=draw(st.integers(2, max_agents)),
+        radius=draw(st.sampled_from([0.0, 1.0])),
+        max_steps=draw(st.sampled_from([40, 80])),
+    )
+
+
+@st.composite
+def sweep_grids(draw, max_points: int = 4) -> list[int]:
+    """A small sweep grid: distinct agent counts in increasing order."""
+    return sorted(
+        draw(
+            st.sets(st.integers(2, 10), min_size=1, max_size=max_points)
+        )
+    )

@@ -7,6 +7,32 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.experiments import available_experiments
+
+
+class TestHelpTextStaysInSyncWithRegistry:
+    """The id range in help text must be derived from the registry.
+
+    Regression test: the help used to hard-code "E1..E16" after E17 was
+    registered.
+    """
+
+    def _help_output(self, capsys, *command) -> str:
+        with pytest.raises(SystemExit):
+            main([*command, "--help"])
+        return capsys.readouterr().out
+
+    def test_run_help_covers_every_registered_experiment(self, capsys):
+        ids = available_experiments()
+        out = self._help_output(capsys, "run")
+        assert f"{ids[0]}..{ids[-1]}" in out
+        stale_span = f"{ids[0]}..E{int(ids[-1][1:]) - 1})"
+        assert stale_span not in out
+
+    def test_workload_help_covers_every_registered_experiment(self, capsys):
+        ids = available_experiments()
+        out = self._help_output(capsys, "workload")
+        assert f"{ids[0]}..{ids[-1]}" in out
 
 
 class TestListCommand:
@@ -76,3 +102,29 @@ class TestBackendFlag:
 
         main(["run", "E4", "--scale", "tiny", "--backend", "serial"])
         assert runner._BACKEND_OVERRIDE is None
+
+
+class TestJobsFlag:
+    def test_jobs_runs_are_bit_for_bit_identical(self, capsys):
+        assert main(["run", "E1", "--scale", "tiny", "--seed", "3"]) == 0
+        plain_out = capsys.readouterr().out
+        assert main(["run", "E1", "--scale", "tiny", "--seed", "3", "--jobs", "2"]) == 0
+        pooled_out = capsys.readouterr().out
+        assert (
+            main(["run", "E1", "--scale", "tiny", "--seed", "3", "--jobs", "2", "--chunk-size", "1"])
+            == 0
+        )
+        chunked_out = capsys.readouterr().out
+        assert plain_out == pooled_out == chunked_out
+
+    def test_executor_override_is_restored_after_run(self):
+        from repro.exec import current_executor
+
+        main(["run", "E1", "--scale", "tiny", "--jobs", "2"])
+        assert current_executor() is None
+
+    def test_invalid_jobs_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["run", "E1", "--scale", "tiny", "--jobs", "0"])
+        with pytest.raises(SystemExit):
+            main(["run", "E1", "--scale", "tiny", "--chunk-size", "-2"])

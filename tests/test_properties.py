@@ -14,15 +14,12 @@ from repro.grid.lattice import Grid2D
 from repro.grid.tessellation import Tessellation
 from repro.walks.engine import lazy_step, simple_step
 
+from strategies import point_sets as point_sets_strategy, points
 
 # --------------------------------------------------------------------------- #
-# Strategies
+# Strategies (shared shapes live in tests/strategies.py)
 # --------------------------------------------------------------------------- #
-points = st.tuples(st.integers(0, 200), st.integers(0, 200)).map(np.array)
-
-point_sets = st.lists(
-    st.tuples(st.integers(0, 30), st.integers(0, 30)), min_size=1, max_size=40
-).map(lambda pts: np.array(pts, dtype=np.int64))
+point_sets = point_sets_strategy(max_coord=30)
 
 
 # --------------------------------------------------------------------------- #

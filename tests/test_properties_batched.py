@@ -29,11 +29,9 @@ from repro.core.protocol import (
 from repro.core.runner import run_broadcast_replications, run_gossip_replications
 from repro.grid.geometry import pairwise_manhattan
 
-point_sets = st.lists(
-    st.tuples(st.integers(0, 25), st.integers(0, 25)), min_size=1, max_size=40
-).map(lambda pts: np.array(pts, dtype=np.int64))
+from strategies import point_sets as point_sets_strategy, radii
 
-radii = st.sampled_from([0.0, 1.0, 2.0, 3.0])
+point_sets = point_sets_strategy(max_coord=25)
 
 
 def brute_force_pairs(positions: np.ndarray, radius: float) -> set[tuple[int, int]]:
