@@ -84,3 +84,37 @@ def test_bench_matrix_quick_smoke(tmp_path):
         assert entry["serial_seconds"] > 0
         assert entry["batched_seconds"] > 0
     assert (tmp_path / "matrix.json").exists()
+
+
+def test_bench_connectivity_quick_smoke(tmp_path):
+    record = bench_main(["--connectivity", "--quick", "--output", str(tmp_path / "conn.json")])
+    assert record["benchmark"] == "connectivity_engine_step_loop"
+    assert set(record["radii"]) == {"r0", "r1"}
+    for entry in record["radii"].values():
+        assert entry["serial_step_loop"]["partitions_identical"] is True
+        assert entry["end_to_end_batched"]["bitwise_identical"] is True
+        assert entry["end_to_end_serial"]["bitwise_identical"] is True
+        assert entry["serial_step_loop"]["recompute_seconds"] > 0
+        assert entry["serial_step_loop"]["incremental_seconds"] > 0
+    assert record["min_step_loop_speedup"] > 0
+    assert (tmp_path / "conn.json").exists()
+
+
+def test_bench_check_passes_against_fresh_record(tmp_path):
+    # A record measured on this very host must pass its own gate.
+    path = tmp_path / "conn.json"
+    bench_main(["--connectivity", "--quick", "--output", str(path)])
+    record = bench_main(["--quick", "--check", str(path)])
+    assert record == {"check": str(path), "passed": True}
+
+
+def test_bench_check_fails_on_regressed_record(tmp_path):
+    import json
+
+    path = tmp_path / "conn.json"
+    bench_main(["--connectivity", "--quick", "--output", str(path)])
+    inflated = json.loads(path.read_text())
+    inflated["min_step_loop_speedup"] = 10_000.0
+    path.write_text(json.dumps(inflated))
+    with pytest.raises(SystemExit):
+        bench_main(["--quick", "--check", str(path)])

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark the serial vs batched replication backends.
 
-Three modes:
+Five modes:
 
 * default — times ``run_broadcast_replications`` on a fixed
   replication-heavy workload (64 replications of a broadcast on an
@@ -19,16 +19,29 @@ Three modes:
   process-level sweep sharding on top of both backends.  The record keeps
   the host's usable core count — speedups are only meaningful relative to
   it.
+* ``--connectivity`` — times the per-step component labelling of the
+  simulation loop under the recompute vs incremental connectivity engines
+  (identical lazy-walk trajectories, serial and batched), plus the
+  end-to-end batched broadcast run under both engines, and writes the
+  record to ``BENCH_PR4.json``: the fourth point of the trajectory.
+* ``--check FILE`` — perf-regression gate: re-runs the workload family of a
+  committed record (at ``--quick`` size in CI) and fails if the measured
+  speedups regress below ``--check-tolerance`` times the committed ones.
+  Jobs-matrix rows are skipped when the committed ``cpus_usable`` differs
+  from the current host's, since process-level scaling is meaningless
+  across different core counts.
 
 Every measurement checks that all execution paths produce bit-for-bit
 identical per-trial broadcast times before recording anything.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_backends.py               # full PR1 workload
-    PYTHONPATH=src python scripts/bench_backends.py --matrix      # full PR2 matrix
-    PYTHONPATH=src python scripts/bench_backends.py --jobs-matrix # full PR3 matrix
-    PYTHONPATH=src python scripts/bench_backends.py --quick       # smoke test
+    PYTHONPATH=src python scripts/bench_backends.py                  # full PR1 workload
+    PYTHONPATH=src python scripts/bench_backends.py --matrix         # full PR2 matrix
+    PYTHONPATH=src python scripts/bench_backends.py --jobs-matrix    # full PR3 matrix
+    PYTHONPATH=src python scripts/bench_backends.py --connectivity   # full PR4 workload
+    PYTHONPATH=src python scripts/bench_backends.py --quick          # smoke test
+    PYTHONPATH=src python scripts/bench_backends.py --quick --check BENCH_PR3.json
 """
 
 from __future__ import annotations
@@ -37,15 +50,21 @@ import argparse
 import json
 import os
 import platform
+import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.connectivity.batched import batched_visibility_labels
+from repro.connectivity.incremental import DeltaConnectivityEngine, labels_equivalent
+from repro.connectivity.visibility import visibility_components
+from repro.core.batched import _build_mobility, _initial_state
 from repro.core.config import BroadcastConfig
 from repro.core.runner import run_broadcast_replications
 from repro.exec import SweepExecutor, execution_override
 from repro.grid.obstacles import ObstacleGrid
+from repro.util.rng import spawn_rngs
 
 
 def time_backend(
@@ -319,6 +338,292 @@ def run_jobs_matrix(quick: bool = False, seed: int = 2024) -> dict:
     return record
 
 
+def connectivity_workload(quick: bool = False) -> dict:
+    """The sparse long-run scenario the ``--connectivity`` mode measures.
+
+    The paper's regime of interest: ``k`` well below the percolation
+    threshold on an ``n = 10^4``-node grid (lazy walks), where broadcast
+    takes thousands of steps and the per-step connectivity work dominates
+    the loop.  Measured at ``r = 0`` (same-cell meetings) and ``r = 1``.
+    """
+    if quick:
+        return {
+            "n_nodes": 32 * 32,
+            "n_agents": 12,
+            "radii": [0.0, 1.0],
+            "steps": 120,
+            "batch_trials": 8,
+            "end_to_end_replications": 4,
+            "end_to_end_serial_replications": 2,
+            "end_to_end_max_steps": 400,
+            "repeats": 2,
+        }
+    return {
+        "n_nodes": 10_000,
+        "n_agents": 50,
+        "radii": [0.0, 1.0],
+        "steps": 2000,
+        "batch_trials": 64,
+        "end_to_end_replications": 32,
+        "end_to_end_serial_replications": 8,
+        "end_to_end_max_steps": 4000,
+        "repeats": 3,
+    }
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock seconds over ``repeats`` runs (noise suppression)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _serial_trajectory(config: BroadcastConfig, n_steps: int, seed: int) -> tuple[list, int]:
+    """A serial lazy-walk position trajectory and the grid side."""
+    grid, mobility = _build_mobility(config)
+    rng = np.random.default_rng(seed)
+    state = mobility.init_state(config.n_agents, rng)
+    positions = mobility.initial_positions(config.n_agents, rng)
+    trajectory = []
+    for _ in range(n_steps):
+        trajectory.append(positions.copy())
+        positions = mobility.step(positions, rng, state)
+    return trajectory, grid.side
+
+
+def _batched_trajectory(
+    config: BroadcastConfig, n_trials: int, n_steps: int, seed: int
+) -> tuple[list, np.ndarray, int]:
+    """A batched lazy-walk trajectory, its active-trial index and grid side."""
+    grid, mobility = _build_mobility(config)
+    rngs = spawn_rngs(seed, n_trials)
+    states, positions, _ = _initial_state(mobility, config, rngs, with_source=True)
+    stepper = mobility.batch_stepper(config.n_agents, rngs, states)
+    active = np.arange(n_trials)
+    trajectory = []
+    for _ in range(n_steps):
+        trajectory.append(positions.copy())
+        positions = stepper.step(positions, active)
+    return trajectory, active, grid.side
+
+
+def run_connectivity(quick: bool = False, seed: int = 2024) -> dict:
+    """Benchmark recompute vs incremental connectivity and return the record.
+
+    The *step loop* measurements drive both engines over identical
+    pre-generated trajectories — exactly the per-step labelling work the
+    simulation loop performs, isolated from mobility and flooding — and the
+    end-to-end measurement times the full batched broadcast run under both
+    engines (bitwise-identical results asserted).
+    """
+    workload = connectivity_workload(quick)
+    k = workload["n_agents"]
+    repeats = workload["repeats"]
+    radii_records: dict[str, dict] = {}
+    for radius in workload["radii"]:
+        config = BroadcastConfig(
+            n_nodes=workload["n_nodes"],
+            n_agents=k,
+            radius=radius,
+            max_steps=workload["end_to_end_max_steps"],
+        )
+        entry: dict = {}
+
+        trajectory, side = _serial_trajectory(config, workload["steps"], seed)
+        engine = DeltaConnectivityEngine(k, radius, side)
+        for positions in trajectory:
+            if not labels_equivalent(
+                engine.step(positions), visibility_components(positions, radius)
+            ):
+                raise AssertionError("incremental labels diverge from recompute")
+        recompute = _best_of(
+            lambda: [visibility_components(p, radius) for p in trajectory], repeats
+        )
+
+        def run_engine() -> None:
+            fresh = DeltaConnectivityEngine(k, radius, side)
+            for positions in trajectory:
+                fresh.step(positions)
+
+        incremental = _best_of(run_engine, repeats)
+        entry["serial_step_loop"] = {
+            "recompute_seconds": recompute,
+            "incremental_seconds": incremental,
+            "speedup": recompute / incremental if incremental else float("inf"),
+            "partitions_identical": True,
+        }
+
+        batch, active, side = _batched_trajectory(
+            config, workload["batch_trials"], workload["steps"] // 4, seed
+        )
+        recompute_b = _best_of(
+            lambda: [batched_visibility_labels(p, radius) for p in batch], repeats
+        )
+
+        def run_engine_batched() -> None:
+            fresh = DeltaConnectivityEngine(
+                k, radius, side, n_trials=workload["batch_trials"]
+            )
+            for positions in batch:
+                fresh.step(positions, active)
+
+        incremental_b = _best_of(run_engine_batched, repeats)
+        entry["batched_step_loop"] = {
+            "recompute_seconds": recompute_b,
+            "incremental_seconds": incremental_b,
+            "speedup": recompute_b / incremental_b if incremental_b else float("inf"),
+        }
+
+        for backend, reps_key in (
+            ("batched", "end_to_end_replications"),
+            ("serial", "end_to_end_serial_replications"),
+        ):
+            reps = workload[reps_key]
+            start = time.perf_counter()
+            _, results_rec = run_broadcast_replications(
+                config, reps, seed=seed, backend=backend, connectivity="recompute"
+            )
+            e2e_recompute = time.perf_counter() - start
+            start = time.perf_counter()
+            _, results_inc = run_broadcast_replications(
+                config, reps, seed=seed, backend=backend, connectivity="incremental"
+            )
+            e2e_incremental = time.perf_counter() - start
+            values_rec = [res.broadcast_time for res in results_rec]
+            values_inc = [res.broadcast_time for res in results_inc]
+            if values_rec != values_inc:
+                raise AssertionError(
+                    "incremental connectivity changed simulation results"
+                )
+            entry[f"end_to_end_{backend}"] = {
+                "n_replications": reps,
+                "recompute_seconds": e2e_recompute,
+                "incremental_seconds": e2e_incremental,
+                "speedup": e2e_recompute / e2e_incremental if e2e_incremental else float("inf"),
+                "bitwise_identical": True,
+            }
+        entry["step_loop_speedup"] = entry["serial_step_loop"]["speedup"]
+        radii_records[f"r{radius:g}"] = entry
+        print(
+            f"r={radius:g}: step-loop serial {entry['serial_step_loop']['speedup']:5.2f}x  "
+            f"batched {entry['batched_step_loop']['speedup']:5.2f}x  "
+            f"end-to-end batched {entry['end_to_end_batched']['speedup']:5.2f}x  "
+            f"serial {entry['end_to_end_serial']['speedup']:5.2f}x"
+        )
+
+    record = {
+        "benchmark": "connectivity_engine_step_loop",
+        "workload": {**workload, "mobility": "random_walk", "seed": seed},
+        "radii": radii_records,
+        "min_step_loop_speedup": min(
+            entry["step_loop_speedup"] for entry in radii_records.values()
+        ),
+        "min_step_loop_speedup_batched": min(
+            entry["batched_step_loop"]["speedup"] for entry in radii_records.values()
+        ),
+    }
+    record.update(_environment())
+    return record
+
+
+# --------------------------------------------------------------------------- #
+# Perf-regression gate (--check)
+# --------------------------------------------------------------------------- #
+def check_against(record_path: Path, quick: bool, tolerance: float, seed: int) -> list[str]:
+    """Re-measure a committed record's workload family and list regressions.
+
+    ``tolerance`` is the fraction of the committed speedup the measurement
+    must reach (CI re-runs at ``--quick`` size on shared runners, so the
+    default is deliberately generous — the gate catches collapses, not
+    jitter).  Jobs-matrix per-row comparisons are skipped when the committed
+    ``cpus_usable`` differs from this host's.
+    """
+    committed = json.loads(Path(record_path).read_text())
+    kind = committed.get("benchmark")
+    failures: list[str] = []
+    if kind == "sweep_executor_jobs_backend_matrix":
+        measured = run_jobs_matrix(quick=quick, seed=seed)
+
+        def jobs1_ratio(record: dict) -> float:
+            serial = record["matrix"]["serial"]["jobs1"]["seconds"]
+            batched = record["matrix"]["batched"]["jobs1"]["seconds"]
+            return serial / batched if batched else float("inf")
+
+        committed_ratio = jobs1_ratio(committed)
+        measured_ratio = jobs1_ratio(measured)
+        floor = committed_ratio * tolerance
+        print(
+            f"batched-vs-serial speedup: measured {measured_ratio:.2f}x, "
+            f"committed {committed_ratio:.2f}x, floor {floor:.2f}x"
+        )
+        if measured_ratio < floor:
+            failures.append(
+                f"batched-vs-serial speedup regressed: {measured_ratio:.2f}x "
+                f"< {floor:.2f}x ({tolerance:.0%} of committed {committed_ratio:.2f}x)"
+            )
+        if committed.get("cpus_usable") != measured.get("cpus_usable"):
+            print(
+                f"skipping jobs-scaling rows: committed cpus_usable="
+                f"{committed.get('cpus_usable')} vs current "
+                f"{measured.get('cpus_usable')}"
+            )
+        else:
+            for backend, rows in committed["matrix"].items():
+                for jobs_key, row in rows.items():
+                    if jobs_key not in measured["matrix"].get(backend, {}):
+                        print(f"{backend}/{jobs_key}: not measured at this size, skipped")
+                        continue
+                    got = measured["matrix"][backend][jobs_key]["speedup_vs_jobs1"]
+                    want = row["speedup_vs_jobs1"] * tolerance
+                    print(f"{backend}/{jobs_key}: measured {got:.2f}x, floor {want:.2f}x")
+                    if got < want:
+                        failures.append(
+                            f"{backend}/{jobs_key} jobs-scaling regressed: "
+                            f"{got:.2f}x < {want:.2f}x"
+                        )
+    elif kind == "broadcast_replications_serial_vs_batched":
+        measured = (
+            run_benchmark(
+                n_nodes=32 * 32, n_agents=16, n_replications=8, seed=seed, max_steps=2000
+            )
+            if quick
+            else run_benchmark(seed=seed)
+        )
+        floor = committed["speedup"] * tolerance
+        print(
+            f"batched speedup: measured {measured['speedup']:.2f}x, floor {floor:.2f}x"
+        )
+        if measured["speedup"] < floor:
+            failures.append(
+                f"batched speedup regressed: {measured['speedup']:.2f}x < {floor:.2f}x"
+            )
+    elif kind == "connectivity_engine_step_loop":
+        measured = run_connectivity(quick=quick, seed=seed)
+        for field, label in (
+            ("min_step_loop_speedup", "serial"),
+            ("min_step_loop_speedup_batched", "batched"),
+        ):
+            if field not in committed:
+                continue
+            floor = committed[field] * tolerance
+            got = measured[field]
+            print(
+                f"connectivity {label} step-loop speedup: "
+                f"measured {got:.2f}x, floor {floor:.2f}x"
+            )
+            if got < floor:
+                failures.append(
+                    f"connectivity {label} step-loop speedup regressed: "
+                    f"{got:.2f}x < {floor:.2f}x"
+                )
+    else:
+        failures.append(f"unknown benchmark kind {kind!r} in {record_path}")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> dict:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--n-nodes", type=int, default=10_000)
@@ -340,6 +645,33 @@ def main(argv: list[str] | None = None) -> dict:
         "sweep (default output: repo-root BENCH_PR3.json)",
     )
     parser.add_argument(
+        "--connectivity",
+        action="store_true",
+        help="run the recompute-vs-incremental connectivity engine comparison "
+        "on the sparse long-run scenario (default output: repo-root "
+        "BENCH_PR4.json)",
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        metavar="RECORD",
+        help="perf-regression gate: re-run the workload family of the given "
+        "committed record (honours --quick) and exit non-zero if speedups "
+        "regress below --check-tolerance times the committed values; "
+        "jobs-matrix scaling rows are skipped when cpus_usable differs",
+    )
+    parser.add_argument(
+        "--check-tolerance",
+        type=float,
+        default=0.35,
+        metavar="FRACTION",
+        help="fraction of the committed speedup --check requires "
+        "(default: 0.35 — generous on purpose: CI re-measures a smaller "
+        "workload on noisy shared runners, so the gate catches collapses, "
+        "not jitter)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=None,
@@ -355,10 +687,32 @@ def main(argv: list[str] | None = None) -> dict:
     )
     args = parser.parse_args(argv)
 
-    if args.matrix and args.jobs_matrix:
-        parser.error("--matrix and --jobs-matrix are mutually exclusive")
-    if args.matrix or args.jobs_matrix:
-        mode = "--matrix" if args.matrix else "--jobs-matrix"
+    if args.check is not None:
+        if args.matrix or args.jobs_matrix or args.connectivity or args.output:
+            parser.error(
+                "--check re-runs the workload family of the given record; it "
+                "cannot be combined with --matrix/--jobs-matrix/--connectivity "
+                "or --output"
+            )
+        failures = check_against(
+            args.check, quick=args.quick, tolerance=args.check_tolerance, seed=args.seed
+        )
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            sys.exit(1)
+        print(f"perf check against {args.check} passed")
+        return {"check": str(args.check), "passed": True}
+
+    exclusive = [args.matrix, args.jobs_matrix, args.connectivity]
+    if sum(exclusive) > 1:
+        parser.error("--matrix, --jobs-matrix and --connectivity are mutually exclusive")
+    if args.matrix or args.jobs_matrix or args.connectivity:
+        mode = (
+            "--matrix"
+            if args.matrix
+            else "--jobs-matrix" if args.jobs_matrix else "--connectivity"
+        )
         ignored = {
             "--n-nodes": args.n_nodes != 10_000,
             "--n-agents": args.n_agents != 100,
@@ -376,6 +730,8 @@ def main(argv: list[str] | None = None) -> dict:
         record = run_matrix(quick=args.quick, seed=args.seed)
     elif args.jobs_matrix:
         record = run_jobs_matrix(quick=args.quick, seed=args.seed)
+    elif args.connectivity:
+        record = run_connectivity(quick=args.quick, seed=args.seed)
     elif args.quick:
         record = run_benchmark(
             n_nodes=32 * 32, n_agents=16, radius=args.radius,
@@ -387,7 +743,7 @@ def main(argv: list[str] | None = None) -> dict:
             n_replications=args.replications, seed=args.seed, max_steps=args.max_steps,
         )
 
-    if not args.matrix and not args.jobs_matrix:
+    if not args.matrix and not args.jobs_matrix and not args.connectivity:
         print(
             f"serial  : {record['serial_seconds']:8.2f} s\n"
             f"batched : {record['batched_seconds']:8.2f} s\n"
@@ -395,7 +751,9 @@ def main(argv: list[str] | None = None) -> dict:
         )
     output = args.output
     if output is None and not args.quick:
-        if args.jobs_matrix:
+        if args.connectivity:
+            name = "BENCH_PR4.json"
+        elif args.jobs_matrix:
             name = "BENCH_PR3.json"
         elif args.matrix:
             name = "BENCH_PR2.json"

@@ -16,7 +16,7 @@ import sys
 from typing import Sequence
 
 from repro.analysis.report import ExperimentReport
-from repro.core.config import BACKENDS
+from repro.core.config import BACKENDS, CONNECTIVITY_MODES
 from repro.experiments import available_experiments, experiment_description, run_experiment
 from repro.util.serialization import dump_json, to_jsonable
 from repro.workloads import SCALES, get_workload
@@ -85,6 +85,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "'batched' (error if a config does not support it), or 'auto' "
         "(batched wherever supported); default: each config's own choice",
     )
+    run_parser.add_argument(
+        "--connectivity",
+        choices=CONNECTIVITY_MODES,
+        default=None,
+        help="connectivity engine for the per-step component labelling: "
+        "'recompute' rebuilds the visibility graph each step, 'incremental' "
+        "maintains it across steps, 'auto' picks the faster engine per "
+        "config; results are bit-for-bit identical either way "
+        "(default: each config's own choice)",
+    )
     run_parser.add_argument("--json", metavar="PATH", help="also write the report(s) as JSON")
     run_parser.set_defaults(func=_cmd_run)
 
@@ -120,7 +130,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     with execution_override(executor):
         for experiment_id in experiment_ids:
             report = run_experiment(
-                experiment_id, scale=args.scale, seed=args.seed, backend=args.backend
+                experiment_id, scale=args.scale, seed=args.seed,
+                backend=args.backend, connectivity=args.connectivity,
             )
             reports.append(report)
             print(report.render())

@@ -10,6 +10,8 @@ connected components.  This subpackage provides
   (:mod:`repro.connectivity.spatial_hash`);
 * visibility-graph construction and component labelling
   (:mod:`repro.connectivity.visibility`);
+* an incremental engine maintaining the spatial hash and component labels
+  across simulation steps (:mod:`repro.connectivity.incremental`);
 * island (component) statistics for Lemma 6 (:mod:`repro.connectivity.components`);
 * percolation-point estimation (:mod:`repro.connectivity.percolation`).
 """
@@ -19,9 +21,15 @@ from repro.connectivity.batched import batched_visibility_labels
 from repro.connectivity.spatial_hash import SpatialHash, neighbor_pairs
 from repro.connectivity.visibility import (
     position_group_key,
+    same_cell_labels,
     visibility_components,
     visibility_edges,
     visibility_graph,
+)
+from repro.connectivity.incremental import (
+    DeltaConnectivityEngine,
+    labels_equivalent,
+    supports_incremental_connectivity,
 )
 from repro.connectivity.components import (
     component_sizes,
@@ -44,6 +52,10 @@ __all__ = [
     "SpatialHash",
     "neighbor_pairs",
     "position_group_key",
+    "same_cell_labels",
+    "DeltaConnectivityEngine",
+    "labels_equivalent",
+    "supports_incremental_connectivity",
     "visibility_components",
     "visibility_edges",
     "visibility_graph",

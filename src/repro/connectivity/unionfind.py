@@ -22,6 +22,42 @@ class UnionFind:
         self._size = np.ones(n_elements, dtype=np.int64)
         self._n_components = n_elements
 
+    @classmethod
+    def from_parents(cls, parent: np.ndarray) -> "UnionFind":
+        """Build a union–find seeded from an existing parent forest.
+
+        ``parent`` must describe a valid forest over ``0 .. n-1`` in which
+        parent pointers never increase (``parent[i] <= i`` transitively down
+        to each root), the invariant :meth:`union_batch` relies on.  Useful
+        to seed a union from precomputed component representatives — e.g. a
+        depth-one forest of ``labels``-style arrays — before unioning an
+        additional edge set.  (The incremental connectivity engine's hot
+        path inlines an equivalent compact-universe variant.)  The array is
+        adopted, not copied.
+        """
+        parent = np.asarray(parent, dtype=np.int64)
+        if parent.ndim != 1 or parent.size == 0:
+            raise ValueError(f"parent must be a non-empty 1-D array, got shape {parent.shape}")
+        if (parent > np.arange(parent.size)).any() or parent.min() < 0:
+            raise ValueError("parent pointers must satisfy 0 <= parent[i] <= i")
+        uf = cls.__new__(cls)
+        uf._parent = parent
+        # Sizes are only consulted by the scalar union-by-size path and are
+        # rebuilt wholesale by union_batch; seed them flat rather than paying
+        # a scatter per element.
+        uf._size = np.ones(parent.size, dtype=np.int64)
+        uf._n_components = int(np.count_nonzero(parent == np.arange(parent.size)))
+        return uf
+
+    def roots(self) -> np.ndarray:
+        """Representative (root index) of every element, fully compressed.
+
+        Unlike :meth:`labels` the values are element indices, not dense
+        ``0 .. n_components-1`` labels; after :meth:`union_batch` (which
+        links by minimum) every component's root is its smallest element.
+        """
+        return self._find_many(np.arange(self.n_elements))
+
     # ------------------------------------------------------------------ #
     @property
     def n_elements(self) -> int:

@@ -36,6 +36,70 @@ def position_group_key(positions: np.ndarray) -> np.ndarray:
     return key
 
 
+def same_cell_labels(
+    positions: np.ndarray, side: int, scratch: np.ndarray | None = None
+) -> np.ndarray:
+    """Same-cell component labels of ``G_t(0)`` via one scatter/gather pass.
+
+    For ``r = 0`` the components are exactly the groups of agents sharing a
+    grid node.  Instead of sorting the node keys, write every agent's flat
+    index into a node-indexed table and read it back: all agents of a node
+    read the same (last-written) index, which therefore labels the group.
+    Any duplicate-write outcome yields the same partition, and only keys
+    written in the same call are ever read, so a persistent ``scratch``
+    table can be reused across steps without clearing — this is the
+    allocation-free fast path of the incremental connectivity engine.
+
+    Parameters
+    ----------
+    positions:
+        ``(k, 2)`` or batched ``(R, k, 2)`` integer coordinates in
+        ``[0, side)``.
+    side:
+        Grid side defining the node key space (``side * side`` per trial).
+    scratch:
+        Optional persistent int64 work table with at least
+        ``R * side * side`` entries; allocated per call when omitted.
+
+    Returns
+    -------
+    numpy.ndarray
+        Labels shaped like ``positions`` without the coordinate axis.  Two
+        agents share a label iff they are in the same trial and on the same
+        node; labels of different trials never collide.  Labels are group
+        representatives, not compressed to ``0 .. C-1`` — the same partition
+        as :func:`visibility_components` at ``r = 0``.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    single = positions.ndim == 2
+    if single:
+        positions = positions[None]
+    if positions.ndim != 3 or positions.shape[2] != 2:
+        raise ValueError(
+            f"positions must have shape (k, 2) or (R, k, 2), got {positions.shape}"
+        )
+    n_trials, k = positions.shape[:2]
+    n_cells = side * side
+    if n_trials * k == 0:
+        labels = np.empty((n_trials, k), dtype=np.int64)
+        return labels[0] if single else labels
+    key = (
+        positions[..., 0] * side
+        + positions[..., 1]
+        + (np.arange(n_trials, dtype=np.int64) * n_cells)[:, None]
+    ).ravel()
+    if scratch is None:
+        scratch = np.empty(n_trials * n_cells, dtype=np.int64)
+    elif scratch.shape[0] < n_trials * n_cells:
+        raise ValueError(
+            f"scratch must hold at least {n_trials * n_cells} entries, "
+            f"got {scratch.shape[0]}"
+        )
+    scratch[key] = np.arange(n_trials * k, dtype=np.int64)
+    labels = scratch[key].reshape(n_trials, k)
+    return labels[0] if single else labels
+
+
 def visibility_edges(
     positions: np.ndarray, radius: float, metric: str = "manhattan"
 ) -> np.ndarray:

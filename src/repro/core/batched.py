@@ -92,6 +92,29 @@ def _flood_colocated(grid: Grid2D, positions: np.ndarray, informed: np.ndarray) 
     return node_informed[key].reshape(informed.shape)
 
 
+class _EpochColocatedFlood:
+    """Allocation-free fused ``r = 0`` flooding for the incremental engine.
+
+    Equivalent to :func:`_flood_colocated`, but the per-trial node mask is a
+    persistent epoch-stamped table: marks from earlier steps read as stale
+    instead of being re-zeroed, so the hot loop never allocates or sweeps
+    the ``R * n`` cells.  Rows are keyed by compact trial index, which makes
+    the table oblivious to mid-run compaction.
+    """
+
+    def __init__(self, n_trials: int, n_nodes: int) -> None:
+        self._table = np.zeros(n_trials * n_nodes, dtype=np.int64)
+        self._epoch = 0
+
+    def flood(self, grid: Grid2D, positions: np.ndarray, informed: np.ndarray) -> np.ndarray:
+        n_trials = informed.shape[0]
+        node = positions[..., 0] * grid.side + positions[..., 1]
+        key = (node + np.arange(n_trials, dtype=np.int64)[:, None] * grid.n_nodes).ravel()
+        self._epoch += 1
+        self._table[key[informed.ravel()]] = self._epoch
+        return (self._table[key] == self._epoch).reshape(informed.shape)
+
+
 def _build_mobility(config: BroadcastConfig | GossipConfig) -> tuple[Grid2D, MobilityModel]:
     """The grid and mobility model a serial simulation would construct."""
     grid = Grid2D.from_nodes(config.n_nodes)
@@ -168,6 +191,7 @@ def run_broadcast_replications_batched(
     seed: SeedLike = None,
     *,
     rng_streams: Optional[Sequence[RandomState]] = None,
+    connectivity: Optional[str] = None,
 ) -> tuple[ReplicationSummary, list[BroadcastResult]]:
     """Batched equivalent of :func:`repro.core.runner.run_broadcast_replications`.
 
@@ -175,8 +199,16 @@ def run_broadcast_replications_batched(
     :class:`~repro.core.simulation.BroadcastResult` identical to the one the
     serial backend produces for the same seed.  ``rng_streams`` supplies one
     explicit per-trial generator instead of deriving them from ``seed`` (the
-    executor's chunked work units use this).
+    executor's chunked work units use this).  ``connectivity`` selects the
+    component-labelling engine (``None`` resolves the config's field); with
+    ``"incremental"`` one :class:`~repro.connectivity.incremental.DeltaConnectivityEngine`
+    carries per-trial spatial-hash and label state across steps, indexed by
+    the loop's ``active`` trials so mid-run compaction needs no state
+    surgery.
     """
+    from repro.connectivity.incremental import DeltaConnectivityEngine
+    from repro.core.runner import resolve_connectivity
+
     n_replications = check_positive_int(n_replications, "n_replications")
     if not supports_batched_broadcast(config):
         raise ValueError(
@@ -189,6 +221,22 @@ def run_broadcast_replications_batched(
     states, positions, sources = _initial_state(mobility, config, rngs, with_source=True)
     k = config.n_agents
     n_trials = n_replications
+    incremental = resolve_connectivity(config, connectivity) == "incremental"
+    engine = flood = None
+    if incremental:
+        if config.radius == 0:
+            # The fused colocated flood subsumes the engine's same-cell
+            # labelling; the incremental variant only swaps the per-step
+            # mask allocation for a persistent epoch table.  Mirror the
+            # engine's own table-size guard: past the limit, keep the
+            # transient-mask recompute path rather than pinning a huge
+            # table for the whole run.
+            from repro.connectivity.incremental import SAME_CELL_TABLE_LIMIT
+
+            if n_trials * grid.n_nodes <= SAME_CELL_TABLE_LIMIT:
+                flood = _EpochColocatedFlood(n_trials, grid.n_nodes)
+        else:
+            engine = DeltaConnectivityEngine(k, config.radius, grid.side, n_trials=n_trials)
 
     informed = np.zeros((n_trials, k), dtype=bool)
     informed[np.arange(n_trials), sources] = True
@@ -206,7 +254,11 @@ def run_broadcast_replications_batched(
     active = np.arange(n_trials)
     t = 0
     while active.size and t < horizon:
-        if config.radius == 0:
+        if engine is not None:
+            informed = flood_informed_batch(informed, engine.step(positions, active))
+        elif flood is not None:
+            informed = flood.flood(grid, positions, informed)
+        elif config.radius == 0:
             informed = _flood_colocated(grid, positions, informed)
         else:
             labels = batched_visibility_labels(positions, config.radius)
@@ -252,13 +304,17 @@ def run_gossip_replications_batched(
     seed: SeedLike = None,
     *,
     rng_streams: Optional[Sequence[RandomState]] = None,
+    connectivity: Optional[str] = None,
 ) -> tuple[ReplicationSummary, list[GossipResult]]:
     """Batched equivalent of :func:`repro.core.runner.run_gossip_replications`.
 
     The knowledge state is an ``(R, k, k)`` boolean tensor flooded across all
-    trials in one pass per step.  ``rng_streams`` behaves as in
-    :func:`run_broadcast_replications_batched`.
+    trials in one pass per step.  ``rng_streams`` and ``connectivity``
+    behave as in :func:`run_broadcast_replications_batched`.
     """
+    from repro.connectivity.incremental import DeltaConnectivityEngine
+    from repro.core.runner import resolve_connectivity
+
     n_replications = check_positive_int(n_replications, "n_replications")
     if not supports_batched_gossip(config):
         raise ValueError(
@@ -271,6 +327,11 @@ def run_gossip_replications_batched(
     states, positions, _ = _initial_state(mobility, config, rngs, with_source=False)
     k = config.n_agents
     n_trials = n_replications
+    engine = (
+        DeltaConnectivityEngine(k, config.radius, grid.side, n_trials=n_trials)
+        if resolve_connectivity(config, connectivity) == "incremental"
+        else None
+    )
 
     rumors = np.broadcast_to(np.eye(k, dtype=bool), (n_trials, k, k)).copy()
     gossip_time = np.full(n_trials, -1, dtype=np.int64)
@@ -285,7 +346,10 @@ def run_gossip_replications_batched(
     active = np.arange(n_trials)
     t = 0
     while active.size and t < horizon:
-        labels = batched_visibility_labels(positions, config.radius)
+        if engine is not None:
+            labels = engine.step(positions, active)
+        else:
+            labels = batched_visibility_labels(positions, config.radius)
         rumors = flood_rumors_batch(rumors, labels)
         totals = rumors.sum(axis=(1, 2))
         step_trials.append(active)

@@ -11,12 +11,23 @@ from repro.util.validation import ValidationError, check_non_negative, check_pos
 
 BACKENDS = ("auto", "serial", "batched")
 
+CONNECTIVITY_MODES = ("auto", "recompute", "incremental")
+
 
 def check_backend(backend: str) -> str:
     """Validate a replication-backend name and return it."""
     if backend not in BACKENDS:
         raise ValidationError(f"backend must be one of {BACKENDS}, got {backend!r}")
     return backend
+
+
+def check_connectivity(connectivity: str) -> str:
+    """Validate a connectivity-engine name and return it."""
+    if connectivity not in CONNECTIVITY_MODES:
+        raise ValidationError(
+            f"connectivity must be one of {CONNECTIVITY_MODES}, got {connectivity!r}"
+        )
+    return connectivity
 
 
 def default_max_steps(n_nodes: int, n_agents: int, safety_factor: float = 60.0) -> int:
@@ -65,6 +76,13 @@ class BroadcastConfig:
         (bit-for-bit identical results), ``"auto"`` (default) picks the
         batched backend whenever the configuration supports it.  See
         :mod:`repro.core.batched`.
+    connectivity:
+        Connectivity engine for the per-step component labelling:
+        ``"recompute"`` rebuilds the visibility graph from scratch each
+        step, ``"incremental"`` maintains it across steps
+        (:mod:`repro.connectivity.incremental`; bit-for-bit identical
+        results), ``"auto"`` (default) picks the incremental engine where
+        it is the faster choice.
     """
 
     n_nodes: int
@@ -77,12 +95,14 @@ class BroadcastConfig:
     record_frontier: bool = False
     record_coverage: bool = False
     backend: str = "auto"
+    connectivity: str = "auto"
 
     def __post_init__(self) -> None:
         check_positive_int(self.n_nodes, "n_nodes")
         check_positive_int(self.n_agents, "n_agents")
         check_non_negative(self.radius, "radius")
         check_backend(self.backend)
+        check_connectivity(self.connectivity)
         if self.n_agents < 1:
             raise ValidationError("n_agents must be at least 1")
         if self.source is not None:
@@ -116,12 +136,14 @@ class GossipConfig:
     mobility: str = "random_walk"
     mobility_kwargs: Mapping[str, Any] = field(default_factory=dict)
     backend: str = "auto"
+    connectivity: str = "auto"
 
     def __post_init__(self) -> None:
         check_positive_int(self.n_nodes, "n_nodes")
         check_positive_int(self.n_agents, "n_agents")
         check_non_negative(self.radius, "radius")
         check_backend(self.backend)
+        check_connectivity(self.connectivity)
         if self.max_steps is not None:
             check_positive_int(self.max_steps, "max_steps")
 

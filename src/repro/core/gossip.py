@@ -54,7 +54,11 @@ class GossipSimulation:
         config: GossipConfig,
         rng: RandomState | int | None = None,
         mobility: MobilityModel | None = None,
+        connectivity: str | None = None,
     ) -> None:
+        from repro.connectivity.incremental import DeltaConnectivityEngine
+        from repro.core.runner import resolve_connectivity
+
         self._config = config
         self._rng = default_rng(rng)
         self._grid = Grid2D.from_nodes(config.n_nodes)
@@ -62,6 +66,11 @@ class GossipSimulation:
             mobility = make_mobility(config.mobility, self._grid, **dict(config.mobility_kwargs))
         self._mobility = mobility
         self._mobility_state = mobility.init_state(config.n_agents, self._rng)
+        self._engine = (
+            DeltaConnectivityEngine(config.n_agents, config.radius, self._grid.side)
+            if resolve_connectivity(config, connectivity) == "incremental"
+            else None
+        )
 
         self._positions = self._mobility.initial_positions(config.n_agents, self._rng)
         self._rumors = np.eye(config.n_agents, dtype=bool)
@@ -109,7 +118,10 @@ class GossipSimulation:
     # ------------------------------------------------------------------ #
     def step(self) -> None:
         """One full time step: rumor exchange, recording, then motion."""
-        labels = visibility_components(self._positions, self._config.radius)
+        if self._engine is not None:
+            labels = self._engine.step(self._positions)
+        else:
+            labels = visibility_components(self._positions, self._config.radius)
         self._rumors = flood_rumors(self._rumors, labels)
         self._knowledge_curve.append(int(self._rumors.sum()))
         if self._first_rumor_broadcast_time < 0 and bool(self._rumors[:, 0].all()):

@@ -34,7 +34,12 @@ from typing import Callable, Iterator, Optional, Sequence
 
 import numpy as np
 
-from repro.core.config import BroadcastConfig, GossipConfig, check_backend
+from repro.core.config import (
+    BroadcastConfig,
+    GossipConfig,
+    check_backend,
+    check_connectivity,
+)
 from repro.core.gossip import GossipResult, GossipSimulation
 from repro.core.simulation import BroadcastResult, BroadcastSimulation
 from repro.util.rng import SeedLike, spawn_rngs
@@ -174,6 +179,60 @@ def resolve_backend(
     return "batched" if supported else "serial"
 
 
+#: Process-wide connectivity override installed by :func:`connectivity_override`.
+_CONNECTIVITY_OVERRIDE: Optional[str] = None
+
+
+@contextmanager
+def connectivity_override(connectivity: Optional[str]) -> Iterator[None]:
+    """Force every simulation in the ``with`` block onto a connectivity engine.
+
+    Mirrors :func:`backend_override`: this is how the command line's
+    ``--connectivity`` flag reaches experiments that build their configs
+    internally.  The override takes precedence over each config's
+    ``connectivity`` field (but not over an explicit ``connectivity``
+    argument passed to a ``run_*_replications`` call).  ``None`` is a no-op;
+    ``"auto"`` re-enables per-config auto-selection.
+    """
+    global _CONNECTIVITY_OVERRIDE
+    if connectivity is not None:
+        check_connectivity(connectivity)
+    previous = _CONNECTIVITY_OVERRIDE
+    _CONNECTIVITY_OVERRIDE = connectivity
+    try:
+        yield
+    finally:
+        _CONNECTIVITY_OVERRIDE = previous
+
+
+def resolve_connectivity(
+    config: BroadcastConfig | GossipConfig, connectivity: Optional[str] = None
+) -> str:
+    """Resolve the effective engine (``"recompute"`` or ``"incremental"``).
+
+    ``connectivity`` overrides the config's ``connectivity`` field (as does
+    an active :func:`connectivity_override` block).  ``"auto"`` picks the
+    incremental engine where it is the faster choice: every radius below 2
+    (the same-cell fast path at ``r = 0`` and the one-node-per-cell delta
+    engine up to ``r = 1``); larger radii keep the recompute path, whose
+    bucket-level candidate expansion wins once cells span several nodes and
+    the edge set is dense.  Both engines produce bit-for-bit identical
+    simulation results, so the choice is purely a performance knob.
+    """
+    from repro.connectivity.incremental import supports_incremental_connectivity
+
+    if connectivity is None:
+        connectivity = _CONNECTIVITY_OVERRIDE
+    choice = check_connectivity(
+        connectivity if connectivity is not None else config.connectivity
+    )
+    if choice != "auto":
+        return choice
+    if supports_incremental_connectivity(config) and config.radius < 2:
+        return "incremental"
+    return "recompute"
+
+
 def check_rng_streams(rng_streams: Optional[Sequence], n_replications: int) -> None:
     """Validate an explicit per-trial stream list against the trial count."""
     if rng_streams is not None and len(rng_streams) != n_replications:
@@ -189,13 +248,17 @@ def run_broadcast_replications(
     seed: SeedLike = None,
     backend: Optional[str] = None,
     *,
+    connectivity: Optional[str] = None,
     rng_streams: Optional[Sequence[np.random.Generator]] = None,
 ) -> tuple[ReplicationSummary, list[BroadcastResult]]:
     """Run ``n_replications`` broadcast simulations and summarise ``T_B``.
 
     ``backend`` selects ``"serial"``, ``"batched"`` or ``"auto"`` execution
     (default: the config's ``backend`` field); both backends produce
-    bit-for-bit identical results for identical seeds.
+    bit-for-bit identical results for identical seeds.  ``connectivity``
+    selects ``"recompute"``, ``"incremental"`` or ``"auto"`` component
+    labelling the same way (default: the config's ``connectivity`` field);
+    engines too are bit-for-bit interchangeable.
 
     ``rng_streams`` supplies one explicit generator per trial in place of
     :func:`~repro.util.rng.spawn_rngs` derivation — this is how executor
@@ -206,6 +269,7 @@ def run_broadcast_replications(
     """
     n_replications = check_positive_int(n_replications, "n_replications")
     check_rng_streams(rng_streams, n_replications)
+    engine = resolve_connectivity(config, connectivity)
     if rng_streams is None:
         from repro.exec.executor import current_executor
 
@@ -214,15 +278,19 @@ def run_broadcast_replications(
             return executor.run_replications(
                 "broadcast", config, n_replications, seed,
                 backend=resolve_backend(config, backend),
+                connectivity=engine,
             )
     if resolve_backend(config, backend) == "batched":
         from repro.core.batched import run_broadcast_replications_batched
 
         return run_broadcast_replications_batched(
-            config, n_replications, seed, rng_streams=rng_streams
+            config, n_replications, seed,
+            rng_streams=rng_streams, connectivity=engine,
         )
     rngs = rng_streams if rng_streams is not None else spawn_rngs(seed, n_replications)
-    results = [BroadcastSimulation(config, rng=rng).run() for rng in rngs]
+    results = [
+        BroadcastSimulation(config, rng=rng, connectivity=engine).run() for rng in rngs
+    ]
     summary = summarise_values([res.broadcast_time for res in results])
     return summary, results
 
@@ -233,18 +301,20 @@ def run_gossip_replications(
     seed: SeedLike = None,
     backend: Optional[str] = None,
     *,
+    connectivity: Optional[str] = None,
     rng_streams: Optional[Sequence[np.random.Generator]] = None,
 ) -> tuple[ReplicationSummary, list[GossipResult]]:
     """Run ``n_replications`` gossip simulations and summarise ``T_G``.
 
     ``backend`` selects ``"serial"``, ``"batched"`` or ``"auto"`` execution
     (default: the config's ``backend`` field); both backends produce
-    bit-for-bit identical results for identical seeds.  ``rng_streams`` and
-    the executor interception behave as in
+    bit-for-bit identical results for identical seeds.  ``connectivity``,
+    ``rng_streams`` and the executor interception behave as in
     :func:`run_broadcast_replications`.
     """
     n_replications = check_positive_int(n_replications, "n_replications")
     check_rng_streams(rng_streams, n_replications)
+    engine = resolve_connectivity(config, connectivity)
     if rng_streams is None:
         from repro.exec.executor import current_executor
 
@@ -253,14 +323,18 @@ def run_gossip_replications(
             return executor.run_replications(
                 "gossip", config, n_replications, seed,
                 backend=resolve_backend(config, backend),
+                connectivity=engine,
             )
     if resolve_backend(config, backend) == "batched":
         from repro.core.batched import run_gossip_replications_batched
 
         return run_gossip_replications_batched(
-            config, n_replications, seed, rng_streams=rng_streams
+            config, n_replications, seed,
+            rng_streams=rng_streams, connectivity=engine,
         )
     rngs = rng_streams if rng_streams is not None else spawn_rngs(seed, n_replications)
-    results = [GossipSimulation(config, rng=rng).run() for rng in rngs]
+    results = [
+        GossipSimulation(config, rng=rng, connectivity=engine).run() for rng in rngs
+    ]
     summary = summarise_values([res.gossip_time for res in results])
     return summary, results

@@ -69,6 +69,11 @@ class BroadcastSimulation:
     mobility:
         Optional pre-built mobility model; by default the model named in the
         configuration is instantiated.
+    connectivity:
+        Resolved connectivity engine (``"recompute"``, ``"incremental"`` or
+        ``"auto"``); ``None`` resolves the config's ``connectivity`` field.
+        Both engines produce bit-for-bit identical results — see
+        :mod:`repro.connectivity.incremental`.
     """
 
     def __init__(
@@ -76,7 +81,11 @@ class BroadcastSimulation:
         config: BroadcastConfig,
         rng: RandomState | int | None = None,
         mobility: MobilityModel | None = None,
+        connectivity: str | None = None,
     ) -> None:
+        from repro.connectivity.incremental import DeltaConnectivityEngine
+        from repro.core.runner import resolve_connectivity
+
         self._config = config
         self._rng = default_rng(rng)
         self._grid = Grid2D.from_nodes(config.n_nodes)
@@ -84,6 +93,11 @@ class BroadcastSimulation:
             mobility = make_mobility(config.mobility, self._grid, **dict(config.mobility_kwargs))
         self._mobility = mobility
         self._mobility_state = mobility.init_state(config.n_agents, self._rng)
+        self._engine = (
+            DeltaConnectivityEngine(config.n_agents, config.radius, self._grid.side)
+            if resolve_connectivity(config, connectivity) == "incremental"
+            else None
+        )
 
         self._positions = self._mobility.initial_positions(config.n_agents, self._rng)
         self._informed = np.zeros(config.n_agents, dtype=bool)
@@ -156,7 +170,10 @@ class BroadcastSimulation:
     # ------------------------------------------------------------------ #
     def _exchange(self) -> None:
         """Flood the rumor within components of the current visibility graph."""
-        labels = visibility_components(self._positions, self._config.radius)
+        if self._engine is not None:
+            labels = self._engine.step(self._positions)
+        else:
+            labels = visibility_components(self._positions, self._config.radius)
         self._informed = flood_informed(self._informed, labels)
 
     def _record(self) -> None:

@@ -75,7 +75,11 @@ def _execute_simulation_unit(unit: WorkUnit) -> dict[str, Any]:
     streams = unit.seed.trial_rngs(unit.start, unit.stop)
     runner = run_broadcast_replications if unit.kind == "broadcast" else run_gossip_replications
     summary, results = runner(
-        config, unit.n_trials, backend=unit.backend, rng_streams=streams
+        config,
+        unit.n_trials,
+        backend=unit.backend,
+        connectivity=unit.connectivity,
+        rng_streams=streams,
     )
     return {
         "values": [float(v) for v in summary.values],
@@ -227,6 +231,7 @@ class SweepExecutor:
         n_replications: int,
         seed: SeedLike,
         backend: Optional[str] = None,
+        connectivity: Optional[str] = None,
     ) -> list[WorkUnit]:
         """Split one sweep point into replication-chunk work units.
 
@@ -246,6 +251,7 @@ class SweepExecutor:
                 stop=stop,
                 seed=spec,
                 backend=backend,
+                connectivity=connectivity,
             )
             for start, stop in chunk_bounds(n_replications, self.chunk_size)
         ]
@@ -336,13 +342,14 @@ class SweepExecutor:
         n_replications: int,
         seed: SeedLike,
         backend: str,
+        connectivity: Optional[str] = None,
         label: Optional[str] = None,
     ) -> tuple[Any, list[Any]]:
         """Sharded equivalent of ``run_broadcast/gossip_replications``.
 
-        ``backend`` must already be resolved to ``"serial"`` or
-        ``"batched"`` (resolution happens in the calling process so worker
-        processes never depend on ambient override state).
+        ``backend`` (and ``connectivity``, when given) must already be
+        resolved to concrete choices (resolution happens in the calling
+        process so worker processes never depend on ambient override state).
         """
         units = self.decompose(
             label=label or _config_label(kind, config),
@@ -351,6 +358,7 @@ class SweepExecutor:
             n_replications=n_replications,
             seed=seed,
             backend=backend,
+            connectivity=connectivity,
         )
         return _merge_simulation_records(kind, config, self.run_units(units))
 
@@ -378,7 +386,7 @@ class SweepExecutor:
         Returns one ``(point, ReplicationSummary, results)`` triple per
         sweep point, in sweep order.
         """
-        from repro.core.runner import resolve_backend
+        from repro.core.runner import resolve_backend, resolve_connectivity
 
         points = list(sweep)
         root = SeedStreamSpec.reserve(seed, len(points))
@@ -393,6 +401,7 @@ class SweepExecutor:
                 n_replications=n_replications,
                 seed=root.child_sequence(index),
                 backend=resolve_backend(config, backend),
+                connectivity=resolve_connectivity(config),
             )
             spans.append((len(units), len(units) + len(point_units), config))
             units.extend(point_units)

@@ -55,6 +55,15 @@ class WorkUnit:
     backend:
         Resolved replication backend for simulation kinds (``"serial"`` or
         ``"batched"``), or ``None`` for map units.
+    connectivity:
+        Resolved connectivity engine for simulation kinds (``"recompute"``
+        or ``"incremental"``), or ``None`` for map units.  Resolved in the
+        dispatching process — like ``backend`` — so workers never depend on
+        ambient override state.  Deliberately *not* part of the unit
+        fingerprint: both engines are bit-for-bit identical by contract
+        (property-tested), so keying the store on the choice would only
+        invalidate resume stores and split the cache without changing any
+        stored result.
     """
 
     label: str
@@ -65,6 +74,7 @@ class WorkUnit:
     stop: int
     seed: SeedStreamSpec
     backend: Optional[str] = None
+    connectivity: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in UNIT_KINDS:
@@ -90,7 +100,11 @@ class WorkUnit:
         return {
             "label": self.label,
             "kind": self.kind,
-            "payload": describe_payload(self.payload) if described_payload is None else described_payload,
+            "payload": (
+                describe_payload(self.payload)
+                if described_payload is None
+                else described_payload
+            ),
             "n_replications": self.n_replications,
             "start": self.start,
             "stop": self.stop,

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.analysis.report import ExperimentReport
-from repro.core.runner import backend_override
+from repro.core.runner import backend_override, connectivity_override
 from repro.exec import SweepExecutor, execution_override
 from repro.experiments import (
     e01_broadcast_vs_k,
@@ -75,6 +75,7 @@ def run_experiment(
     scale: str = "small",
     seed: SeedLike = 0,
     backend: str | None = None,
+    connectivity: str | None = None,
     jobs: int = 1,
     resume: str | None = None,
     chunk_size: int | None = None,
@@ -84,7 +85,10 @@ def run_experiment(
     ``backend`` (``"serial"``, ``"batched"`` or ``"auto"``) forces every
     replication run inside the experiment onto that backend via
     :func:`repro.core.runner.backend_override`; ``None`` keeps each config's
-    own choice.
+    own choice.  ``connectivity`` (``"recompute"``, ``"incremental"`` or
+    ``"auto"``) does the same for the component-labelling engine via
+    :func:`repro.core.runner.connectivity_override`; engines are bit-for-bit
+    interchangeable, so this is purely a performance knob.
 
     ``jobs``, ``resume`` and ``chunk_size`` configure the sharded executor
     (see ``docs/PARALLEL.md``): ``jobs > 1`` fans replication chunks out
@@ -97,5 +101,6 @@ def run_experiment(
     module = _module_for(experiment_id)
     runner: Callable[..., ExperimentReport] = module.run
     executor = SweepExecutor.from_options(jobs=jobs, chunk_size=chunk_size, store=resume)
-    with backend_override(backend), execution_override(executor):
+    with backend_override(backend), connectivity_override(connectivity), \
+            execution_override(executor):
         return runner(scale=scale, seed=seed)

@@ -4,9 +4,10 @@ Every ``tests/test_properties*.py`` module draws its inputs from here, so
 the shapes of "a random point cloud", "a random seed" or "a random small
 simulation config" stay consistent across suites.
 
-CI caps example counts through the ``HYPOTHESIS_MAX_EXAMPLES`` environment
-variable: :func:`max_examples` never raises a suite's local default, it only
-lowers it, so a laptop run keeps full coverage while CI stays fast.
+Example counts are steered through the ``HYPOTHESIS_MAX_EXAMPLES``
+environment variable: per-PR CI lowers them to keep feedback fast, the
+nightly deep matrix raises them far beyond the local defaults, and an unset
+variable keeps each suite's own default for laptop runs.
 """
 
 from __future__ import annotations
@@ -20,11 +21,16 @@ from repro.core.config import BroadcastConfig, GossipConfig
 
 
 def max_examples(default: int) -> int:
-    """``default``, capped by ``$HYPOTHESIS_MAX_EXAMPLES`` when that is set."""
+    """``default``, unless ``$HYPOTHESIS_MAX_EXAMPLES`` overrides it.
+
+    The override works in both directions: per-PR CI sets a low value to
+    keep feedback fast, while the nightly deep matrix sets a high one to
+    dig far beyond the local defaults.
+    """
     cap = os.environ.get("HYPOTHESIS_MAX_EXAMPLES")
     if cap is None:
         return default
-    return max(1, min(default, int(cap)))
+    return max(1, int(cap))
 
 
 # --------------------------------------------------------------------------- #

@@ -128,3 +128,30 @@ class TestJobsFlag:
             main(["run", "E1", "--scale", "tiny", "--jobs", "0"])
         with pytest.raises(SystemExit):
             main(["run", "E1", "--scale", "tiny", "--chunk-size", "-2"])
+
+
+class TestConnectivityFlag:
+    def test_connectivity_flag_accepted(self, capsys):
+        assert main(["run", "E1", "--scale", "tiny", "--connectivity", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "E1:" in out
+
+    def test_connectivity_choice_is_scriptable(self, capsys):
+        # The same experiment, seed and scale must give the same report text
+        # under both engines (they are bit-for-bit interchangeable).
+        args = ["run", "E1", "--scale", "tiny", "--seed", "3", "--connectivity"]
+        assert main(args + ["recompute"]) == 0
+        recompute_out = capsys.readouterr().out
+        assert main(args + ["incremental"]) == 0
+        incremental_out = capsys.readouterr().out
+        assert recompute_out == incremental_out
+
+    def test_invalid_connectivity_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "E1", "--connectivity", "magic"])
+
+    def test_override_is_restored_after_run(self):
+        from repro.core import runner
+
+        main(["run", "E4", "--scale", "tiny", "--connectivity", "recompute"])
+        assert runner._CONNECTIVITY_OVERRIDE is None

@@ -99,3 +99,49 @@ class TestLabels:
         for i in range(n):
             for j in range(n):
                 assert (labels[i] == labels[j]) == (ref_find(i) == ref_find(j))
+
+
+class TestFromParents:
+    def test_adopts_depth_one_forest(self):
+        parent = np.array([0, 0, 2, 2, 4], dtype=np.int64)
+        uf = UnionFind.from_parents(parent)
+        assert uf.n_elements == 5
+        assert uf.n_components == 3
+        assert uf.connected(0, 1)
+        assert uf.connected(2, 3)
+        assert not uf.connected(1, 2)
+
+    def test_rejects_increasing_pointers(self):
+        with pytest.raises(ValueError):
+            UnionFind.from_parents(np.array([1, 1, 2]))
+        with pytest.raises(ValueError):
+            UnionFind.from_parents(np.array([-1, 1]))
+        with pytest.raises(ValueError):
+            UnionFind.from_parents(np.empty(0, dtype=np.int64))
+
+    def test_union_batch_on_seeded_forest_links_by_minimum(self):
+        parent = np.array([0, 0, 2, 2], dtype=np.int64)
+        uf = UnionFind.from_parents(parent)
+        uf.union_batch(np.array([[1, 3]]))
+        assert uf.n_components == 1
+        assert np.all(uf.roots() == 0)
+
+
+class TestRoots:
+    def test_roots_are_minimum_after_union_batch(self):
+        uf = UnionFind(6)
+        uf.union_batch(np.array([[5, 3], [3, 1], [4, 2]]))
+        roots = uf.roots()
+        assert roots[1] == roots[3] == roots[5] == 1
+        assert roots[2] == roots[4] == 2
+        assert roots[0] == 0
+
+    def test_roots_partition_matches_labels(self, rng):
+        uf = UnionFind(20)
+        edges = rng.integers(0, 20, size=(15, 2))
+        uf.union_batch(edges)
+        roots = uf.roots()
+        labels = uf.labels()
+        for i in range(20):
+            for j in range(20):
+                assert (roots[i] == roots[j]) == (labels[i] == labels[j])

@@ -86,3 +86,19 @@ class TestGossipConfig:
             GossipConfig(n_nodes=144, n_agents=0)
         with pytest.raises(ValidationError):
             GossipConfig(n_nodes=144, n_agents=4, radius=-2)
+
+
+class TestConnectivityField:
+    def test_defaults_to_auto(self):
+        assert BroadcastConfig(n_nodes=100, n_agents=4).connectivity == "auto"
+        assert GossipConfig(n_nodes=100, n_agents=4).connectivity == "auto"
+
+    def test_explicit_modes_accepted(self):
+        for mode in ("auto", "recompute", "incremental"):
+            assert BroadcastConfig(n_nodes=100, n_agents=4, connectivity=mode).connectivity == mode
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValidationError):
+            BroadcastConfig(n_nodes=100, n_agents=4, connectivity="magic")
+        with pytest.raises(ValidationError):
+            GossipConfig(n_nodes=100, n_agents=4, connectivity="magic")
