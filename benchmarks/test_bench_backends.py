@@ -100,6 +100,36 @@ def test_bench_connectivity_quick_smoke(tmp_path):
     assert (tmp_path / "conn.json").exists()
 
 
+def test_bench_dissemination_quick_smoke(tmp_path):
+    record = bench_main(["--dissemination", "--quick", "--output", str(tmp_path / "diss.json")])
+    assert record["benchmark"] == "dissemination_process_backends"
+    # Every process kernel runs on both backends, bit-for-bit, and on both
+    # connectivity engines.
+    assert set(record["scenarios"]) == {"frog", "predator_prey", "cover", "infection"}
+    for entry in record["scenarios"].values():
+        assert entry["bitwise_identical"] is True
+        assert entry["engines_identical"] is True
+        assert entry["serial_seconds"] > 0
+        assert entry["batched_seconds"] > 0
+    assert record["second_best_speedup"] > 0
+    assert (tmp_path / "diss.json").exists()
+
+
+def test_bench_dissemination_check_roundtrip(tmp_path):
+    import json
+
+    path = tmp_path / "diss.json"
+    bench_main(["--dissemination", "--quick", "--output", str(path)])
+    record = bench_main(["--quick", "--check", str(path)])
+    assert record == {"check": str(path), "passed": True}
+    inflated = json.loads(path.read_text())
+    for entry in inflated["scenarios"].values():
+        entry["speedup"] = 10_000.0
+    path.write_text(json.dumps(inflated))
+    with pytest.raises(SystemExit):
+        bench_main(["--quick", "--check", str(path)])
+
+
 def test_bench_check_passes_against_fresh_record(tmp_path):
     # A record measured on this very host must pass its own gate.
     path = tmp_path / "conn.json"

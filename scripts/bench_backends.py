@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark the serial vs batched replication backends.
 
-Five modes:
+Six modes:
 
 * default — times ``run_broadcast_replications`` on a fixed
   replication-heavy workload (64 replications of a broadcast on an
@@ -24,6 +24,11 @@ Five modes:
   (identical lazy-walk trajectories, serial and batched), plus the
   end-to-end batched broadcast run under both engines, and writes the
   record to ``BENCH_PR4.json``: the fourth point of the trajectory.
+* ``--dissemination`` — times the dissemination process kernels (frog,
+  predator–prey, cover time, infection) under the serial vs batched process
+  drivers at the paper's ``n = 10^4`` sparse scale and writes the record to
+  ``BENCH_PR5.json``: the fifth point of the trajectory, demonstrating that
+  every Section-4 by-product runs on the batched backend.
 * ``--check FILE`` — perf-regression gate: re-runs the workload family of a
   committed record (at ``--quick`` size in CI) and fails if the measured
   speedups regress below ``--check-tolerance`` times the committed ones.
@@ -40,6 +45,7 @@ Usage::
     PYTHONPATH=src python scripts/bench_backends.py --matrix         # full PR2 matrix
     PYTHONPATH=src python scripts/bench_backends.py --jobs-matrix    # full PR3 matrix
     PYTHONPATH=src python scripts/bench_backends.py --connectivity   # full PR4 workload
+    PYTHONPATH=src python scripts/bench_backends.py --dissemination  # full PR5 workload
     PYTHONPATH=src python scripts/bench_backends.py --quick          # smoke test
     PYTHONPATH=src python scripts/bench_backends.py --quick --check BENCH_PR3.json
 """
@@ -529,6 +535,113 @@ def run_connectivity(quick: bool = False, seed: int = 2024) -> dict:
     return record
 
 
+def dissemination_scenarios(quick: bool = False) -> dict[str, dict]:
+    """The dissemination process-kernel workloads (one per kernel).
+
+    Horizons are capped so each scenario measures a bounded step loop; the
+    bitwise-equality assertions hold regardless of completion.
+    """
+    if quick:
+        return {
+            "frog": {"process": "frog", "kwargs": {"n_nodes": 576, "n_agents": 12, "max_steps": 300}, "n_replications": 4},
+            "predator_prey": {
+                "process": "predator_prey",
+                "kwargs": {"n_nodes": 576, "n_predators": 8, "n_preys": 8, "max_steps": 300},
+                "n_replications": 4,
+            },
+            "cover": {"process": "cover", "kwargs": {"side": 24, "n_walkers": 8, "max_steps": 600}, "n_replications": 4},
+            "infection": {"process": "infection", "kwargs": {"n_nodes": 576, "n_agents": 12, "max_steps": 600}, "n_replications": 4},
+        }
+    return {
+        "frog": {
+            "process": "frog",
+            "kwargs": {"n_nodes": 10_000, "n_agents": 100, "max_steps": 4000},
+            "n_replications": 16,
+        },
+        "predator_prey": {
+            "process": "predator_prey",
+            "kwargs": {"n_nodes": 10_000, "n_predators": 100, "n_preys": 100, "max_steps": 4000},
+            "n_replications": 16,
+        },
+        "cover": {
+            "process": "cover",
+            "kwargs": {"side": 100, "n_walkers": 100, "max_steps": 30_000},
+            "n_replications": 32,
+        },
+        "infection": {
+            "process": "infection",
+            "kwargs": {"n_nodes": 10_000, "n_agents": 100, "max_steps": 8000},
+            "n_replications": 32,
+        },
+    }
+
+
+def run_dissemination(quick: bool = False, seed: int = 2024) -> dict:
+    """Benchmark the process kernels serial-vs-batched and return the record.
+
+    Every scenario asserts three-way bitwise equality before recording:
+    serial vs batched (both at the auto-resolved connectivity engine) and
+    batched recompute vs batched incremental.
+    """
+    from repro.dissemination.kernels import make_process, run_process_replications
+
+    records: dict[str, dict] = {}
+    for name, spec in dissemination_scenarios(quick).items():
+        process = make_process(spec["process"], **spec["kwargs"])
+        reps = spec["n_replications"]
+
+        start = time.perf_counter()
+        serial_summary, _ = run_process_replications(
+            process, reps, seed=seed, backend="serial"
+        )
+        serial_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        batched_summary, _ = run_process_replications(
+            process, reps, seed=seed, backend="batched"
+        )
+        batched_seconds = time.perf_counter() - start
+        if not np.array_equal(serial_summary.values, batched_summary.values):
+            raise AssertionError(
+                f"{name}: batched process driver is not bit-for-bit serial"
+            )
+        recompute_summary, _ = run_process_replications(
+            process, reps, seed=seed, backend="batched", connectivity="recompute"
+        )
+        incremental_summary, _ = run_process_replications(
+            process, reps, seed=seed, backend="batched", connectivity="incremental"
+        )
+        if not np.array_equal(recompute_summary.values, incremental_summary.values):
+            raise AssertionError(
+                f"{name}: incremental connectivity changed process results"
+            )
+        completed = serial_summary.completed_values
+        records[name] = {
+            "workload": {**spec, "seed": seed},
+            "serial_seconds": serial_seconds,
+            "batched_seconds": batched_seconds,
+            "speedup": serial_seconds / batched_seconds if batched_seconds else float("inf"),
+            "bitwise_identical": True,
+            "engines_identical": True,
+            "completion_rate": float(completed.size / serial_summary.values.size),
+            "mean_time": float(completed.mean()) if completed.size else None,
+        }
+        print(
+            f"{name:14s} serial {serial_seconds:7.2f} s   "
+            f"batched {batched_seconds:7.2f} s   "
+            f"speedup {records[name]['speedup']:5.2f}x"
+        )
+    speedups = sorted(entry["speedup"] for entry in records.values())
+    record = {
+        "benchmark": "dissemination_process_backends",
+        "scenarios": records,
+        # The acceptance bar: at least two processes must clear a healthy
+        # batched speedup at n = 10^4, so the second-best is the headline.
+        "second_best_speedup": speedups[-2] if len(speedups) >= 2 else speedups[-1],
+    }
+    record.update(_environment())
+    return record
+
+
 # --------------------------------------------------------------------------- #
 # Perf-regression gate (--check)
 # --------------------------------------------------------------------------- #
@@ -600,6 +713,20 @@ def check_against(record_path: Path, quick: bool, tolerance: float, seed: int) -
             failures.append(
                 f"batched speedup regressed: {measured['speedup']:.2f}x < {floor:.2f}x"
             )
+    elif kind == "dissemination_process_backends":
+        measured = run_dissemination(quick=quick, seed=seed)
+        for name, row in committed["scenarios"].items():
+            if name not in measured["scenarios"]:
+                print(f"{name}: not measured at this size, skipped")
+                continue
+            got = measured["scenarios"][name]["speedup"]
+            floor = row["speedup"] * tolerance
+            print(f"dissemination/{name}: measured {got:.2f}x, floor {floor:.2f}x")
+            if got < floor:
+                failures.append(
+                    f"dissemination/{name} batched speedup regressed: "
+                    f"{got:.2f}x < {floor:.2f}x"
+                )
     elif kind == "connectivity_engine_step_loop":
         measured = run_connectivity(quick=quick, seed=seed)
         for field, label in (
@@ -652,6 +779,13 @@ def main(argv: list[str] | None = None) -> dict:
         "BENCH_PR4.json)",
     )
     parser.add_argument(
+        "--dissemination",
+        action="store_true",
+        help="run the dissemination process-kernel serial-vs-batched "
+        "comparison (frog, predator-prey, cover, infection; default output: "
+        "repo-root BENCH_PR5.json)",
+    )
+    parser.add_argument(
         "--check",
         type=Path,
         default=None,
@@ -688,11 +822,11 @@ def main(argv: list[str] | None = None) -> dict:
     args = parser.parse_args(argv)
 
     if args.check is not None:
-        if args.matrix or args.jobs_matrix or args.connectivity or args.output:
+        if args.matrix or args.jobs_matrix or args.connectivity or args.dissemination or args.output:
             parser.error(
                 "--check re-runs the workload family of the given record; it "
-                "cannot be combined with --matrix/--jobs-matrix/--connectivity "
-                "or --output"
+                "cannot be combined with --matrix/--jobs-matrix/--connectivity/"
+                "--dissemination or --output"
             )
         failures = check_against(
             args.check, quick=args.quick, tolerance=args.check_tolerance, seed=args.seed
@@ -704,14 +838,19 @@ def main(argv: list[str] | None = None) -> dict:
         print(f"perf check against {args.check} passed")
         return {"check": str(args.check), "passed": True}
 
-    exclusive = [args.matrix, args.jobs_matrix, args.connectivity]
+    exclusive = [args.matrix, args.jobs_matrix, args.connectivity, args.dissemination]
     if sum(exclusive) > 1:
-        parser.error("--matrix, --jobs-matrix and --connectivity are mutually exclusive")
-    if args.matrix or args.jobs_matrix or args.connectivity:
+        parser.error(
+            "--matrix, --jobs-matrix, --connectivity and --dissemination are "
+            "mutually exclusive"
+        )
+    if args.matrix or args.jobs_matrix or args.connectivity or args.dissemination:
         mode = (
             "--matrix"
             if args.matrix
-            else "--jobs-matrix" if args.jobs_matrix else "--connectivity"
+            else "--jobs-matrix"
+            if args.jobs_matrix
+            else "--connectivity" if args.connectivity else "--dissemination"
         )
         ignored = {
             "--n-nodes": args.n_nodes != 10_000,
@@ -732,6 +871,8 @@ def main(argv: list[str] | None = None) -> dict:
         record = run_jobs_matrix(quick=args.quick, seed=args.seed)
     elif args.connectivity:
         record = run_connectivity(quick=args.quick, seed=args.seed)
+    elif args.dissemination:
+        record = run_dissemination(quick=args.quick, seed=args.seed)
     elif args.quick:
         record = run_benchmark(
             n_nodes=32 * 32, n_agents=16, radius=args.radius,
@@ -743,7 +884,7 @@ def main(argv: list[str] | None = None) -> dict:
             n_replications=args.replications, seed=args.seed, max_steps=args.max_steps,
         )
 
-    if not args.matrix and not args.jobs_matrix and not args.connectivity:
+    if not any((args.matrix, args.jobs_matrix, args.connectivity, args.dissemination)):
         print(
             f"serial  : {record['serial_seconds']:8.2f} s\n"
             f"batched : {record['batched_seconds']:8.2f} s\n"
@@ -751,7 +892,9 @@ def main(argv: list[str] | None = None) -> dict:
         )
     output = args.output
     if output is None and not args.quick:
-        if args.connectivity:
+        if args.dissemination:
+            name = "BENCH_PR5.json"
+        elif args.connectivity:
             name = "BENCH_PR4.json"
         elif args.jobs_matrix:
             name = "BENCH_PR3.json"

@@ -48,7 +48,10 @@ from repro.connectivity import (
 from repro.dissemination import (
     FrogModelSimulation,
     PredatorPreySimulation,
+    available_processes,
+    make_process,
     multi_walk_cover_time,
+    run_process_replications,
 )
 from repro.theory import (
     broadcast_time_scale,
@@ -78,6 +81,9 @@ __all__ = [
     "FrogModelSimulation",
     "PredatorPreySimulation",
     "multi_walk_cover_time",
+    "available_processes",
+    "make_process",
+    "run_process_replications",
     "broadcast_time_scale",
     "broadcast_time_upper_bound",
     "broadcast_time_lower_bound",

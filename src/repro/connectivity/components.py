@@ -57,6 +57,40 @@ class IslandStatistics:
         """Whether the largest observed island exceeds ``threshold`` agents."""
         return self.max_island_size > threshold
 
+    @classmethod
+    def from_samples(
+        cls, n_agents: int, radius: float, records: "list[dict]"
+    ) -> "IslandStatistics":
+        """Aggregate per-sample records (one :func:`sample_island_sizes` each).
+
+        The single aggregation point shared by :func:`island_statistics` and
+        the sharded E4 sampling loop, so the summary definitions cannot
+        drift between the two paths.
+        """
+        max_sizes = np.array([r["max_island"] for r in records], dtype=np.int64)
+        return cls(
+            n_agents=n_agents,
+            radius=float(radius),
+            samples=len(records),
+            max_island_size=int(max_sizes.max()),
+            mean_max_island_size=float(max_sizes.mean()),
+            mean_island_size=float(np.mean([r["mean_island"] for r in records])),
+            giant_fraction=float(np.mean([r["giant_fraction"] for r in records])),
+        )
+
+
+def sample_island_sizes(
+    grid: Grid2D, n_agents: int, radius: float, rng: RandomState
+) -> dict:
+    """Island-size record of one uniform placement (JSON-able)."""
+    positions = grid.random_positions(n_agents, rng)
+    sizes = component_sizes(visibility_components(positions, radius))
+    return {
+        "max_island": int(sizes[0]),
+        "mean_island": float(sizes.mean()),
+        "giant_fraction": float(sizes[0] / n_agents),
+    }
+
 
 def island_statistics(
     grid: Grid2D,
@@ -73,22 +107,5 @@ def island_statistics(
     ``samples`` (well-separated) time instants.
     """
     rng = default_rng(rng)
-    max_sizes = np.empty(samples, dtype=np.int64)
-    mean_sizes = np.empty(samples, dtype=np.float64)
-    giant_fractions = np.empty(samples, dtype=np.float64)
-    for i in range(samples):
-        positions = grid.random_positions(n_agents, rng)
-        labels = visibility_components(positions, radius)
-        sizes = component_sizes(labels)
-        max_sizes[i] = sizes[0]
-        mean_sizes[i] = float(sizes.mean())
-        giant_fractions[i] = sizes[0] / n_agents
-    return IslandStatistics(
-        n_agents=n_agents,
-        radius=float(radius),
-        samples=samples,
-        max_island_size=int(max_sizes.max()),
-        mean_max_island_size=float(max_sizes.mean()),
-        mean_island_size=float(mean_sizes.mean()),
-        giant_fraction=float(giant_fractions.mean()),
-    )
+    records = [sample_island_sizes(grid, n_agents, radius, rng) for _ in range(samples)]
+    return IslandStatistics.from_samples(n_agents, radius, records)

@@ -298,6 +298,92 @@ def run_broadcast_replications_batched(
     return summary, results
 
 
+def run_process_replications_batched(
+    process,
+    n_replications: int,
+    seed: SeedLike = None,
+    *,
+    rng_streams: Optional[Sequence[RandomState]] = None,
+    connectivity: Optional[str] = None,
+) -> tuple[ReplicationSummary, list]:
+    """Batched driver for a registered dissemination process kernel.
+
+    The process-kernel counterpart of
+    :func:`run_broadcast_replications_batched`: all ``R`` trials advance as
+    one position tensor, with the per-step connectivity input computed
+    batch-wide according to the kernel's ``needs`` declaration —
+
+    * ``"labels"`` — one :func:`~repro.connectivity.batched.batched_visibility_labels`
+      pass per step, or one :class:`~repro.connectivity.incremental.DeltaConnectivityEngine`
+      addressed by the loop's ``active`` trials when ``connectivity ==
+      "incremental"`` (compaction-free state, bit-for-bit identical labels);
+    * ``"pairs"`` — per-trial within-radius pairs (direct-pair predicates,
+      e.g. predator–prey captures at ``r > 0``);
+    * ``"none"`` — nothing.
+
+    The kernel's ``step_batch`` owns interaction, recording and motion
+    (consuming each trial's generator exactly as its serial ``step`` would);
+    completed trials are physically compacted out of the hot arrays.  Results
+    are bit-for-bit identical to the serial driver
+    (:func:`repro.dissemination.kernels.run_process_serial`) for identical
+    seeds — Hypothesis-verified per kernel.
+    """
+    from repro.connectivity.incremental import DeltaConnectivityEngine
+    from repro.connectivity.spatial_hash import neighbor_pairs
+
+    n_replications = check_positive_int(n_replications, "n_replications")
+    check_rng_streams(rng_streams, n_replications)
+    rngs = list(rng_streams) if rng_streams is not None else spawn_rngs(seed, n_replications)
+    n_trials = n_replications
+    bstate = process.init_batch(rngs)
+    engine = None
+    if process.needs == "labels" and connectivity == "incremental":
+        engine = DeltaConnectivityEngine(
+            process.n_points, process.radius, process.grid.side, n_trials=n_trials
+        )
+
+    n_steps = np.zeros(n_trials, dtype=np.int64)
+    step_trials: list[np.ndarray] = []
+    step_counts: list[np.ndarray] = []
+    active = np.arange(n_trials)
+    done0 = process.initially_stopped(bstate)
+    if done0.any():
+        keep = ~done0
+        process.compact(bstate, keep)
+        active = active[keep]
+    t = 0
+    horizon = process.horizon
+    while active.size and t < horizon:
+        if process.needs == "labels":
+            if engine is not None:
+                conn = engine.step(bstate.positions, active)
+            else:
+                conn = batched_visibility_labels(bstate.positions, process.radius)
+        elif process.needs == "pairs":
+            conn = [
+                neighbor_pairs(bstate.positions[row], process.radius)
+                for row in range(active.size)
+            ]
+        else:
+            conn = None
+        counts, done = process.step_batch(bstate, conn, rngs, active, t)
+        step_trials.append(active)
+        step_counts.append(counts)
+        t += 1
+        if done.any():
+            n_steps[active[done]] = t
+            keep = ~done
+            process.compact(bstate, keep)
+            active = active[keep]
+    n_steps[active] = t
+    process.finalize(bstate, active)
+
+    curves = _regroup_curves(n_trials, step_trials, step_counts)
+    results = process.build_results(bstate, curves, n_steps)
+    summary = summarise_values([getattr(res, process.TIME_FIELD) for res in results])
+    return summary, results
+
+
 def run_gossip_replications_batched(
     config: GossipConfig,
     n_replications: int,

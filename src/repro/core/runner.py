@@ -154,6 +154,15 @@ def backend_override(backend: Optional[str]) -> Iterator[None]:
         _BACKEND_OVERRIDE = previous
 
 
+def current_backend_override() -> Optional[str]:
+    """The backend forced by an enclosing :func:`backend_override`, if any.
+
+    Exposed for runners outside this module (e.g. the dissemination
+    process-kernel runner) that must honour the CLI's ``--backend`` flag.
+    """
+    return _BACKEND_OVERRIDE
+
+
 def resolve_backend(
     config: BroadcastConfig | GossipConfig, backend: Optional[str] = None
 ) -> str:
@@ -203,6 +212,11 @@ def connectivity_override(connectivity: Optional[str]) -> Iterator[None]:
         yield
     finally:
         _CONNECTIVITY_OVERRIDE = previous
+
+
+def current_connectivity_override() -> Optional[str]:
+    """The engine forced by an enclosing :func:`connectivity_override`, if any."""
+    return _CONNECTIVITY_OVERRIDE
 
 
 def resolve_connectivity(

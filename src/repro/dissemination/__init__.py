@@ -1,5 +1,12 @@
 """Derived dissemination processes studied in Section 4 of the paper.
 
+Every process is defined once as a batch-aware *process kernel*
+(:mod:`repro.dissemination.kernels`) — ``init_state → step(state, conn, rng)
+→ stopped?`` with serial and batched faces — and driven by the shared
+replication machinery (``backend="serial"|"batched"|"auto"``,
+``connectivity="recompute"|"incremental"|"auto"``, sharded executor).  The
+classic single-trial entry points remain as thin facades:
+
 * :class:`FrogModelSimulation` — only informed agents move; uninformed agents
   stay at their initial positions until activated.
 * :class:`PredatorPreySimulation` — ``k`` predators performing independent
@@ -7,12 +14,27 @@
   ``O(n log^2 n / k)``.
 * :func:`multi_walk_cover_time` — cover time of ``k`` independent random
   walks on the grid, bounded by ``O(n log^2 n / k + n log n)``.
+* :func:`infection_time` — the broadcast problem in the virus-literature
+  vocabulary.
 """
 
 from repro.dissemination.frog import FrogModelSimulation, FrogModelResult
 from repro.dissemination.predator_prey import PredatorPreySimulation, PredatorPreyResult
 from repro.dissemination.coverage import multi_walk_cover_time, CoverTimeResult
 from repro.dissemination.infection import infection_time, InfectionResult
+from repro.dissemination.kernels import (
+    CoverProcess,
+    FrogProcess,
+    InfectionProcess,
+    InformedCoverageProcess,
+    InformedCoverageResult,
+    PredatorPreyProcess,
+    ProcessKernel,
+    available_processes,
+    make_process,
+    run_process_replications,
+    run_process_serial,
+)
 
 __all__ = [
     "FrogModelSimulation",
@@ -23,4 +45,15 @@ __all__ = [
     "CoverTimeResult",
     "infection_time",
     "InfectionResult",
+    "ProcessKernel",
+    "FrogProcess",
+    "PredatorPreyProcess",
+    "CoverProcess",
+    "InformedCoverageProcess",
+    "InformedCoverageResult",
+    "InfectionProcess",
+    "available_processes",
+    "make_process",
+    "run_process_replications",
+    "run_process_serial",
 ]

@@ -4,41 +4,25 @@ Section 4 notes that the paper's techniques yield a high-probability upper
 bound of ``O(n log^2 n / k + n log n)`` on the time until every grid node has
 been visited by at least one of ``k`` independent walks, improving previous
 results that only bounded the expectation.
+
+The dynamics live in :class:`repro.dissemination.kernels.CoverProcess` (the
+batch-aware process kernel driven by both replication backends and the
+sharded executor); this module keeps the stable one-trial measurement
+function on top of it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
-
-import numpy as np
-
+from repro.dissemination.kernels import (  # noqa: F401  (re-exported result type)
+    CoverProcess,
+    CoverTimeResult,
+    run_process_serial,
+)
 from repro.grid.lattice import Grid2D
-from repro.walks.engine import WalkEngine, StepRule
+from repro.mobility.kernels import StepRule
 from repro.util.rng import RandomState, default_rng
-from repro.util.validation import check_positive_int
 
-
-@dataclass(frozen=True)
-class CoverTimeResult:
-    """Outcome of a multi-walk cover-time measurement."""
-
-    n_nodes: int
-    n_walkers: int
-    cover_time: int
-    completed: bool
-    n_steps: int
-    fraction_covered: float
-    coverage_curve: np.ndarray
-
-    def time_to_cover_fraction(self, fraction: float) -> int:
-        """First time at which at least ``fraction`` of the nodes were covered.
-
-        Returns ``-1`` if the fraction is never reached.
-        """
-        target = fraction * self.n_nodes
-        reached = np.flatnonzero(self.coverage_curve >= target)
-        return int(reached[0]) if reached.size else -1
+__all__ = ["CoverProcess", "CoverTimeResult", "multi_walk_cover_time"]
 
 
 def multi_walk_cover_time(
@@ -62,37 +46,11 @@ def multi_walk_cover_time(
     record_curve_every:
         Subsampling interval of the coverage curve (1 = every step).
     """
-    n_walkers = check_positive_int(n_walkers, "n_walkers")
-    max_steps = check_positive_int(max_steps, "max_steps")
-    record_curve_every = check_positive_int(record_curve_every, "record_curve_every")
-    rng = default_rng(rng)
-
-    engine = WalkEngine(grid, k=n_walkers, rule=rule, rng=rng)
-    visited = np.zeros(grid.n_nodes, dtype=bool)
-    visited[np.atleast_1d(grid.node_id(engine.positions))] = True
-    curve: list[int] = [int(visited.sum())]
-    cover_time = -1
-    if visited.all():
-        cover_time = 0
-
-    t = 0
-    while t < max_steps and cover_time < 0:
-        positions = engine.step()
-        t += 1
-        visited[np.atleast_1d(grid.node_id(positions))] = True
-        if t % record_curve_every == 0:
-            curve.append(int(visited.sum()))
-        if visited.all():
-            cover_time = t
-            if t % record_curve_every != 0:
-                curve.append(int(visited.sum()))
-
-    return CoverTimeResult(
-        n_nodes=grid.n_nodes,
-        n_walkers=n_walkers,
-        cover_time=cover_time,
-        completed=cover_time >= 0,
-        n_steps=t,
-        fraction_covered=float(visited.sum() / grid.n_nodes),
-        coverage_curve=np.asarray(curve, dtype=np.int64),
+    process = CoverProcess(
+        grid.side,
+        n_walkers,
+        max_steps,
+        rule=rule,
+        record_curve_every=record_curve_every,
     )
+    return run_process_serial(process, default_rng(rng))

@@ -5,45 +5,32 @@ random walk; the remaining agents are inactive and do not move.  Whenever an
 active agent comes within the transmission radius of an inactive one, the
 latter is activated and starts its own random walk.  Section 4 of the paper
 argues that the broadcast time in the Frog model is also ``Θ̃(n / sqrt(k))``.
+
+The dynamics live in :class:`repro.dissemination.kernels.FrogProcess` (the
+batch-aware process kernel driven by both replication backends and the
+sharded executor); this module keeps the stable single-trial simulator
+facade on top of it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from repro.connectivity.visibility import visibility_components
-from repro.core.config import default_max_steps
-from repro.core.protocol import flood_informed
+from repro.dissemination.kernels import (  # noqa: F401  (re-exported result type)
+    FrogModelResult,
+    FrogProcess,
+)
 from repro.grid.lattice import Grid2D
-from repro.walks.engine import lazy_step
 from repro.util.rng import RandomState, default_rng
-from repro.util.validation import check_non_negative, check_positive_int
 
-
-@dataclass(frozen=True)
-class FrogModelResult:
-    """Outcome of a Frog-model simulation run."""
-
-    n_nodes: int
-    n_agents: int
-    radius: float
-    activation_time: int
-    completed: bool
-    n_steps: int
-    n_active: int
-    active_curve: np.ndarray
-
-    @property
-    def broadcast_time(self) -> int:
-        """Alias of :attr:`activation_time` (the paper's ``T_B`` for this model)."""
-        return self.activation_time
+__all__ = ["FrogModelResult", "FrogModelSimulation", "FrogProcess"]
 
 
 class FrogModelSimulation:
-    """Simulator of the Frog model on the grid.
+    """Single-trial simulator facade over the Frog-model process kernel.
 
     Parameters
     ----------
@@ -65,85 +52,52 @@ class FrogModelSimulation:
         max_steps: Optional[int] = None,
         rng: RandomState | int | None = None,
     ) -> None:
-        self._n_nodes = check_positive_int(n_nodes, "n_nodes")
-        self._n_agents = check_positive_int(n_agents, "n_agents")
-        self._radius = check_non_negative(radius, "radius")
-        self._rng = default_rng(rng)
-        self._grid = Grid2D.from_nodes(n_nodes)
-        self._horizon = (
-            int(max_steps) if max_steps is not None else default_max_steps(n_nodes, n_agents)
+        self._process = FrogProcess(
+            n_nodes, n_agents, radius=radius, source=source, max_steps=max_steps
         )
-
-        self._positions = self._grid.random_positions(self._n_agents, self._rng)
-        self._active = np.zeros(self._n_agents, dtype=bool)
-        if source is None:
-            source = int(self._rng.integers(0, self._n_agents))
-        if not (0 <= int(source) < self._n_agents):
-            raise ValueError(f"source must lie in [0, {self._n_agents}), got {source}")
-        self._active[int(source)] = True
-        self._time = 0
-        self._activation_time = -1
-        self._active_curve: list[int] = []
+        self._rng = default_rng(rng)
+        self._state = self._process.init_state(self._rng)
 
     # ------------------------------------------------------------------ #
     @property
     def grid(self) -> Grid2D:
         """The underlying lattice."""
-        return self._grid
+        return self._process.grid
 
     @property
     def positions(self) -> np.ndarray:
         """Current agent positions (copy)."""
-        return self._positions.copy()
+        return self._state.positions.copy()
 
     @property
     def active(self) -> np.ndarray:
         """Boolean mask of active (informed) agents (copy)."""
-        return self._active.copy()
+        return self._state.active.copy()
 
     @property
     def n_active(self) -> int:
         """Number of currently active agents."""
-        return int(np.count_nonzero(self._active))
+        return int(np.count_nonzero(self._state.active))
 
     @property
     def time(self) -> int:
         """Number of completed time steps."""
-        return self._time
+        return self._state.n_steps
 
     @property
     def activation_time(self) -> int:
         """First time every agent is active (``-1`` while incomplete)."""
-        return self._activation_time
+        return self._state.activation_time
 
     # ------------------------------------------------------------------ #
     def step(self) -> None:
         """One time step: activation exchange, then motion of active agents only."""
-        labels = visibility_components(self._positions, self._radius)
-        self._active = flood_informed(self._active, labels)
-        self._active_curve.append(self.n_active)
-        if self._activation_time < 0 and self._active.all():
-            self._activation_time = self._time
-        # Only active agents move.
-        if self._active.any():
-            moved = lazy_step(self._grid, self._positions[self._active], self._rng)
-            new_positions = self._positions.copy()
-            new_positions[self._active] = moved
-            self._positions = new_positions
-        self._time += 1
+        labels = visibility_components(self._state.positions, self._process.radius)
+        self._process.step(self._state, labels, self._rng)
 
     def run(self, max_steps: Optional[int] = None) -> FrogModelResult:
         """Run until every agent is active or the horizon is exhausted."""
-        horizon = int(max_steps) if max_steps is not None else self._horizon
-        while self._time < horizon and self._activation_time < 0:
+        horizon = int(max_steps) if max_steps is not None else self._process.horizon
+        while self._state.n_steps < horizon and not self._process.stopped(self._state):
             self.step()
-        return FrogModelResult(
-            n_nodes=self._n_nodes,
-            n_agents=self._n_agents,
-            radius=self._radius,
-            activation_time=self._activation_time,
-            completed=self._activation_time >= 0,
-            n_steps=self._time,
-            n_active=self.n_active,
-            active_curve=np.asarray(self._active_curve, dtype=np.int64),
-        )
+        return self._process.result(self._state)

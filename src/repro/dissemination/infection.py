@@ -2,31 +2,24 @@
 
 The broadcast time studied by the paper is, in the computer-virus literature,
 called the *infection time*: one agent is initially infected and the virus
-spreads on contact.  This module exposes the broadcast simulation under that
-vocabulary and is used by experiment E12, which compares the measured
-infection time against the Dimitriou et al. general bound ``O(t* log k)`` and
-the Wang et al. claimed bound ``Θ((n log n log k)/k)`` that the paper proves
-incorrect.
+spreads on contact.  This module exposes the broadcast dynamics under that
+vocabulary, backed by :class:`repro.dissemination.kernels.InfectionProcess`
+(the batch-aware process kernel driven by both replication backends and the
+sharded executor); it is used by baseline comparisons against the Dimitriou
+et al. general bound ``O(t* log k)`` and the Wang et al. claimed bound
+``Θ((n log n log k)/k)`` that the paper proves incorrect.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.dissemination.kernels import (  # noqa: F401  (re-exported result type)
+    InfectionProcess,
+    InfectionResult,
+    run_process_serial,
+)
+from repro.util.rng import RandomState, default_rng
 
-from repro.core.config import BroadcastConfig
-from repro.core.simulation import BroadcastSimulation
-from repro.util.rng import RandomState
-
-
-@dataclass(frozen=True)
-class InfectionResult:
-    """Outcome of an infection-time measurement."""
-
-    n_nodes: int
-    n_agents: int
-    radius: float
-    infection_time: int
-    completed: bool
+__all__ = ["InfectionProcess", "InfectionResult", "infection_time"]
 
 
 def infection_time(
@@ -42,17 +35,7 @@ def infection_time(
     exists so that baseline comparisons can speak the infection-time language
     of the related work.
     """
-    config = BroadcastConfig(
-        n_nodes=n_nodes,
-        n_agents=n_agents,
-        radius=radius,
-        max_steps=max_steps,
+    process = InfectionProcess(
+        n_nodes=n_nodes, n_agents=n_agents, radius=radius, max_steps=max_steps
     )
-    result = BroadcastSimulation(config, rng=rng).run()
-    return InfectionResult(
-        n_nodes=n_nodes,
-        n_agents=n_agents,
-        radius=radius,
-        infection_time=result.broadcast_time,
-        completed=result.completed,
-    )
+    return run_process_serial(process, default_rng(rng))

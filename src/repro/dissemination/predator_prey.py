@@ -5,40 +5,32 @@
 the capture radius.  The paper's techniques give a high-probability upper
 bound of ``O(n log^2 n / k)`` on the extinction time of the preys when
 ``k = Ω(log n)``.
+
+The dynamics live in :class:`repro.dissemination.kernels.PredatorPreyProcess`
+(the batch-aware process kernel driven by both replication backends and the
+sharded executor); this module keeps the stable single-trial simulator
+facade on top of it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from repro.connectivity.spatial_hash import neighbor_pairs
-from repro.core.config import default_max_steps
+from repro.dissemination.kernels import (  # noqa: F401  (re-exported result type)
+    PredatorPreyProcess,
+    PredatorPreyResult,
+    serial_connectivity,
+)
 from repro.grid.lattice import Grid2D
-from repro.walks.engine import lazy_step
 from repro.util.rng import RandomState, default_rng
-from repro.util.validation import check_non_negative, check_positive_int
 
-
-@dataclass(frozen=True)
-class PredatorPreyResult:
-    """Outcome of a predator–prey simulation run."""
-
-    n_nodes: int
-    n_predators: int
-    n_preys: int
-    capture_radius: float
-    extinction_time: int
-    completed: bool
-    n_steps: int
-    preys_remaining: int
-    survival_curve: np.ndarray
+__all__ = ["PredatorPreyProcess", "PredatorPreyResult", "PredatorPreySimulation"]
 
 
 class PredatorPreySimulation:
-    """Simulator of the random predator–prey system on the grid."""
+    """Single-trial simulator facade over the predator–prey process kernel."""
 
     def __init__(
         self,
@@ -50,98 +42,47 @@ class PredatorPreySimulation:
         preys_move: bool = True,
         rng: RandomState | int | None = None,
     ) -> None:
-        self._n_nodes = check_positive_int(n_nodes, "n_nodes")
-        self._n_predators = check_positive_int(n_predators, "n_predators")
-        self._n_preys = check_positive_int(n_preys, "n_preys")
-        self._radius = check_non_negative(capture_radius, "capture_radius")
-        self._preys_move = bool(preys_move)
-        self._rng = default_rng(rng)
-        self._grid = Grid2D.from_nodes(n_nodes)
-        self._horizon = (
-            int(max_steps)
-            if max_steps is not None
-            else default_max_steps(n_nodes, n_predators)
+        self._process = PredatorPreyProcess(
+            n_nodes,
+            n_predators,
+            n_preys,
+            capture_radius=capture_radius,
+            max_steps=max_steps,
+            preys_move=preys_move,
         )
-
-        self._predators = self._grid.random_positions(self._n_predators, self._rng)
-        self._preys = self._grid.random_positions(self._n_preys, self._rng)
-        self._alive = np.ones(self._n_preys, dtype=bool)
-        self._time = 0
-        self._extinction_time = -1
-        self._survival_curve: list[int] = []
+        self._rng = default_rng(rng)
+        self._state = self._process.init_state(self._rng)
 
     # ------------------------------------------------------------------ #
     @property
     def grid(self) -> Grid2D:
         """The underlying lattice."""
-        return self._grid
+        return self._process.grid
 
     @property
     def n_alive(self) -> int:
         """Number of preys still alive."""
-        return int(np.count_nonzero(self._alive))
+        return int(np.count_nonzero(self._state.alive))
 
     @property
     def extinction_time(self) -> int:
         """First time no prey remains (``-1`` while some survive)."""
-        return self._extinction_time
+        return self._state.extinction_time
 
     @property
     def time(self) -> int:
         """Number of completed time steps."""
-        return self._time
+        return self._state.n_steps
 
     # ------------------------------------------------------------------ #
-    def _captures(self) -> None:
-        """Remove every living prey within the capture radius of a predator."""
-        alive_idx = np.flatnonzero(self._alive)
-        if alive_idx.size == 0:
-            return
-        prey_pos = self._preys[alive_idx]
-        # Stack predators first, preys second, and look for close cross pairs.
-        stacked = np.concatenate([self._predators, prey_pos], axis=0)
-        pairs = neighbor_pairs(stacked, self._radius)
-        if pairs.size == 0:
-            return
-        n_pred = self._n_predators
-        is_pred = pairs < n_pred
-        cross = is_pred[:, 0] ^ is_pred[:, 1]
-        if not np.any(cross):
-            return
-        cross_pairs = pairs[cross]
-        prey_members = np.where(
-            cross_pairs[:, 0] >= n_pred, cross_pairs[:, 0], cross_pairs[:, 1]
-        )
-        caught_local = np.unique(prey_members - n_pred)
-        self._alive[alive_idx[caught_local]] = False
-
     def step(self) -> None:
         """One time step: captures, then motion of predators (and preys)."""
-        self._captures()
-        self._survival_curve.append(self.n_alive)
-        if self._extinction_time < 0 and not self._alive.any():
-            self._extinction_time = self._time
-        self._predators = lazy_step(self._grid, self._predators, self._rng)
-        if self._preys_move and self._alive.any():
-            moved = lazy_step(self._grid, self._preys[self._alive], self._rng)
-            new_preys = self._preys.copy()
-            new_preys[self._alive] = moved
-            self._preys = new_preys
-        self._time += 1
+        conn = serial_connectivity(self._process, self._state.positions, None)
+        self._process.step(self._state, conn, self._rng)
 
     def run(self, max_steps: Optional[int] = None) -> PredatorPreyResult:
         """Run until all preys are caught or the horizon is exhausted."""
-        horizon = int(max_steps) if max_steps is not None else self._horizon
-        while self._time < horizon and self._extinction_time < 0:
+        horizon = int(max_steps) if max_steps is not None else self._process.horizon
+        while self._state.n_steps < horizon and not self._process.stopped(self._state):
             self.step()
-        return PredatorPreyResult(
-            n_nodes=self._n_nodes,
-            n_predators=self._n_predators,
-            n_preys=self._n_preys,
-            capture_radius=self._radius,
-            extinction_time=self._extinction_time,
-            completed=self._extinction_time >= 0,
-            n_steps=self._time,
-            preys_remaining=self.n_alive,
-            survival_curve=np.asarray(self._survival_curve, dtype=np.int64),
-        )
+        return self._process.result(self._state)

@@ -63,6 +63,8 @@ def execute_unit(unit: WorkUnit) -> dict[str, Any]:
     with _suspended_override():
         if unit.kind in ("broadcast", "gossip"):
             return _execute_simulation_unit(unit)
+        if unit.kind == "process":
+            return _execute_process_unit(unit)
         if unit.kind == "map":
             return _execute_map_unit(unit)
         raise ValueError(f"unknown unit kind {unit.kind!r}")
@@ -87,6 +89,25 @@ def _execute_simulation_unit(unit: WorkUnit) -> dict[str, Any]:
     }
 
 
+def _execute_process_unit(unit: WorkUnit) -> dict[str, Any]:
+    from repro.dissemination.kernels import make_process, run_process_replications
+
+    spec = unit.payload["process"]
+    process = make_process(spec["name"], **dict(spec.get("kwargs") or {}))
+    streams = unit.seed.trial_rngs(unit.start, unit.stop)
+    summary, results = run_process_replications(
+        process,
+        unit.n_trials,
+        backend=unit.backend,
+        connectivity=unit.connectivity,
+        rng_streams=streams,
+    )
+    return {
+        "values": [float(v) for v in summary.values],
+        "results": [_result_record(res) for res in results],
+    }
+
+
 def _execute_map_unit(unit: WorkUnit) -> dict[str, Any]:
     fn: Callable[..., Any] = unit.payload["fn"]
     kwargs = dict(unit.payload.get("kwargs") or {})
@@ -96,10 +117,17 @@ def _execute_map_unit(unit: WorkUnit) -> dict[str, Any]:
     return {"trials": trials}
 
 
-#: BroadcastResult / GossipResult fields carried through records; ``config``
-#: is reattached from the unit payload at merge time instead of being
-#: serialised once per trial.
-_INT_ARRAY_FIELDS = ("informed_curve", "knowledge_curve", "frontier_history")
+#: Result-dataclass integer-array fields carried through records; for
+#: simulation kinds ``config`` is reattached from the unit payload at merge
+#: time instead of being serialised once per trial.
+_INT_ARRAY_FIELDS = (
+    "informed_curve",
+    "knowledge_curve",
+    "frontier_history",
+    "active_curve",
+    "survival_curve",
+    "coverage_curve",
+)
 
 
 def _result_record(result: Any) -> dict[str, Any]:
@@ -124,6 +152,31 @@ def _result_from_record(kind: str, record: Mapping[str, Any], config: Any) -> An
             fields[name] = np.asarray(fields[name], dtype=np.int64)
     cls = BroadcastResult if kind == "broadcast" else GossipResult
     return cls(config=config, **fields)
+
+
+def _process_result_from_record(result_class: type, record: Mapping[str, Any]) -> Any:
+    fields = dict(record)
+    for name in _INT_ARRAY_FIELDS:
+        if fields.get(name) is not None:
+            fields[name] = np.asarray(fields[name], dtype=np.int64)
+    return result_class(**fields)
+
+
+def _merge_process_records(
+    process: Any, records: Sequence[Mapping[str, Any]]
+) -> tuple[Any, list[Any]]:
+    """Process-kind chunk records -> ``(ReplicationSummary, results)``."""
+    from repro.core.runner import summarise_values
+
+    values: list[float] = []
+    results: list[Any] = []
+    for record in records:
+        values.extend(float(v) for v in record["values"])
+        results.extend(
+            _process_result_from_record(process.result_class, res)
+            for res in record["results"]
+        )
+    return summarise_values(values), results
 
 
 def _merge_simulation_records(
@@ -361,6 +414,35 @@ class SweepExecutor:
             connectivity=connectivity,
         )
         return _merge_simulation_records(kind, config, self.run_units(units))
+
+    def run_process(
+        self,
+        process: Any,
+        n_replications: int,
+        seed: SeedLike,
+        backend: str,
+        connectivity: Optional[str] = None,
+        label: Optional[str] = None,
+    ) -> tuple[Any, list[Any]]:
+        """Sharded equivalent of
+        :func:`repro.dissemination.kernels.run_process_replications`.
+
+        The unit payload is the kernel's JSON-able ``spec`` — workers
+        rebuild the kernel by name, so process units are picklable *and*
+        content-addressable in a resume store.  ``backend`` and
+        ``connectivity`` must already be resolved, like
+        :meth:`run_replications`.
+        """
+        units = self.decompose(
+            label=label or f"process[{process.name}]",
+            kind="process",
+            payload={"process": process.spec},
+            n_replications=n_replications,
+            seed=seed,
+            backend=backend,
+            connectivity=connectivity,
+        )
+        return _merge_process_records(process, self.run_units(units))
 
     def run_sweep(
         self,

@@ -24,7 +24,7 @@ from typing import Any, Callable, Mapping, Optional
 from repro.exec.seeds import SeedStreamSpec
 
 #: Payload kinds understood by :func:`repro.exec.executor.execute_unit`.
-UNIT_KINDS = ("broadcast", "gossip", "map")
+UNIT_KINDS = ("broadcast", "gossip", "map", "process")
 
 
 @dataclass(frozen=True)
@@ -37,12 +37,15 @@ class WorkUnit:
         Human-readable identity of the sweep point (e.g. ``"E1[k=32]"``);
         part of the fingerprint, so it must be stable across runs.
     kind:
-        ``"broadcast"`` / ``"gossip"`` (a simulation config payload) or
+        ``"broadcast"`` / ``"gossip"`` (a simulation config payload),
+        ``"process"`` (a registered dissemination process-kernel spec) or
         ``"map"`` (a module-level trial function payload).
     payload:
         Kind-specific work description.  For simulation kinds:
-        ``{"config": BroadcastConfig | GossipConfig}``.  For map kind:
-        ``{"fn": <module-level callable>, "kwargs": {...}}``.
+        ``{"config": BroadcastConfig | GossipConfig}``.  For process kind:
+        ``{"process": {"name": ..., "kwargs": {...}}}`` (a
+        :attr:`repro.dissemination.kernels.ProcessKernel.spec`).  For map
+        kind: ``{"fn": <module-level callable>, "kwargs": {...}}``.
     n_replications:
         Total number of trials at this sweep point (the chunk is a slice of
         this range; the total is part of the identity so chunk layouts of

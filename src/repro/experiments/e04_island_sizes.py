@@ -12,15 +12,21 @@ from __future__ import annotations
 import math
 
 from repro.analysis.report import ExperimentReport, ExperimentRow
-from repro.connectivity.components import island_statistics
+from repro.connectivity.components import IslandStatistics, sample_island_sizes
 from repro.connectivity.percolation import island_parameter_gamma
+from repro.exec import map_replications
 from repro.grid.lattice import Grid2D
 from repro.theory.lemmas import lemma6_island_size_bound
-from repro.util.rng import SeedLike, spawn_rngs
+from repro.util.rng import RandomState, SeedLike, spawn_rngs
 from repro.workloads.configs import get_workload
 
 EXPERIMENT_ID = "E4"
 TITLE = "Maximum island size below the percolation point (Lemma 6)"
+
+
+def _island_trial(rng: RandomState, n_nodes: int, k: int, gamma: float) -> dict:
+    """One uniform placement (executor work unit): island-size statistics."""
+    return sample_island_sizes(Grid2D.from_nodes(n_nodes), k, gamma, rng)
 
 
 def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
@@ -37,7 +43,16 @@ def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
         grid = Grid2D.from_nodes(n_nodes)
         n_agents = max(grid.n_nodes // density, 2)
         gamma = island_parameter_gamma(grid.n_nodes, n_agents)
-        stats = island_statistics(grid, n_agents, gamma, samples, rng=rng)
+        # Placements are independent samples, so the point-internal sampling
+        # shards through the executor like any replication range.
+        records = map_replications(
+            _island_trial,
+            samples,
+            seed=rng,
+            kwargs={"n_nodes": grid.n_nodes, "k": n_agents, "gamma": gamma},
+            label=f"{EXPERIMENT_ID}[n={grid.n_nodes}]",
+        )
+        stats = IslandStatistics.from_samples(n_agents, gamma, records)
         bound = lemma6_island_size_bound(grid.n_nodes)
         # Lemma 6 allows islands of up to log n agents; finite-size constants
         # are absorbed into a factor-2 slack when judging "satisfied".

@@ -12,14 +12,22 @@ from __future__ import annotations
 import math
 
 from repro.analysis.report import ExperimentReport, ExperimentRow
+from repro.exec import map_replications
 from repro.grid.lattice import Grid2D
 from repro.theory.lemmas import lemma3_meeting_probability_lower
-from repro.util.rng import SeedLike, spawn_rngs
-from repro.walks.meeting import estimate_meeting_probability
+from repro.util.rng import RandomState, SeedLike, spawn_rngs
+from repro.walks.meeting import MeetingExperiment, MeetingResult
 from repro.workloads.configs import get_workload
 
 EXPERIMENT_ID = "E5"
 TITLE = "Pairwise meeting probability within d^2 steps (Lemma 3)"
+
+
+def _meeting_trial(rng: RandomState, side: int, d: int, rule: str) -> dict:
+    """One pair of walks (executor work unit): did they meet, and in the lens?"""
+    experiment = MeetingExperiment(Grid2D(side), d, rule=rule)
+    met, in_lens = experiment.run_trial(rng)
+    return {"met": bool(met), "in_lens": bool(in_lens)}
 
 
 def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
@@ -36,7 +44,23 @@ def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
     for rng, d in zip(rngs, distances):
         # Lemma 3 is stated for simple random walks; the workload only uses
         # even distances, so the simple walk's parity constraint is harmless.
-        result = estimate_meeting_probability(grid, d, trials, rng=rng, rule="simple")
+        # Pair trials are independent, so the point-internal sampling shards
+        # through the executor like any replication range.
+        experiment = MeetingExperiment(grid, d, rule="simple")
+        records = map_replications(
+            _meeting_trial,
+            trials,
+            seed=rng,
+            kwargs={"side": side, "d": d, "rule": "simple"},
+            label=f"{EXPERIMENT_ID}[d={d}]",
+        )
+        result = MeetingResult(
+            initial_distance=d,
+            horizon=experiment.horizon,
+            trials=trials,
+            meetings=sum(r["met"] for r in records),
+            meetings_in_lens=sum(r["in_lens"] for r in records),
+        )
         log_d = max(math.log(d), 1.0)
         norm = result.probability_in_lens * log_d
         normalised.append(norm)

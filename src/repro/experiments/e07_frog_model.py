@@ -14,21 +14,14 @@ from repro.analysis.fitting import fit_power_law
 from repro.analysis.report import ExperimentReport, ExperimentRow
 from repro.core.config import BroadcastConfig
 from repro.core.runner import run_broadcast_replications
-from repro.dissemination.frog import FrogModelSimulation
-from repro.exec import map_replications
+from repro.dissemination.kernels import FrogProcess, run_process_replications
 from repro.theory.bounds import broadcast_time_scale
 from repro.theory.scaling import theoretical_exponent_in_k
-from repro.util.rng import RandomState, SeedLike, spawn_rngs
+from repro.util.rng import SeedLike, spawn_rngs
 from repro.workloads.configs import get_workload
 
 EXPERIMENT_ID = "E7"
 TITLE = "Frog model broadcast time (T_B ~ n / sqrt(k))"
-
-
-def _frog_trial(rng: RandomState, n_nodes: int, k: int) -> dict:
-    """One frog-model replication (executor work unit)."""
-    result = FrogModelSimulation(n_nodes, k, radius=0.0, rng=rng).run()
-    return {"activation_time": int(result.activation_time)}
 
 
 def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
@@ -44,15 +37,13 @@ def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
     for rng, k in zip(rngs, agent_counts):
         # Frog trials consume the point's first `replications` spawned
         # children; the dynamic-comparison run below is seeded by the next
-        # child (the same layout the pre-executor loop used).
-        frog_trials = map_replications(
-            _frog_trial,
-            replications,
-            seed=rng,
-            kwargs={"n_nodes": n_nodes, "k": k},
-            label=f"{EXPERIMENT_ID}[n={n_nodes},k={k}]",
+        # child (the same layout the pre-kernel loop used).  The process
+        # runner batches, shards and uses incremental connectivity exactly
+        # like the dynamic-model runner below.
+        frog_summary, _ = run_process_replications(
+            FrogProcess(n_nodes, k, radius=0.0), replications, seed=rng
         )
-        completed = [t["activation_time"] for t in frog_trials if t["activation_time"] >= 0]
+        completed = [int(v) for v in frog_summary.completed_values]
         frog_mean = float(np.mean(completed)) if completed else float("nan")
         frog_means.append(frog_mean)
 

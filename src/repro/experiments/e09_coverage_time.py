@@ -12,31 +12,14 @@ import numpy as np
 
 from repro.analysis.fitting import fit_power_law
 from repro.analysis.report import ExperimentReport, ExperimentRow
-from repro.core.config import BroadcastConfig, default_max_steps
-from repro.core.simulation import BroadcastSimulation
-from repro.exec import map_replications
+from repro.core.config import default_max_steps
+from repro.dissemination.kernels import InformedCoverageProcess, run_process_replications
 from repro.theory.bounds import broadcast_time_scale
-from repro.util.rng import RandomState, SeedLike, spawn_rngs
+from repro.util.rng import SeedLike, spawn_rngs
 from repro.workloads.configs import get_workload
 
 EXPERIMENT_ID = "E9"
 TITLE = "Coverage time vs broadcast time (T_C ~ T_B)"
-
-
-def _coverage_trial(rng: RandomState, n_nodes: int, k: int) -> dict:
-    """One replication: broadcast with coverage tracking (executor work unit)."""
-    config = BroadcastConfig(
-        n_nodes=n_nodes,
-        n_agents=k,
-        radius=0.0,
-        record_coverage=True,
-        max_steps=default_max_steps(n_nodes, k) * 2,
-    )
-    result = BroadcastSimulation(config, rng=rng).run()
-    return {
-        "broadcast_time": int(result.broadcast_time),
-        "coverage_time": int(result.coverage_time),
-    }
 
 
 def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
@@ -50,15 +33,14 @@ def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
     rows: list[ExperimentRow] = []
     coverage_means: list[float] = []
     for rng, k in zip(rngs, agent_counts):
-        trials = map_replications(
-            _coverage_trial,
-            replications,
-            seed=rng,
-            kwargs={"n_nodes": n_nodes, "k": k},
-            label=f"{EXPERIMENT_ID}[n={n_nodes},k={k}]",
+        # T_B and T_C from one trajectory, on the batched + sharded +
+        # incremental-connectivity process drivers.
+        process = InformedCoverageProcess(
+            n_nodes, k, radius=0.0, max_steps=default_max_steps(n_nodes, k) * 2
         )
-        broadcast_times = [t["broadcast_time"] for t in trials if t["broadcast_time"] >= 0]
-        coverage_times = [t["coverage_time"] for t in trials if t["coverage_time"] >= 0]
+        _, results = run_process_replications(process, replications, seed=rng)
+        broadcast_times = [r.broadcast_time for r in results if r.broadcast_time >= 0]
+        coverage_times = [r.coverage_time for r in results if r.coverage_time >= 0]
         mean_tb = float(np.mean(broadcast_times)) if broadcast_times else float("nan")
         mean_tc = float(np.mean(coverage_times)) if coverage_times else float("nan")
         coverage_means.append(mean_tc)

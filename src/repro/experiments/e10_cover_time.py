@@ -14,21 +14,14 @@ import numpy as np
 
 from repro.analysis.fitting import fit_power_law
 from repro.analysis.report import ExperimentReport, ExperimentRow
-from repro.dissemination.coverage import multi_walk_cover_time
-from repro.exec import map_replications
+from repro.dissemination.kernels import CoverProcess, run_process_replications
 from repro.grid.lattice import Grid2D
 from repro.theory.bounds import cover_time_bound
-from repro.util.rng import RandomState, SeedLike, spawn_rngs
+from repro.util.rng import SeedLike, spawn_rngs
 from repro.workloads.configs import get_workload
 
 EXPERIMENT_ID = "E10"
 TITLE = "Cover time of k independent random walks"
-
-
-def _cover_trial(rng: RandomState, n_nodes: int, k: int, horizon: int) -> dict:
-    """One replication: cover time of ``k`` walks (executor work unit)."""
-    result = multi_walk_cover_time(Grid2D.from_nodes(n_nodes), k, horizon, rng=rng)
-    return {"cover_time": int(result.cover_time), "completed": bool(result.completed)}
 
 
 def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
@@ -47,14 +40,11 @@ def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
     rows: list[ExperimentRow] = []
     means: list[float] = []
     for rng, k in zip(rngs, walker_counts):
-        trials = map_replications(
-            _cover_trial,
-            replications,
-            seed=rng,
-            kwargs={"n_nodes": grid.n_nodes, "k": k, "horizon": horizon},
-            label=f"{EXPERIMENT_ID}[n={grid.n_nodes},k={k}]",
+        # Batched + sharded cover-time trials on the process kernel.
+        summary, _ = run_process_replications(
+            CoverProcess(grid.side, k, horizon), replications, seed=rng
         )
-        times = [t["cover_time"] for t in trials if t["completed"]]
+        times = [int(v) for v in summary.completed_values]
         mean_cover = float(np.mean(times)) if times else float("nan")
         means.append(mean_cover)
         bound = cover_time_bound(grid.n_nodes, k)

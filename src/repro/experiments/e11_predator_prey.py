@@ -13,30 +13,13 @@ import numpy as np
 
 from repro.analysis.fitting import fit_power_law
 from repro.analysis.report import ExperimentReport, ExperimentRow
-from repro.dissemination.predator_prey import PredatorPreySimulation
-from repro.exec import map_replications
+from repro.dissemination.kernels import PredatorPreyProcess, run_process_replications
 from repro.theory.bounds import predator_prey_extinction_bound
-from repro.util.rng import RandomState, SeedLike, spawn_rngs
+from repro.util.rng import SeedLike, spawn_rngs
 from repro.workloads.configs import get_workload
 
 EXPERIMENT_ID = "E11"
 TITLE = "Predator-prey extinction time vs number of predators"
-
-
-def _extinction_trial(rng: RandomState, n_nodes: int, k: int, n_preys: int) -> dict:
-    """One replication: extinction time of the preys (executor work unit)."""
-    sim = PredatorPreySimulation(
-        n_nodes=n_nodes,
-        n_predators=k,
-        n_preys=n_preys,
-        capture_radius=0.0,
-        rng=rng,
-    )
-    result = sim.run()
-    return {
-        "extinction_time": int(result.extinction_time),
-        "completed": bool(result.completed),
-    }
 
 
 def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
@@ -51,14 +34,13 @@ def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
     rows: list[ExperimentRow] = []
     means: list[float] = []
     for rng, k in zip(rngs, predator_counts):
-        trials = map_replications(
-            _extinction_trial,
+        # Batched + sharded extinction trials on the process kernel.
+        summary, _ = run_process_replications(
+            PredatorPreyProcess(n_nodes, k, n_preys, capture_radius=0.0),
             replications,
             seed=rng,
-            kwargs={"n_nodes": n_nodes, "k": k, "n_preys": n_preys},
-            label=f"{EXPERIMENT_ID}[n={n_nodes},k={k}]",
         )
-        times = [t["extinction_time"] for t in trials if t["completed"]]
+        times = [int(v) for v in summary.completed_values]
         mean_ext = float(np.mean(times)) if times else float("nan")
         means.append(mean_ext)
         bound = predator_prey_extinction_bound(n_nodes, k)

@@ -12,13 +12,23 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.report import ExperimentReport, ExperimentRow
-from repro.connectivity.percolation import giant_component_sweep, percolation_radius
+from repro.connectivity.components import largest_component_fraction
+from repro.connectivity.percolation import PercolationSweepResult, percolation_radius
+from repro.connectivity.visibility import visibility_components
+from repro.exec import map_replications
 from repro.grid.lattice import Grid2D
-from repro.util.rng import SeedLike, default_rng
+from repro.util.rng import RandomState, SeedLike, spawn_rngs
 from repro.workloads.configs import get_workload
 
 EXPERIMENT_ID = "E13"
 TITLE = "Giant component fraction vs transmission radius (percolation)"
+
+
+def _giant_trial(rng: RandomState, n_nodes: int, k: int, radius: float) -> float:
+    """One uniform placement (executor work unit): giant-component fraction."""
+    grid = Grid2D.from_nodes(n_nodes)
+    positions = grid.random_positions(k, rng)
+    return float(largest_component_fraction(visibility_components(positions, radius)))
 
 
 def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
@@ -29,11 +39,29 @@ def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
     radius_factors = list(workload["radius_factors"])
     samples = workload["samples"]
     grid = Grid2D.from_nodes(n_nodes)
-    rng = default_rng(seed)
+    rngs = spawn_rngs(seed, len(radius_factors))
 
     r_c = percolation_radius(grid.n_nodes, n_agents)
     radii = np.array([factor * r_c for factor in radius_factors], dtype=np.float64)
-    sweep = giant_component_sweep(grid, n_agents, radii, samples=samples, rng=rng)
+    # Placement samples are independent, so each radius point's sampling
+    # shards through the executor like any replication range.
+    fractions = np.empty(radii.shape[0], dtype=np.float64)
+    for idx, (rng, radius) in enumerate(zip(rngs, radii)):
+        records = map_replications(
+            _giant_trial,
+            samples,
+            seed=rng,
+            kwargs={"n_nodes": grid.n_nodes, "k": n_agents, "radius": float(radius)},
+            label=f"{EXPERIMENT_ID}[r={radius:.3g}]",
+        )
+        fractions[idx] = float(np.mean(records))
+    sweep = PercolationSweepResult(
+        n_nodes=grid.n_nodes,
+        n_agents=n_agents,
+        radii=radii,
+        giant_fractions=fractions,
+        theoretical_radius=r_c,
+    )
 
     rows = [
         ExperimentRow(

@@ -12,16 +12,30 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.analysis.fitting import fit_power_law
 from repro.analysis.report import ExperimentReport, ExperimentRow
+from repro.exec import map_replications
 from repro.grid.lattice import Grid2D
 from repro.theory.lemmas import lemma2_range_lower
-from repro.util.rng import SeedLike, spawn_rngs
-from repro.walks.range_stats import estimate_range_statistics
+from repro.util.rng import RandomState, SeedLike, spawn_rngs
+from repro.walks.range_stats import RangeStatistics
+from repro.walks.single import distinct_nodes_visited, max_displacement, walk_trajectory
 from repro.workloads.configs import get_workload
 
 EXPERIMENT_ID = "E15"
 TITLE = "Walk range R_l and displacement vs walk length (Lemma 2)"
+
+
+def _range_trial(rng: RandomState, side: int, steps: int) -> dict:
+    """One walk (executor work unit): range and maximum displacement."""
+    grid = Grid2D(side)
+    traj = walk_trajectory(grid, grid.center(), steps, rng=rng)
+    return {
+        "range": int(distinct_nodes_visited(traj, grid)),
+        "displacement": int(max_displacement(traj)),
+    }
 
 
 def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
@@ -36,7 +50,20 @@ def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentReport:
     rows: list[ExperimentRow] = []
     mean_ranges: list[float] = []
     for rng, length in zip(rngs, lengths):
-        stats = estimate_range_statistics(grid, length, trials, rng=rng)
+        # Walks are independent samples, so the point-internal sampling
+        # shards through the executor like any replication range.
+        records = map_replications(
+            _range_trial,
+            trials,
+            seed=rng,
+            kwargs={"side": side, "steps": length},
+            label=f"{EXPERIMENT_ID}[l={length}]",
+        )
+        stats = RangeStatistics.from_samples(
+            length,
+            np.array([r["range"] for r in records], dtype=np.int64),
+            np.array([r["displacement"] for r in records], dtype=np.int64),
+        )
         mean_ranges.append(stats.mean_range)
         reference = lemma2_range_lower(length)
         rows.append(

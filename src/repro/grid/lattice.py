@@ -21,7 +21,7 @@ class Grid2D:
 
     The grid is *not* a torus: boundary nodes have degree 2 or 3, exactly as
     in the paper, and the lazy random walk of
-    :class:`repro.walks.engine.WalkEngine` compensates for the missing
+    :class:`repro.walks.walkers.WalkEngine` compensates for the missing
     neighbours by staying put, which keeps the uniform distribution
     stationary.
     """

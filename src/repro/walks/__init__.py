@@ -6,13 +6,13 @@ single-walk utilities (hitting times, range, displacement) and the pairwise
 meeting experiments that validate Lemma 3.
 """
 
-from repro.walks.engine import (
-    WalkEngine,
+from repro.mobility.kernels import (
     lazy_step,
     lazy_step_batch,
     simple_step,
     simple_step_batch,
 )
+from repro.walks.walkers import WalkEngine
 from repro.walks.single import (
     walk_trajectory,
     hitting_time,

@@ -25,7 +25,8 @@ import numpy as np
 
 from repro.grid.lattice import Grid2D
 from repro.grid.geometry import manhattan_distance
-from repro.walks.engine import WalkEngine, StepRule
+from repro.mobility.kernels import StepRule
+from repro.walks.walkers import WalkEngine
 from repro.util.rng import RandomState, default_rng
 from repro.util.validation import check_positive_int
 

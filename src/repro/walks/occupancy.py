@@ -17,7 +17,8 @@ import numpy as np
 from scipy import stats
 
 from repro.grid.lattice import Grid2D
-from repro.walks.engine import StepRule, WalkEngine
+from repro.mobility.kernels import StepRule
+from repro.walks.walkers import WalkEngine
 from repro.util.rng import RandomState, default_rng
 from repro.util.validation import check_positive_int
 

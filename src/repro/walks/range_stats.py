@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.grid.lattice import Grid2D
-from repro.walks.engine import StepRule
+from repro.mobility.kernels import StepRule
 from repro.walks.single import walk_trajectory, max_displacement, distinct_nodes_visited
 from repro.util.rng import RandomState, default_rng
 from repro.util.validation import check_positive_int
@@ -47,6 +47,30 @@ class RangeStatistics:
             return 0.0
         return float(np.count_nonzero(self.ranges >= threshold) / self.trials)
 
+    @classmethod
+    def from_samples(
+        cls, steps: int, ranges: np.ndarray, displacements: np.ndarray
+    ) -> "RangeStatistics":
+        """Aggregate per-walk range/displacement samples.
+
+        The single aggregation point shared by
+        :func:`estimate_range_statistics` and the sharded E15 sampling
+        loop, so the summary definitions cannot drift between the paths.
+        """
+        ranges = np.asarray(ranges, dtype=np.int64)
+        displacements = np.asarray(displacements, dtype=np.int64)
+        return cls(
+            steps=steps,
+            trials=int(ranges.shape[0]),
+            mean_range=float(ranges.mean()),
+            median_range=float(np.median(ranges)),
+            min_range=int(ranges.min()),
+            max_range=int(ranges.max()),
+            mean_max_displacement=float(displacements.mean()),
+            ranges=ranges,
+            displacements=displacements,
+        )
+
 
 def estimate_range_statistics(
     grid: Grid2D,
@@ -67,14 +91,4 @@ def estimate_range_statistics(
         traj = walk_trajectory(grid, start, steps, rng=rng, rule=rule)
         ranges[i] = distinct_nodes_visited(traj, grid)
         displacements[i] = max_displacement(traj)
-    return RangeStatistics(
-        steps=steps,
-        trials=trials,
-        mean_range=float(ranges.mean()),
-        median_range=float(np.median(ranges)),
-        min_range=int(ranges.min()),
-        max_range=int(ranges.max()),
-        mean_max_displacement=float(displacements.mean()),
-        ranges=ranges,
-        displacements=displacements,
-    )
+    return RangeStatistics.from_samples(steps, ranges, displacements)

@@ -10,7 +10,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.grid.lattice import Grid2D
-from repro.walks.engine import WalkEngine, StepRule
+from repro.mobility.kernels import StepRule
+from repro.walks.walkers import WalkEngine
 from repro.util.rng import RandomState, default_rng
 
 

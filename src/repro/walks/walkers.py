@@ -1,0 +1,129 @@
+"""Vectorised stepping of many independent random walks on the grid.
+
+The primitive step rules — ``lazy`` (the paper's kernel, which keeps the
+uniform distribution over grid nodes stationary) and ``simple`` (move to a
+uniformly random neighbour every step, used by the Lemma 3 meeting
+experiments) — live in :mod:`repro.mobility.kernels`, the kernel layer
+shared by the mobility models and both replication backends; this module
+provides :class:`WalkEngine`, a convenience wrapper that advances ``k``
+walks while tracking time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.lattice import Grid2D
+from repro.mobility.kernels import StepRule, lazy_step, simple_step
+from repro.util.rng import RandomState, default_rng
+
+__all__ = ["WalkEngine"]
+
+
+class WalkEngine:
+    """Vectorised engine advancing ``k`` independent random walks.
+
+    Parameters
+    ----------
+    grid:
+        The lattice on which the walks live.
+    positions:
+        Initial ``(k, 2)`` integer positions; if ``None``, ``k`` uniform
+        random positions are drawn (``k`` must then be given).
+    rule:
+        ``"lazy"`` (paper model, default) or ``"simple"``.
+    rng:
+        Random generator or seed.
+    """
+
+    def __init__(
+        self,
+        grid: Grid2D,
+        positions: np.ndarray | None = None,
+        *,
+        k: int | None = None,
+        rule: StepRule = "lazy",
+        rng: RandomState | int | None = None,
+    ) -> None:
+        self._grid = grid
+        self._rng = default_rng(rng)
+        if rule not in ("lazy", "simple"):
+            raise ValueError(f"rule must be 'lazy' or 'simple', got {rule!r}")
+        self._rule = rule
+        if positions is None:
+            if k is None:
+                raise ValueError("either positions or k must be given")
+            positions = grid.random_positions(k, self._rng)
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError(f"positions must have shape (k, 2), got {positions.shape}")
+        if not np.all(grid.contains(positions)):
+            raise ValueError("some initial positions lie outside the grid")
+        self._positions = positions.copy()
+        self._time = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def grid(self) -> Grid2D:
+        """The underlying lattice."""
+        return self._grid
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Current ``(k, 2)`` positions (a copy; mutating it has no effect)."""
+        return self._positions.copy()
+
+    @property
+    def n_walkers(self) -> int:
+        """Number of walks being advanced."""
+        return self._positions.shape[0]
+
+    @property
+    def time(self) -> int:
+        """Number of steps taken so far."""
+        return self._time
+
+    @property
+    def rule(self) -> StepRule:
+        """The step rule in use."""
+        return self._rule
+
+    # ------------------------------------------------------------------ #
+    def step_(self) -> np.ndarray:
+        """Advance every walk by one step and return the *internal* positions.
+
+        Hot-loop variant of :meth:`step` that skips the defensive copy; the
+        returned array is the engine's own state and must not be mutated.
+        """
+        if self._rule == "lazy":
+            self._positions = lazy_step(self._grid, self._positions, self._rng)
+        else:
+            self._positions = simple_step(self._grid, self._positions, self._rng)
+        self._time += 1
+        return self._positions
+
+    def step(self) -> np.ndarray:
+        """Advance every walk by one step and return the new positions (a copy)."""
+        self.step_()
+        return self.positions
+
+    def run(self, steps: int) -> np.ndarray:
+        """Advance every walk by ``steps`` steps and return the final positions."""
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        for _ in range(steps):
+            self.step_()
+        return self.positions
+
+    def trajectory(self, steps: int) -> np.ndarray:
+        """Advance ``steps`` steps recording positions; shape ``(steps+1, k, 2)``.
+
+        Index 0 of the first axis holds the positions *before* the first step.
+        """
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        out = np.empty((steps + 1, self.n_walkers, 2), dtype=np.int64)
+        out[0] = self._positions
+        for t in range(1, steps + 1):
+            out[t] = self.step_()
+        return out

@@ -93,6 +93,57 @@ def gossip_configs(draw, max_side: int = 9, max_agents: int = 6) -> GossipConfig
 
 
 @st.composite
+def process_kernels(draw):
+    """A small dissemination process kernel of any registered kind.
+
+    Sizes are chosen so trials complete (or hit the horizon) within a few
+    dozen steps, and so batches compact mid-run: with several trials per run
+    some finish early while others keep going.
+    """
+    from repro.dissemination.kernels import (
+        CoverProcess,
+        FrogProcess,
+        InfectionProcess,
+        InformedCoverageProcess,
+        PredatorPreyProcess,
+    )
+
+    kind = draw(st.sampled_from(["frog", "predator_prey", "cover", "coverage", "infection"]))
+    side = draw(st.integers(4, 9))
+    n_nodes = side * side
+    max_steps = draw(st.sampled_from([30, 60]))
+    radius = draw(st.sampled_from([0.0, 1.0, 2.0]))
+    if kind == "frog":
+        return FrogProcess(
+            n_nodes, draw(st.integers(2, 6)), radius=radius, max_steps=max_steps
+        )
+    if kind == "predator_prey":
+        return PredatorPreyProcess(
+            n_nodes,
+            draw(st.integers(1, 4)),
+            draw(st.integers(1, 5)),
+            capture_radius=radius,
+            max_steps=max_steps,
+            preys_move=draw(st.booleans()),
+        )
+    if kind == "cover":
+        return CoverProcess(
+            side,
+            draw(st.integers(1, 6)),
+            max_steps,
+            rule=draw(st.sampled_from(["lazy", "simple"])),
+            record_curve_every=draw(st.sampled_from([1, 3])),
+        )
+    if kind == "coverage":
+        return InformedCoverageProcess(
+            n_nodes, draw(st.integers(2, 6)), radius=radius, max_steps=max_steps
+        )
+    return InfectionProcess(
+        n_nodes, draw(st.integers(2, 6)), radius=radius, max_steps=max_steps
+    )
+
+
+@st.composite
 def sweep_grids(draw, max_points: int = 4) -> list[int]:
     """A small sweep grid: distinct agent counts in increasing order."""
     return sorted(
