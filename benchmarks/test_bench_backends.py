@@ -66,6 +66,55 @@ def test_backend_batched(benchmark):
     assert summary.completion_rate == 1.0
 
 
+FT_CONFIG = BroadcastConfig(n_nodes=48 * 48, n_agents=48, radius=0.0, max_steps=2_000)
+
+
+@pytest.mark.benchmark(group="fault-tolerance-overhead")
+def test_executor_without_retry_baseline(benchmark):
+    from repro.exec import SweepExecutor, execution_override
+
+    def run():
+        with execution_override(SweepExecutor(jobs=1, chunk_size=4)):
+            return run_broadcast_replications(FT_CONFIG, REPLICATIONS, seed=11)
+
+    summary, _ = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert summary.n_replications == REPLICATIONS
+
+
+@pytest.mark.benchmark(group="fault-tolerance-overhead")
+def test_executor_with_retry_zero_faults(benchmark):
+    # The retry/timeout machinery on the fault-free path: per-unit attempt
+    # bookkeeping plus one record-shape check — overhead must stay in the
+    # noise next to the baseline above.
+    from repro.exec import RetryPolicy, SweepExecutor, execution_override
+
+    executor = SweepExecutor(
+        jobs=1,
+        chunk_size=4,
+        retry=RetryPolicy(max_attempts=3, unit_timeout=3600.0),
+    )
+
+    def run():
+        with execution_override(executor):
+            return run_broadcast_replications(FT_CONFIG, REPLICATIONS, seed=11)
+
+    summary, _ = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert summary.n_replications == REPLICATIONS
+    report = executor.execution_report()
+    assert report.retries == 0 and report.attempts == report.executed
+
+
+def test_retry_path_results_identical_to_baseline():
+    from repro.exec import RetryPolicy, SweepExecutor, execution_override
+
+    plain, _ = run_broadcast_replications(FT_CONFIG, REPLICATIONS, seed=11)
+    with execution_override(
+        SweepExecutor(jobs=1, chunk_size=4, retry=RetryPolicy(max_attempts=3))
+    ):
+        retried, _ = run_broadcast_replications(FT_CONFIG, REPLICATIONS, seed=11)
+    assert np.array_equal(plain.values, retried.values)
+
+
 def test_backend_results_identical():
     serial, _ = run_broadcast_replications(CONFIG, REPLICATIONS, seed=11, backend="serial")
     batched, _ = run_broadcast_replications(CONFIG, REPLICATIONS, seed=11, backend="batched")

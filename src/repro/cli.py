@@ -30,6 +30,14 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _non_negative_int(text: str) -> int:
+    """argparse type: an integer >= 0."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
 def _experiment_span() -> str:
     """The registry's id range (e.g. ``"E1..E17"``), kept in sync with it."""
     ids = available_experiments()
@@ -78,6 +86,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "replication count; never affects results)",
     )
     run_parser.add_argument(
+        "--retries",
+        type=_non_negative_int,
+        default=0,
+        metavar="N",
+        help="re-executions granted to a failing work unit (crash, timeout, "
+        "raised error, corrupt record) before the failure propagates; "
+        "units are deterministic, so retried runs stay bit-for-bit "
+        "identical (default: 0)",
+    )
+    run_parser.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per work unit: a unit running longer has its "
+        "worker killed and is retried (pooled execution only; requires "
+        "--jobs > 1 to preempt; default: unlimited)",
+    )
+    run_parser.add_argument(
         "--backend",
         choices=BACKENDS,
         default=None,
@@ -124,7 +151,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # executor arguments stay at their defaults, which leave this ambient
     # override in charge.
     executor = SweepExecutor.from_options(
-        jobs=args.jobs, chunk_size=args.chunk_size, store=args.resume
+        jobs=args.jobs, chunk_size=args.chunk_size, store=args.resume,
+        retries=args.retries, unit_timeout=args.unit_timeout,
     )
     reports: list[ExperimentReport] = []
     with execution_override(executor):
@@ -136,6 +164,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             reports.append(report)
             print(report.render())
             print()
+    if executor is not None:
+        # The per-run execution report goes to stderr so report output on
+        # stdout stays byte-identical across --jobs/--retries settings.
+        print(executor.execution_report().render(), file=sys.stderr)
     if args.json:
         payload = [to_jsonable(report) for report in reports]
         dump_json(payload if len(payload) > 1 else payload[0], args.json)

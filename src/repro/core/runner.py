@@ -22,8 +22,11 @@ Orthogonally to the backend, an active
 :func:`repro.exec.execution_override` shards every replication run into
 (sweep-point × replication-chunk) work units executed in process or over a
 process pool — with per-trial streams re-derived deterministically, so the
-sharded path is also bit-for-bit identical to the plain one.  See
-``docs/PARALLEL.md``.
+sharded path is also bit-for-bit identical to the plain one.  Because each
+unit is a pure function of its spec, the executor may also retry, time out,
+requeue (after a worker crash) or lease-steal any unit without changing a
+single result bit; runs interrupted by worker failure complete with the
+records a fault-free run would produce.  See ``docs/PARALLEL.md``.
 """
 
 from __future__ import annotations
@@ -117,7 +120,8 @@ def replicate(
     ``factory`` must return a scalar measurement (``-1`` meaning "did not
     complete").  Under an active :func:`repro.exec.execution_override` the
     trials are sharded into work units (module-level factories run in worker
-    processes; unpicklable factories fall back to in-process chunks).
+    processes; unpicklable factories fall back to in-process chunks) and
+    inherit the executor's retry/timeout/crash-recovery policy.
     """
     from repro.exec.executor import map_replications
 

@@ -13,29 +13,47 @@ Public surface of the ``repro.exec`` subsystem:
 * :func:`map_replications` — the executor-aware per-trial map experiments
   use for custom (non broadcast/gossip) replication loops;
 * :class:`WorkUnit` / :func:`unit_key` / :class:`SeedStreamSpec` — the
-  work-unit model, for building custom sweeps on the executor directly.
+  work-unit model, for building custom sweeps on the executor directly;
+* :class:`RetryPolicy` / :class:`ExecutionReport` — the fault-tolerance
+  layer: bounded retries with deterministic backoff, per-unit timeouts,
+  worker-crash recovery, and the per-run observability snapshot;
+* :class:`LeaseTable` — cooperative unit ownership for concurrent or
+  restarted executors sharing one store;
+* :class:`FaultPlan` / :class:`FaultInjectionError` — the deterministic
+  fault-injection harness the chaos suite drives.
 
-See ``docs/PARALLEL.md`` for the work-unit model, the determinism contract
-and resume semantics.
+See ``docs/PARALLEL.md`` for the work-unit model, the determinism contract,
+resume semantics and the fault-tolerance layer.
 """
 
 from repro.exec.executor import (
+    ExecutionReport,
+    RetryPolicy,
     SweepExecutor,
     current_executor,
     execute_unit,
     execution_override,
     map_replications,
+    run_unit_with_faults,
 )
+from repro.exec.faults import FaultInjectionError, FaultPlan
+from repro.exec.leases import LeaseTable
 from repro.exec.seeds import SeedStreamSpec
 from repro.exec.store import ResultStore
 from repro.exec.units import (
     WorkUnit,
     chunk_bounds,
     default_chunk_size,
+    record_matches_unit,
     unit_key,
 )
 
 __all__ = [
+    "ExecutionReport",
+    "FaultInjectionError",
+    "FaultPlan",
+    "LeaseTable",
+    "RetryPolicy",
     "SweepExecutor",
     "ResultStore",
     "SeedStreamSpec",
@@ -46,5 +64,7 @@ __all__ = [
     "execute_unit",
     "execution_override",
     "map_replications",
+    "record_matches_unit",
+    "run_unit_with_faults",
     "unit_key",
 ]

@@ -18,6 +18,22 @@ passes through the canonical JSON-able form (the same form the
 :class:`~repro.exec.store.ResultStore` persists), so a resumed run and an
 uninterrupted run assemble identical reports.
 
+Fault tolerance
+---------------
+Because units are pure functions of their (JSON-able) spec, a unit can be
+re-executed anywhere and reproduce the identical record — so the executor
+retries failed units (:class:`RetryPolicy`: bounded attempts, exponential
+backoff with deterministic per-unit jitter, optional per-unit wall-clock
+timeout), survives worker crashes (a broken pool is rebuilt and its
+in-flight units requeued; repeated failures degrade to in-process
+execution), validates every fresh and stored record against its unit's
+trial count, and coordinates with concurrent executors through a
+:class:`~repro.exec.leases.LeaseTable` persisted beside the store.  None of
+this weakens the bit-for-bit guarantee: a sweep completed through retries,
+requeues and lease steals merges exactly the records a fault-free ``jobs=1``
+run produces.  A per-run :class:`ExecutionReport` makes the recovery work
+observable.
+
 The module-global override installed by :func:`execution_override` is how
 ``--jobs`` reaches the replication runners inside experiments without
 per-experiment plumbing, mirroring
@@ -26,13 +42,21 @@ per-experiment plumbing, mirroring
 
 from __future__ import annotations
 
+import hashlib
+import heapq
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.exec.faults import FaultPlan, corrupt_record
+from repro.exec.leases import DEFAULT_LEASE_TTL, LeaseTable
 from repro.exec.seeds import SeedStreamSpec
 from repro.exec.store import ResultStore
 from repro.exec.units import (
@@ -40,6 +64,7 @@ from repro.exec.units import (
     chunk_bounds,
     describe_payload,
     payload_is_picklable,
+    record_matches_unit,
     unit_key,
 )
 from repro.util.rng import SeedLike, spawn_rngs
@@ -48,6 +73,150 @@ from repro.util.serialization import to_jsonable
 #: Environment variable selecting the multiprocessing start method
 #: ("fork", "spawn", "forkserver"); unset uses the platform default.
 START_METHOD_ENV = "REPRO_EXEC_START_METHOD"
+
+#: Consecutive pool rebuilds (with no completed unit in between) after which
+#: the executor stops trusting the pool and degrades to in-process execution.
+POOL_FAILURE_LIMIT = 3
+
+
+# --------------------------------------------------------------------------- #
+# Retry policy
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the executor treats a failing work unit.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total executions a unit may consume before its failure propagates
+        (``1`` = no retries, the classic behaviour).  Worker-crash requeues
+        are *not* attempts — a unit that merely sat in a pool another unit
+        crashed keeps its budget — but timeouts and raised exceptions are.
+    backoff_base, backoff_factor, backoff_max:
+        Delay before retry ``f`` is ``backoff_base * backoff_factor**(f-1)``
+        seconds (capped at ``backoff_max``), scaled by a deterministic
+        jitter in ``[0.5, 1.5)`` derived from the unit's key — so two
+        executors retrying the same store's units spread out identically
+        and reproducibly, with no shared randomness.
+    unit_timeout:
+        Per-unit wall-clock budget in seconds.  Enforced on the pool path
+        only (a hung worker is killed and the unit retried); in-process
+        units cannot be preempted and run to completion.
+    """
+
+    max_attempts: int = 1
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    unit_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_factor < 1:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.unit_timeout is not None and self.unit_timeout <= 0:
+            raise ValueError(f"unit_timeout must be positive, got {self.unit_timeout}")
+
+    @classmethod
+    def from_options(
+        cls, retries: int = 0, unit_timeout: Optional[float] = None
+    ) -> "RetryPolicy":
+        """The policy behind the ``--retries`` / ``--unit-timeout`` flags."""
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        return cls(max_attempts=retries + 1, unit_timeout=unit_timeout)
+
+    def delay(self, failures: int, token: str) -> float:
+        """Seconds to wait before the retry after failure ``failures`` (1-based)."""
+        base = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** max(0, failures - 1),
+        )
+        digest = hashlib.sha256(f"{token}:{failures}".encode("utf-8")).digest()
+        jitter = 0.5 + int.from_bytes(digest[:8], "big") / 2**64
+        return base * jitter
+
+
+# --------------------------------------------------------------------------- #
+# Execution reporting
+# --------------------------------------------------------------------------- #
+@dataclass
+class _Counters:
+    """Mutable tallies the executor accumulates across ``run_units`` calls."""
+
+    units: int = 0
+    store_hits: int = 0
+    executed: int = 0
+    submissions: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    requeues: int = 0
+    pool_rebuilds: int = 0
+    degraded: bool = False
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Snapshot of everything the fault-tolerance layer did during a run.
+
+    ``attempts`` counts unit submissions (pool and in-process); ``retries``
+    the failures that consumed an attempt and were re-executed;
+    ``requeues`` the innocent in-flight units returned to the queue when a
+    worker crash broke the pool; ``quarantined`` the store files renamed
+    aside as corrupt; ``lease_steals`` the expired foreign leases taken
+    over.  A fault-free run shows ``attempts == executed`` and zeros
+    everywhere else — failures are observable, never silent.
+    """
+
+    units: int = 0
+    store_hits: int = 0
+    executed: int = 0
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    requeues: int = 0
+    pool_rebuilds: int = 0
+    degraded: bool = False
+    quarantined: int = 0
+    fingerprint_mismatches: int = 0
+    lease_claims: int = 0
+    lease_conflicts: int = 0
+    lease_steals: int = 0
+
+    def as_json(self) -> dict[str, Any]:
+        """The report as a JSON-able dict."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    def render(self) -> str:
+        """One human-readable line per concern (recovery lines only if used)."""
+        lines = [
+            f"exec: {self.units} units = {self.store_hits} store hits "
+            f"+ {self.executed} executed ({self.attempts} attempts)"
+        ]
+        if self.retries or self.timeouts or self.requeues or self.pool_rebuilds:
+            lines.append(
+                f"exec: recovered from {self.retries} retries, "
+                f"{self.timeouts} timeouts, {self.requeues} crash requeues, "
+                f"{self.pool_rebuilds} pool rebuilds"
+                + (" (degraded to in-process)" if self.degraded else "")
+            )
+        if self.quarantined or self.fingerprint_mismatches:
+            lines.append(
+                f"exec: store quarantined {self.quarantined} corrupt files, "
+                f"re-executed {self.fingerprint_mismatches} fingerprint mismatches"
+            )
+        if self.lease_conflicts or self.lease_steals:
+            lines.append(
+                f"exec: leases: {self.lease_claims} claims, "
+                f"{self.lease_conflicts} conflicts, {self.lease_steals} steals"
+            )
+        return "\n".join(lines)
 
 
 # --------------------------------------------------------------------------- #
@@ -68,6 +237,32 @@ def execute_unit(unit: WorkUnit) -> dict[str, Any]:
         if unit.kind == "map":
             return _execute_map_unit(unit)
         raise ValueError(f"unknown unit kind {unit.kind!r}")
+
+
+def run_unit_with_faults(
+    unit: WorkUnit,
+    submission: int,
+    plan: Optional[FaultPlan],
+    in_worker: bool = False,
+) -> dict[str, Any]:
+    """Execute ``unit``, first applying any fault ``plan`` schedules for this
+    submission.  The chaos-test entry point; with ``plan=None`` it is exactly
+    :func:`execute_unit`.
+    """
+    if plan is None:
+        return execute_unit(unit)
+    fault = plan.apply(unit_key(unit), submission, in_worker)
+    record = execute_unit(unit)
+    if fault == "corrupt":
+        return corrupt_record(record)
+    return record
+
+
+def _pool_run_unit(
+    unit: WorkUnit, submission: int, plan: Optional[FaultPlan]
+) -> dict[str, Any]:
+    """What the dispatcher submits to pool workers (module-level picklable)."""
+    return run_unit_with_faults(unit, submission, plan, in_worker=True)
 
 
 def _execute_simulation_unit(unit: WorkUnit) -> dict[str, Any]:
@@ -211,10 +406,22 @@ class SweepExecutor:
         across worker counts).
     store:
         Optional :class:`~repro.exec.store.ResultStore` (or directory path).
-        Completed units are persisted there and skipped on re-runs.
+        Completed units are persisted there and skipped on re-runs.  A store
+        also activates the lease table (persisted in ``<store>/leases``), so
+        concurrent or restarted executors sharing the store never double-run
+        a unit and expired claims are requeued.
     start_method:
         Multiprocessing start method; default: ``$REPRO_EXEC_START_METHOD``
         or the platform default.
+    retry:
+        The :class:`RetryPolicy` applied to every unit (default: one
+        attempt, no timeout — failures propagate like they always did).
+    fault_plan:
+        Optional :class:`~repro.exec.faults.FaultPlan` injected into every
+        execution, for chaos testing.  Never set this on a production run.
+    lease_ttl:
+        Seconds a claimed unit may go without a heartbeat before another
+        executor may steal it (only meaningful with a store).
     """
 
     def __init__(
@@ -223,6 +430,9 @@ class SweepExecutor:
         chunk_size: Optional[int] = None,
         store: Optional[ResultStore | str] = None,
         start_method: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -232,7 +442,15 @@ class SweepExecutor:
         self.chunk_size = chunk_size
         self.store = ResultStore(store) if isinstance(store, (str, os.PathLike)) else store
         self.start_method = start_method or os.environ.get(START_METHOD_ENV) or None
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.fault_plan = fault_plan
+        self.lease_ttl = float(lease_ttl)
+        self.leases: Optional[LeaseTable] = None
+        if self.store is not None:
+            self.leases = LeaseTable(self.store.directory / "leases", ttl=self.lease_ttl)
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._counters = _Counters()
+        self._degraded = False
 
     @classmethod
     def from_options(
@@ -240,24 +458,64 @@ class SweepExecutor:
         jobs: int = 1,
         chunk_size: Optional[int] = None,
         store: Optional[ResultStore | str] = None,
+        retries: int = 0,
+        unit_timeout: Optional[float] = None,
     ) -> Optional["SweepExecutor"]:
         """An executor when any option departs from the defaults, else ``None``.
 
         The single activation rule behind ``--jobs`` / ``--resume`` /
-        ``--chunk-size``: all-default options mean "keep the classic
-        in-process path" (``None`` composes with
-        :func:`execution_override` as a true no-op).
+        ``--chunk-size`` / ``--retries`` / ``--unit-timeout``: all-default
+        options mean "keep the classic in-process path" (``None`` composes
+        with :func:`execution_override` as a true no-op).
         """
-        if jobs == 1 and chunk_size is None and store is None:
+        if (
+            jobs == 1
+            and chunk_size is None
+            and store is None
+            and retries == 0
+            and unit_timeout is None
+        ):
             return None
-        return cls(jobs=jobs, chunk_size=chunk_size, store=store)
+        return cls(
+            jobs=jobs,
+            chunk_size=chunk_size,
+            store=store,
+            retry=RetryPolicy.from_options(retries=retries, unit_timeout=unit_timeout),
+        )
 
     # -- lifecycle ---------------------------------------------------------- #
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Shut down the worker pool and release held leases (idempotent)."""
+        if self.leases is not None:
+            for key in self.leases.keys():
+                self.leases.release(key)
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    def execution_report(self) -> ExecutionReport:
+        """Everything the fault-tolerance layer did so far, as one snapshot."""
+        c = self._counters
+        store_stats = self.store.stats if self.store is not None else None
+        lease_stats = self.leases.stats if self.leases is not None else None
+        return ExecutionReport(
+            units=c.units,
+            store_hits=c.store_hits,
+            executed=c.executed,
+            attempts=c.submissions,
+            retries=c.retries,
+            timeouts=c.timeouts,
+            requeues=c.requeues,
+            pool_rebuilds=c.pool_rebuilds,
+            degraded=c.degraded,
+            quarantined=store_stats.quarantined if store_stats else 0,
+            fingerprint_mismatches=(
+                store_stats.fingerprint_mismatches if store_stats else 0
+            ),
+            lease_claims=lease_stats.claims if lease_stats else 0,
+            lease_conflicts=lease_stats.conflicts if lease_stats else 0,
+            lease_steals=lease_stats.steals if lease_stats else 0,
+        )
 
     def __enter__(self) -> "SweepExecutor":
         return self
@@ -313,9 +571,13 @@ class SweepExecutor:
     def run_units(self, units: Sequence[WorkUnit]) -> list[dict[str, Any]]:
         """Execute (or load) every unit; records are returned in unit order.
 
-        Units whose key is already in the store are loaded from disk and not
-        re-executed.  Fresh results are written to the store as they
-        complete, so an interrupted call leaves a valid partial store.
+        Units whose key is already in the store are loaded from disk (after
+        fingerprint and shape validation) and not re-executed.  Fresh
+        results are written to the store as they complete, so an interrupted
+        call leaves a valid partial store.  Failures are handled per the
+        executor's :class:`RetryPolicy`; worker crashes rebuild the pool and
+        requeue its in-flight units; units leased to a concurrent executor
+        are awaited (or stolen once the lease expires).
         """
         records: list[Optional[dict[str, Any]]] = [None] * len(units)
         # Picklability gates both pool dispatch and the store: an unpicklable
@@ -346,36 +608,328 @@ class SweepExecutor:
                 fingerprints[index] = unit.fingerprint(described_by_payload[payload_id])
                 keys[index] = unit_key(unit, described_by_payload[payload_id])
 
+        self._counters.units += len(units)
         pending: list[int] = []
         for index, key in enumerate(keys):
-            stored = self.store.get(key) if key is not None else None
+            stored = self._load_stored(units[index], key, fingerprints[index])
             if stored is not None:
                 records[index] = stored
+                self._counters.store_hits += 1
             else:
                 pending.append(index)
 
         parallel: list[int] = []
-        if self.jobs > 1 and len(pending) > 1:
+        if self.jobs > 1 and len(pending) > 1 and not self._degraded:
             parallel = [i for i in pending if storable[i]]
         parallel_set = set(parallel)
         inline = [i for i in pending if i not in parallel_set]
 
         if parallel:
-            pool = self._pool_instance()
-            futures = {pool.submit(execute_unit, units[i]): i for i in parallel}
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index = futures[future]
-                    records[index] = self._complete(
-                        keys[index], fingerprints[index], future.result()
-                    )
+            self._run_pooled(units, parallel, keys, fingerprints, records)
         for index in inline:
-            records[index] = self._complete(
-                keys[index], fingerprints[index], execute_unit(units[index])
+            records[index] = self._run_inline_unit(
+                units[index], keys[index], fingerprints[index]
             )
         return [record for record in records if record is not None]
+
+    # -- the pooled dispatcher (retries, timeouts, crash recovery) ---------- #
+    def _run_pooled(
+        self,
+        units: Sequence[WorkUnit],
+        indices: Sequence[int],
+        keys: Sequence[Optional[str]],
+        fingerprints: Sequence[Optional[dict[str, Any]]],
+        records: list[Optional[dict[str, Any]]],
+    ) -> None:
+        policy = self.retry
+        crash_limit = max(3, policy.max_attempts)
+        tokens = {
+            i: keys[i] or f"{units[i].label}[{units[i].start}:{units[i].stop}]"
+            for i in indices
+        }
+        queue: deque[int] = deque(indices)
+        submissions = {i: 0 for i in indices}  # total executions started
+        failures = {i: 0 for i in indices}  # attempt-consuming failures
+        crash_requeues = {i: 0 for i in indices}
+        delayed: list[tuple[float, int]] = []  # backoff heap (ready_time, index)
+        blocked: dict[int, float] = {}  # lease-blocked -> next poll time
+        in_flight: dict[Future, int] = {}
+        deadlines: dict[Future, Optional[float]] = {}
+        timed_out: set[int] = set()
+        consecutive_rebuilds = 0
+        completed_since_rebuild = False
+
+        def fail(index: int, exc: BaseException) -> None:
+            failures[index] += 1
+            if failures[index] >= policy.max_attempts:
+                raise exc
+            self._counters.retries += 1
+            ready = time.monotonic() + policy.delay(failures[index], tokens[index])
+            heapq.heappush(delayed, (ready, index))
+
+        def settle(future: Future, index: int) -> bool:
+            """Process one finished future; returns True if the pool broke."""
+            nonlocal completed_since_rebuild
+            try:
+                record = future.result()
+            except BrokenProcessPool:
+                if index in timed_out:
+                    # This unit was killed on purpose: its deadline passed.
+                    timed_out.discard(index)
+                    self._counters.timeouts += 1
+                    fail(
+                        index,
+                        TimeoutError(
+                            f"unit {tokens[index]} exceeded "
+                            f"{policy.unit_timeout}s wall-clock timeout"
+                        ),
+                    )
+                else:
+                    # Innocent bystander of a crashed worker: requeue without
+                    # consuming an attempt, bounded so a unit that keeps
+                    # losing its pool cannot spin forever.
+                    crash_requeues[index] += 1
+                    self._counters.requeues += 1
+                    if crash_requeues[index] > crash_limit:
+                        raise RuntimeError(
+                            f"unit {tokens[index]} lost to {crash_requeues[index]} "
+                            "worker-pool failures"
+                        )
+                    queue.append(index)
+                return True
+            except Exception as exc:
+                fail(index, exc)
+                return False
+            timed_out.discard(index)
+            if not record_matches_unit(units[index], record):
+                fail(
+                    index,
+                    RuntimeError(
+                        f"unit {tokens[index]} returned a corrupt record "
+                        f"(expected {units[index].n_trials} trials)"
+                    ),
+                )
+                return False
+            records[index] = self._complete(keys[index], fingerprints[index], record)
+            completed_since_rebuild = True
+            return False
+
+        def rebuild_pool() -> None:
+            """Drain in-flight futures, discard the pool, track degradation."""
+            nonlocal consecutive_rebuilds, completed_since_rebuild
+            # Once broken, every remaining future resolves (with
+            # BrokenProcessPool or its real result).
+            for future, index in list(in_flight.items()):
+                settle(future, index)
+            in_flight.clear()
+            deadlines.clear()
+            timed_out.clear()
+            self._discard_pool()
+            self._counters.pool_rebuilds += 1
+            if completed_since_rebuild:
+                consecutive_rebuilds = 1
+            else:
+                consecutive_rebuilds += 1
+            completed_since_rebuild = False
+            if consecutive_rebuilds > POOL_FAILURE_LIMIT:
+                self._degraded = True
+                self._counters.degraded = True
+
+        while queue or in_flight or delayed or blocked:
+            if self._degraded:
+                # The pool has failed repeatedly without progress: run
+                # everything that is not already in flight in process.
+                leftovers = sorted(
+                    set(queue) | {i for _, i in delayed} | set(blocked)
+                )
+                queue.clear()
+                delayed.clear()
+                blocked.clear()
+                for index in leftovers:
+                    records[index] = self._run_inline_unit(
+                        units[index],
+                        keys[index],
+                        fingerprints[index],
+                        start_submission=submissions[index],
+                    )
+                continue
+
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                _, index = heapq.heappop(delayed)
+                queue.append(index)
+            for index in [i for i, t in blocked.items() if t <= now]:
+                del blocked[index]
+                stored = self._load_stored(units[index], keys[index], fingerprints[index])
+                if stored is not None:
+                    # The lease holder finished it for us.
+                    records[index] = stored
+                    self._counters.store_hits += 1
+                else:
+                    queue.append(index)
+
+            submit_broken = False
+            while queue and len(in_flight) < self.jobs:
+                index = queue.popleft()
+                key = keys[index]
+                if (
+                    key is not None
+                    and self.leases is not None
+                    and not self.leases.claim(key)
+                ):
+                    blocked[index] = time.monotonic() + self._lease_poll_interval()
+                    continue
+                try:
+                    future = self._pool_instance().submit(
+                        _pool_run_unit, units[index], submissions[index], self.fault_plan
+                    )
+                except BrokenProcessPool:
+                    # A worker died between settles and the pool noticed at
+                    # submit time.  The unit never started (keep its lease,
+                    # don't count a submission); recover like any break.
+                    queue.appendleft(index)
+                    submit_broken = True
+                    break
+                submissions[index] += 1
+                self._counters.submissions += 1
+                in_flight[future] = index
+                deadlines[future] = (
+                    time.monotonic() + policy.unit_timeout
+                    if policy.unit_timeout is not None
+                    else None
+                )
+
+            if submit_broken:
+                rebuild_pool()
+                continue
+
+            if not in_flight:
+                wake = [t for t, _ in delayed[:1]] + list(blocked.values())
+                if wake:
+                    time.sleep(max(0.01, min(wake) - time.monotonic()))
+                continue
+
+            done, _ = wait(
+                set(in_flight),
+                timeout=self._wait_timeout(deadlines, delayed, blocked),
+                return_when=FIRST_COMPLETED,
+            )
+            if self.leases is not None:
+                self.leases.heartbeat(
+                    [keys[i] for i in in_flight.values() if keys[i] is not None]
+                )
+
+            now = time.monotonic()
+            expired = [
+                f
+                for f, d in deadlines.items()
+                if f not in done and d is not None and d <= now
+            ]
+            if expired:
+                # A running pool task cannot be cancelled: kill the workers
+                # (breaking the pool), let every in-flight future resolve,
+                # and sort timed-out units from innocent requeues below.
+                for future in expired:
+                    timed_out.add(in_flight[future])
+                self._kill_pool_workers()
+
+            pool_broken = bool(expired)
+            for future in done:
+                index = in_flight.pop(future)
+                deadlines.pop(future, None)
+                pool_broken |= settle(future, index)
+            if pool_broken:
+                rebuild_pool()
+
+    # -- the in-process path (jobs=1, unpicklable payloads, degraded mode) -- #
+    def _run_inline_unit(
+        self,
+        unit: WorkUnit,
+        key: Optional[str],
+        fingerprint: Optional[dict[str, Any]],
+        start_submission: int = 0,
+    ) -> dict[str, Any]:
+        token = key or f"{unit.label}[{unit.start}:{unit.stop}]"
+        if key is not None and self.leases is not None:
+            stored = self._await_lease(unit, key, fingerprint)
+            if stored is not None:
+                self._counters.store_hits += 1
+                return stored
+        policy = self.retry
+        submission = start_submission
+        failures = 0
+        while True:
+            self._counters.submissions += 1
+            submission += 1
+            try:
+                record = run_unit_with_faults(
+                    unit, submission - 1, self.fault_plan, in_worker=False
+                )
+                if not record_matches_unit(unit, record):
+                    raise RuntimeError(
+                        f"unit {token} returned a corrupt record "
+                        f"(expected {unit.n_trials} trials)"
+                    )
+            except Exception:
+                failures += 1
+                if failures >= policy.max_attempts:
+                    raise
+                self._counters.retries += 1
+                time.sleep(policy.delay(failures, token))
+                continue
+            return self._complete(key, fingerprint, record)
+
+    def _await_lease(
+        self,
+        unit: WorkUnit,
+        key: str,
+        fingerprint: Optional[dict[str, Any]],
+    ) -> Optional[dict[str, Any]]:
+        """Claim ``key``, waiting out (or outliving) a concurrent owner.
+
+        Returns the unit's record if the other executor completed it while
+        we waited, else ``None`` with the lease now held by us.
+        """
+        assert self.leases is not None
+        interval = self._lease_poll_interval()
+        while not self.leases.claim(key):
+            time.sleep(interval)
+            stored = self._load_stored(unit, key, fingerprint)
+            if stored is not None:
+                return stored
+        # Claimed (possibly stolen after expiry): the previous owner may
+        # still have finished the unit between our store check and now.
+        stored = self._load_stored(unit, key, fingerprint)
+        if stored is not None:
+            self.leases.release(key)
+            return stored
+        return None
+
+    # -- shared completion / recovery helpers ------------------------------- #
+    def _load_stored(
+        self,
+        unit: WorkUnit,
+        key: Optional[str],
+        fingerprint: Optional[dict[str, Any]],
+    ) -> Optional[dict[str, Any]]:
+        """A validated stored record for ``unit``, or ``None``.
+
+        Beyond the store's own parse/fingerprint checks, the record must
+        match the unit's trial count — a truncated record written by a
+        pre-hardening version (or a corrupted store) is quarantined rather
+        than merged.
+        """
+        if self.store is None or key is None:
+            return None
+        record = self.store.get(key, fingerprint=fingerprint)
+        if record is None:
+            return None
+        if not record_matches_unit(unit, record):
+            self.store.quarantine(key)
+            self.store.stats.hits -= 1
+            self.store.stats.misses += 1
+            return None
+        return record
 
     def _complete(
         self,
@@ -385,7 +939,49 @@ class SweepExecutor:
     ) -> dict[str, Any]:
         if self.store is not None and key is not None:
             self.store.put(key, record, fingerprint=fingerprint)
+            if self.leases is not None:
+                self.leases.release(key)
+        self._counters.executed += 1
         return record
+
+    def _wait_timeout(
+        self,
+        deadlines: Mapping[Future, Optional[float]],
+        delayed: Sequence[tuple[float, int]],
+        blocked: Mapping[int, float],
+    ) -> Optional[float]:
+        """How long the dispatcher may block before its next housekeeping."""
+        candidates = [d for d in deadlines.values() if d is not None]
+        if delayed:
+            candidates.append(delayed[0][0])
+        candidates.extend(blocked.values())
+        if self.leases is not None:
+            candidates.append(time.monotonic() + self._heartbeat_interval())
+        if not candidates:
+            return None
+        return max(0.0, min(candidates) - time.monotonic())
+
+    def _lease_poll_interval(self) -> float:
+        return min(max(self.lease_ttl / 4.0, 0.05), 1.0)
+
+    def _heartbeat_interval(self) -> float:
+        return min(max(self.lease_ttl / 4.0, 0.05), 15.0)
+
+    def _kill_pool_workers(self) -> None:
+        """SIGKILL the pool's worker processes (deliberately breaking it)."""
+        if self._pool is None:
+            return
+        for process in list(getattr(self._pool, "_processes", {}).values()):
+            try:
+                process.kill()
+            except (OSError, AttributeError):
+                pass
+
+    def _discard_pool(self) -> None:
+        """Throw away a (broken) pool; the next dispatch builds a fresh one."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
     # -- high-level entry points -------------------------------------------- #
     def run_replications(

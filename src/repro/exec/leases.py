@@ -1,0 +1,149 @@
+"""Lease table: cooperative unit ownership for concurrent executors.
+
+When several executors (or a restarted one) share a :class:`ResultStore`,
+each pending work unit should be executed by exactly one of them.  A
+:class:`LeaseTable` is the on-disk claim registry that arranges this: a
+directory of ``<unit-key>.lease`` files living beside the store, where
+
+* **claim** atomically creates the lease file (``O_CREAT | O_EXCL``), so of
+  two racing executors exactly one wins;
+* **heartbeat** touches the file's mtime while the owner is still working;
+* a lease whose mtime is older than the TTL is **expired** — its owner
+  crashed or lost the unit — and may be *stolen* (atomically replaced) by
+  another executor, which requeues the unit;
+* **release** removes the file once the unit's record is safely in the
+  store.
+
+The table is a liveness mechanism, not a lock: correctness never depends on
+it.  Units are pure functions of their spec, so even a double-run (possible
+in the instant between expiry and a steal racing a slow heartbeat) produces
+the identical record, and the store's atomic writes make the duplicate put
+a harmless overwrite with equal bytes.  What the table guarantees is that
+no unit is *orphaned* — every claimed unit either completes or its lease
+expires and someone else picks it up.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+#: Default seconds without a heartbeat before a lease counts as expired.
+DEFAULT_LEASE_TTL = 60.0
+
+
+@dataclass
+class LeaseStats:
+    """Counters a :class:`LeaseTable` accumulates, for execution reports."""
+
+    claims: int = 0
+    conflicts: int = 0
+    steals: int = 0
+    releases: int = 0
+
+
+@dataclass
+class LeaseTable:
+    """Directory of per-unit lease files, shared by cooperating executors."""
+
+    directory: Union[str, Path]
+    ttl: float = DEFAULT_LEASE_TTL
+    owner: str = field(default="")
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self.ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {self.ttl}")
+        if not self.owner:
+            self.owner = f"{os.getpid()}-{uuid.uuid4().hex[:12]}"
+        self.stats = LeaseStats()
+
+    def path_for(self, key: str) -> Path:
+        """Path of the lease file for ``key``."""
+        return Path(self.directory) / f"{key}.lease"
+
+    # -- claiming ----------------------------------------------------------- #
+    def claim(self, key: str) -> bool:
+        """Try to take (or re-take, or steal-if-expired) the lease on ``key``.
+
+        Returns ``True`` when this table now owns the lease: a fresh claim,
+        a re-claim of a lease it already holds, or a steal of an expired
+        one.  Returns ``False`` when another live owner holds it.
+        """
+        path = self.path_for(key)
+        payload = json.dumps({"owner": self.owner, "claimed_at": time.time()})
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            pass
+        else:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            self.stats.claims += 1
+            return True
+        holder = self.holder(key)
+        if holder == self.owner:
+            return True
+        if holder is not None and not self.expired(key):
+            self.stats.conflicts += 1
+            return False
+        # Expired (or unreadable) lease: steal it with an atomic replace, so
+        # concurrent stealers cannot interleave partial writes.
+        tmp = path.with_name(path.name + f".steal-{self.owner}")
+        tmp.write_text(payload, encoding="utf-8")
+        os.replace(tmp, path)
+        self.stats.claims += 1
+        self.stats.steals += 1
+        return True
+
+    def holder(self, key: str) -> Optional[str]:
+        """Owner id recorded in the lease file, or ``None`` if absent/corrupt."""
+        try:
+            document = json.loads(self.path_for(key).read_text(encoding="utf-8"))
+            return str(document["owner"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def owns(self, key: str) -> bool:
+        """Whether this table currently holds the lease on ``key``."""
+        return self.holder(key) == self.owner
+
+    def expired(self, key: str) -> bool:
+        """Whether the lease on ``key`` has gone :attr:`ttl` without a heartbeat.
+
+        A missing file counts as expired (there is nothing to wait for).
+        """
+        try:
+            mtime = self.path_for(key).stat().st_mtime
+        except OSError:
+            return True
+        return (time.time() - mtime) > self.ttl
+
+    # -- liveness ----------------------------------------------------------- #
+    def heartbeat(self, keys: list[str] | tuple[str, ...]) -> None:
+        """Refresh the mtimes of leases this table owns (others untouched)."""
+        for key in keys:
+            if self.owns(key):
+                try:
+                    os.utime(self.path_for(key))
+                except OSError:
+                    pass
+
+    def release(self, key: str) -> None:
+        """Drop the lease on ``key`` if this table owns it."""
+        if self.owns(key):
+            try:
+                self.path_for(key).unlink()
+                self.stats.releases += 1
+            except OSError:
+                pass
+
+    def keys(self) -> list[str]:
+        """Keys of all live lease files."""
+        return sorted(p.name[: -len(".lease")] for p in Path(self.directory).glob("*.lease"))

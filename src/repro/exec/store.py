@@ -9,16 +9,39 @@ records of completed units and skips their execution entirely — existing
 record files are only ever *read*, never rewritten, so their mtimes are
 untouched.
 
-Writes are atomic (temp file + ``os.replace``), so a run killed mid-write
-never leaves a half-record: the next run simply re-executes that unit.
+Hardening (what a store tolerates without poisoning a resume):
+
+* Writes are atomic **and durable**: temp file + fsync + ``os.replace`` +
+  directory fsync, so neither a kill mid-write nor a power loss right
+  after a "completed" unit leaves a half-record behind.
+* An unparseable or schema-invalid record file is **quarantined** — renamed
+  to ``<key>.corrupt-<ns>`` so it never shadows the key again and stays on
+  disk for forensics — and reported as a miss, so the unit simply
+  re-executes.
+* A structurally valid record whose stored *fingerprint* does not match the
+  fingerprint the caller expects (a foreign or stale store, a truncated-key
+  collision) is reported as a miss too, so it is re-executed rather than
+  silently merged.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Optional, Union
+
+
+@dataclass
+class StoreStats:
+    """Counters a :class:`ResultStore` accumulates, for execution reports."""
+
+    hits: int = 0
+    misses: int = 0
+    quarantined: int = 0
+    fingerprint_mismatches: int = 0
 
 
 class ResultStore:
@@ -27,6 +50,7 @@ class ResultStore:
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
 
     def path_for(self, key: str) -> Path:
         """Path of the record file for ``key``."""
@@ -35,31 +59,80 @@ class ResultStore:
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).is_file()
 
-    def get(self, key: str) -> Optional[dict[str, Any]]:
-        """The stored record for ``key``, or ``None`` if absent or unreadable.
+    def get(
+        self, key: str, fingerprint: Optional[dict[str, Any]] = None
+    ) -> Optional[dict[str, Any]]:
+        """The stored record for ``key``, or ``None`` if absent or unusable.
 
-        A corrupt record (e.g. from a kill that predates the atomic-write
-        path) is treated as missing, so the unit is simply re-executed.
+        A file that exists but cannot be parsed, or parses to something
+        other than a record document, is *quarantined* (renamed to
+        ``<key>.corrupt-<ns>``) and treated as missing — a truncated file
+        from a pre-atomic-write kill must never kill a ``--resume``.  When
+        ``fingerprint`` is given, the stored document's fingerprint must
+        match it exactly; a mismatch (foreign or stale store) is a miss, so
+        the unit re-executes, but the file is left in place — it is a valid
+        record, just not *this* unit's.
         """
         path = self.path_for(key)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
         try:
             with path.open("r", encoding="utf-8") as handle:
                 document = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.quarantine(key)
+            self.stats.misses += 1
             return None
-        if not isinstance(document, dict) or "record" not in document:
+        if (
+            not isinstance(document, dict)
+            or not isinstance(document.get("record"), dict)
+            or not isinstance(document.get("fingerprint"), dict)
+        ):
+            self.quarantine(key)
+            self.stats.misses += 1
             return None
+        if fingerprint is not None and not _fingerprints_match(
+            document["fingerprint"], fingerprint
+        ):
+            self.stats.fingerprint_mismatches += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
         return document["record"]
 
+    def quarantine(self, key: str) -> Optional[Path]:
+        """Move ``key``'s record file aside as ``<key>.corrupt-<ns>``.
+
+        The rename keeps the evidence on disk without letting the file ever
+        satisfy a lookup again (only ``*.json`` files are records).  Returns
+        the quarantine path, or ``None`` if the file vanished underneath us.
+        """
+        path = self.path_for(key)
+        target = path.with_name(f"{key}.corrupt-{time.time_ns()}")
+        try:
+            os.replace(path, target)
+        except OSError:
+            return None
+        self.stats.quarantined += 1
+        return target
+
+    def quarantined_files(self) -> list[Path]:
+        """All quarantined record files in the store directory."""
+        return sorted(self.directory.glob("*.corrupt-*"))
+
     def put(self, key: str, record: dict[str, Any], fingerprint: Optional[dict] = None) -> Path:
-        """Atomically write ``record`` (plus its fingerprint) under ``key``."""
+        """Atomically and durably write ``record`` (plus fingerprint) under ``key``."""
         path = self.path_for(key)
         document = {"fingerprint": fingerprint or {}, "record": record}
         tmp = path.with_name(path.name + ".tmp")
         with tmp.open("w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2)
             handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
+        _fsync_directory(self.directory)
         return path
 
     def keys(self) -> list[str]:
@@ -68,3 +141,33 @@ class ResultStore:
 
     def __len__(self) -> int:
         return len(self.keys())
+
+
+def _fingerprints_match(stored: dict[str, Any], expected: dict[str, Any]) -> bool:
+    """Compare fingerprints canonically (the stored one is JSON-round-tripped)."""
+    try:
+        canonical_expected = json.dumps(expected, sort_keys=True, default=_jsonable_fallback)
+        canonical_stored = json.dumps(stored, sort_keys=True)
+    except (TypeError, ValueError):
+        return False
+    return canonical_stored == canonical_expected
+
+
+def _jsonable_fallback(value: Any) -> Any:
+    from repro.util.serialization import to_jsonable
+
+    return to_jsonable(value)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry (best effort; not all filesystems allow it)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

@@ -178,6 +178,32 @@ def chunk_bounds(n_replications: int, chunk_size: Optional[int] = None) -> list[
     return [(start, min(start + size, n_replications)) for start in range(0, n_replications, size)]
 
 
+def record_matches_unit(unit: WorkUnit, record: Any) -> bool:
+    """Whether ``record`` has the shape ``unit``'s execution must produce.
+
+    The contract per kind: map units return ``{"trials": [...]}``,
+    simulation and process units return ``{"values": [...], "results":
+    [...]}``, and every trial-shaped list holds exactly ``unit.n_trials``
+    entries.  This is the cheap structural check the executor applies to
+    every fresh *and* stored record before merging — a truncated or
+    corrupted record (from a faulty worker, a torn store file, or fault
+    injection) must trigger a retry/quarantine, never a silent merge.
+    """
+    if not isinstance(record, Mapping):
+        return False
+    if unit.kind == "map":
+        trials = record.get("trials")
+        return isinstance(trials, list) and len(trials) == unit.n_trials
+    values = record.get("values")
+    results = record.get("results")
+    return (
+        isinstance(values, list)
+        and isinstance(results, list)
+        and len(values) == unit.n_trials
+        and len(results) == unit.n_trials
+    )
+
+
 def payload_is_picklable(payload: Mapping[str, Any]) -> bool:
     """Whether a payload can cross the process boundary."""
     try:

@@ -79,6 +79,8 @@ def run_experiment(
     jobs: int = 1,
     resume: str | None = None,
     chunk_size: int | None = None,
+    retries: int = 0,
+    unit_timeout: float | None = None,
 ) -> ExperimentReport:
     """Run the experiment with the given id at the given scale.
 
@@ -94,13 +96,19 @@ def run_experiment(
     (see ``docs/PARALLEL.md``): ``jobs > 1`` fans replication chunks out
     over worker processes, ``resume`` names a result-store directory whose
     completed work units are skipped, and ``chunk_size`` overrides the
-    default replications-per-unit.  The defaults (``1``/``None``/``None``)
-    keep the classic in-process path; either way the report is bit-for-bit
-    identical.
+    default replications-per-unit.  ``retries`` grants every work unit that
+    many re-executions after a failure, and ``unit_timeout`` caps a unit's
+    wall clock (pooled execution only) — since units are deterministic, a
+    retried run still reports bit-for-bit identical results.  The defaults
+    (``1``/``None``/``None``/``0``/``None``) keep the classic in-process
+    path; either way the report is bit-for-bit identical.
     """
     module = _module_for(experiment_id)
     runner: Callable[..., ExperimentReport] = module.run
-    executor = SweepExecutor.from_options(jobs=jobs, chunk_size=chunk_size, store=resume)
+    executor = SweepExecutor.from_options(
+        jobs=jobs, chunk_size=chunk_size, store=resume,
+        retries=retries, unit_timeout=unit_timeout,
+    )
     with backend_override(backend), connectivity_override(connectivity), \
             execution_override(executor):
         return runner(scale=scale, seed=seed)

@@ -17,7 +17,9 @@ import pytest
 from repro.core.config import BroadcastConfig
 from repro.core.runner import run_broadcast_replications
 from repro.exec import (
+    FaultPlan,
     ResultStore,
+    RetryPolicy,
     SweepExecutor,
     execution_override,
     map_replications,
@@ -36,15 +38,62 @@ class TestResultStore:
         assert store.get("abc") == {"values": [1.0, 2.0]}
         assert store.keys() == ["abc"]
 
-    def test_corrupt_record_is_treated_as_missing(self, tmp_path):
+    def test_corrupt_record_is_quarantined(self, tmp_path):
+        # An unparseable file must not shadow its key forever: it is renamed
+        # aside (for post-mortems) and the key reads as missing, so a resume
+        # re-executes that unit instead of dying.
         store = ResultStore(tmp_path)
         store.path_for("bad").write_text("{not json", encoding="utf-8")
         assert store.get("bad") is None
+        assert not store.path_for("bad").exists()
+        quarantined = store.quarantined_files()
+        assert len(quarantined) == 1
+        assert quarantined[0].name.startswith("bad.corrupt-")
+        assert store.stats.quarantined == 1
+        # The key is now writable again.
+        store.put("bad", {"values": [1.0]})
+        assert store.get("bad") == {"values": [1.0]}
 
-    def test_record_without_payload_is_treated_as_missing(self, tmp_path):
+    def test_truncated_record_is_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"values": [1.0, 2.0]})
+        full = store.path_for("k").read_text(encoding="utf-8")
+        store.path_for("k").write_text(full[: len(full) // 2], encoding="utf-8")
+        assert store.get("k") is None
+        assert store.quarantined_files()
+
+    def test_record_without_payload_is_quarantined(self, tmp_path):
         store = ResultStore(tmp_path)
         store.path_for("odd").write_text(json.dumps({"x": 1}), encoding="utf-8")
         assert store.get("odd") is None
+        assert not store.path_for("odd").exists()
+        assert store.stats.quarantined == 1
+
+    def test_fingerprint_mismatch_is_a_miss_but_not_quarantined(self, tmp_path):
+        # A record whose stored fingerprint disagrees with the requested one
+        # belongs to some other unit definition: re-execute, but keep the
+        # file — it is not corrupt, merely foreign.
+        store = ResultStore(tmp_path)
+        store.put("k", {"values": [1.0]}, fingerprint={"label": "x", "seed": 1})
+        assert store.get("k", fingerprint={"label": "x", "seed": 2}) is None
+        assert store.path_for("k").exists()
+        assert store.stats.fingerprint_mismatches == 1
+        assert store.stats.quarantined == 0
+        # The true owner still reads it.
+        assert store.get("k", fingerprint={"label": "x", "seed": 1}) == {"values": [1.0]}
+
+    def test_matching_fingerprint_is_order_insensitive(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"values": [1.0]}, fingerprint={"a": 1, "b": 2})
+        assert store.get("k", fingerprint={"b": 2, "a": 1}) == {"values": [1.0]}
+
+    def test_stats_track_hits_and_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get("nope") is None
+        store.put("k", {"values": [1.0]})
+        assert store.get("k") is not None
+        assert store.stats.misses == 1
+        assert store.stats.hits == 1
 
     def test_get_does_not_touch_mtime(self, tmp_path):
         store = ResultStore(tmp_path)
@@ -134,6 +183,39 @@ class TestKillAndResume:
         assert _TRIAL_STATE["calls"] == 0
         assert len(again) == N_TRIALS
 
+    def test_resume_over_a_corrupt_store_file_re_executes_only_that_unit(
+        self, tmp_path
+    ):
+        reference = _run_sweep(tmp_path / "store")
+        store = ResultStore(tmp_path / "store")
+        keys = store.keys()
+        assert len(keys) == 4
+        victim = keys[1]
+        size = store.path_for(victim).stat().st_size
+        store.path_for(victim).write_text("garbage }", encoding="utf-8")
+
+        _TRIAL_STATE["calls"] = 0
+        resumed = _run_sweep(tmp_path / "store")
+        # Only the clobbered unit re-ran; the damaged file was set aside.
+        assert _TRIAL_STATE["calls"] == CHUNK
+        assert resumed == reference
+        assert store.keys() == keys
+        assert store.path_for(victim).stat().st_size == size
+        assert len(store.quarantined_files()) == 1
+
+    def test_resume_over_a_tampered_fingerprint_re_executes(self, tmp_path):
+        reference = _run_sweep(tmp_path / "store")
+        store = ResultStore(tmp_path / "store")
+        victim = store.keys()[0]
+        document = json.loads(store.path_for(victim).read_text(encoding="utf-8"))
+        document["fingerprint"]["n_replications"] = 9999
+        store.path_for(victim).write_text(json.dumps(document), encoding="utf-8")
+
+        _TRIAL_STATE["calls"] = 0
+        resumed = _run_sweep(tmp_path / "store")
+        assert _TRIAL_STATE["calls"] == CHUNK  # the foreign record was not trusted
+        assert resumed == reference
+
     def test_closures_never_enter_the_store(self, tmp_path):
         # Two distinct closures share a qualname, so their unit fingerprints
         # would collide; the store must therefore ignore unpicklable
@@ -193,6 +275,42 @@ class TestSimulationResume:
                 assert current_executor() is ambient
             run_experiment("E1", scale="tiny", seed=9)
         assert len(ResultStore(tmp_path).keys()) > 0
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_sigkilled_worker_recovers_bit_for_bit(self, tmp_path, start_method):
+        # The headline fault-tolerance property on real simulation units: a
+        # pool worker is SIGKILLed mid-unit (every unit's first submission),
+        # the pool is rebuilt, in-flight units are requeued, and the merged
+        # sweep is bit-for-bit the plain jobs=1 run.
+        config = BroadcastConfig(n_nodes=49, n_agents=4, radius=0.0, max_steps=120)
+        plain_summary, plain_results = run_broadcast_replications(config, 6, seed=5)
+
+        executor = SweepExecutor(
+            jobs=2,
+            chunk_size=2,
+            store=tmp_path,
+            start_method=start_method,
+            fault_plan=FaultPlan(crash_rate=1.0),
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.01),
+        )
+        with execution_override(executor):
+            summary, results = run_broadcast_replications(config, 6, seed=5)
+        report = executor.execution_report()
+        executor.close()
+
+        assert report.pool_rebuilds >= 1
+        assert report.requeues >= 1
+        assert report.executed == 3 and report.units == 3
+        assert np.array_equal(plain_summary.values, summary.values)
+        for plain, recovered in zip(plain_results, results):
+            assert plain.broadcast_time == recovered.broadcast_time
+            assert plain.n_steps == recovered.n_steps
+            assert np.array_equal(plain.informed_curve, recovered.informed_curve)
+
+        # The store the crashing run left behind resumes cleanly.
+        with execution_override(SweepExecutor(jobs=1, chunk_size=2, store=tmp_path)):
+            resumed_summary, _ = run_broadcast_replications(config, 6, seed=5)
+        assert np.array_equal(plain_summary.values, resumed_summary.values)
 
     def test_cli_resume_roundtrip(self, tmp_path, capsys):
         from repro.cli import main
