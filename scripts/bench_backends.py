@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Benchmark the serial vs batched replication backends.
+"""Benchmark the serial vs batched vs compiled replication backends.
 
-Six modes:
+Seven modes:
 
 * default — times ``run_broadcast_replications`` on a fixed
   replication-heavy workload (64 replications of a broadcast on an
@@ -29,6 +29,14 @@ Six modes:
   drivers at the paper's ``n = 10^4`` sparse scale and writes the record to
   ``BENCH_PR5.json``: the fifth point of the trajectory, demonstrating that
   every Section-4 by-product runs on the batched backend.
+* ``--compiled`` — times the compiled backend against batched over a
+  mobility x connectivity x dissemination matrix at the paper's
+  ``n = 10^4`` scale, plus one large compiled-only trial with ``10^5``
+  agents, and writes the record to ``BENCH_PR7.json``: the sixth point of
+  the trajectory.  Every compiled kernel is warmed up on a throwaway trial
+  first so the timings measure steady state; the warmup (JIT/C-build) time
+  is recorded separately as ``compile_seconds``.  Requires a
+  :mod:`repro.compiled` provider (numba or the bundled C kernels).
 * ``--check FILE`` — perf-regression gate: re-runs the workload family of a
   committed record (at ``--quick`` size in CI) and fails if the measured
   speedups regress below ``--check-tolerance`` times the committed ones.
@@ -46,6 +54,7 @@ Usage::
     PYTHONPATH=src python scripts/bench_backends.py --jobs-matrix    # full PR3 matrix
     PYTHONPATH=src python scripts/bench_backends.py --connectivity   # full PR4 workload
     PYTHONPATH=src python scripts/bench_backends.py --dissemination  # full PR5 workload
+    PYTHONPATH=src python scripts/bench_backends.py --compiled       # full PR7 workload
     PYTHONPATH=src python scripts/bench_backends.py --quick          # smoke test
     PYTHONPATH=src python scripts/bench_backends.py --quick --check BENCH_PR3.json
 """
@@ -642,6 +651,246 @@ def run_dissemination(quick: bool = False, seed: int = 2024) -> dict:
     return record
 
 
+def compiled_scenarios(quick: bool = False) -> dict[str, dict]:
+    """The compiled-vs-batched matrix: mobility x connectivity x process.
+
+    Broadcast scenarios cover the three compiled mobility kernels at
+    ``r = 0`` (the fused flood driver) and the compiled labelling/edge-diff
+    engines at ``r = 1`` (recompute and incremental); the ``frog`` scenario
+    covers a dissemination process driver.  ``quick`` shrinks everything to
+    a smoke-test size.
+    """
+    if quick:
+        side, k, reps, max_steps = 24, 12, 4, 2000
+    else:
+        side, k, reps, max_steps = 100, 100, 16, None
+    gap_width = max(2, side // 25)
+    wall = ObstacleGrid.with_wall(side, gap_width=gap_width)
+    scenarios: dict[str, dict] = {
+        "lazy_r0": {"mobility": "random_walk", "mobility_kwargs": {}},
+        "brownian_r0": {"mobility": "brownian", "mobility_kwargs": {"sigma": 1.0}},
+        "obstacle_r0": {
+            "mobility": "obstacle_walk",
+            "mobility_kwargs": {"domain": wall},
+            "domain_spec": {"side": side, "gap_width": gap_width},
+        },
+        "lazy_r1_recompute": {
+            "mobility": "random_walk",
+            "mobility_kwargs": {},
+            "radius": 1.0,
+            "connectivity": "recompute",
+            "max_steps": 2000 if quick else 4000,
+        },
+        "lazy_r1_incremental": {
+            "mobility": "random_walk",
+            "mobility_kwargs": {},
+            "radius": 1.0,
+            "connectivity": "incremental",
+            "max_steps": 2000 if quick else 4000,
+        },
+        "frog": {
+            "process": "frog",
+            "kwargs": {
+                "n_nodes": side * side,
+                "n_agents": k,
+                "max_steps": 300 if quick else 4000,
+            },
+        },
+    }
+    for scenario in scenarios.values():
+        if "process" in scenario:
+            scenario.setdefault("n_replications", reps // 2 if not quick else reps)
+            continue
+        scenario.setdefault("n_nodes", side * side)
+        scenario.setdefault("n_agents", k)
+        scenario.setdefault("radius", 0.0)
+        scenario.setdefault("connectivity", None)
+        scenario.setdefault("n_replications", reps)
+        scenario.setdefault("max_steps", max_steps)
+    return scenarios
+
+
+def _time_broadcast(
+    config: BroadcastConfig,
+    n_replications: int,
+    seed: int,
+    backend: str,
+    connectivity: str | None,
+) -> tuple[float, np.ndarray]:
+    """Like :func:`time_backend`, with an explicit connectivity engine."""
+    start = time.perf_counter()
+    summary, _ = run_broadcast_replications(
+        config, n_replications, seed=seed, backend=backend, connectivity=connectivity
+    )
+    return time.perf_counter() - start, summary.values
+
+
+def _warmup_compiled(seed: int) -> float:
+    """Run one tiny throwaway trial per compiled kernel family.
+
+    Triggers every JIT compilation (numba provider) or shared-object build
+    (C provider) outside the timed region so the measurements below see
+    steady state.  Returns the wall-clock seconds spent; with a warm
+    on-disk cache this is near zero.
+    """
+    from repro.dissemination.kernels import make_process, run_process_replications
+
+    start = time.perf_counter()
+    wall = ObstacleGrid.with_wall(12, gap_width=2)
+    tiny = [
+        {"mobility": "random_walk", "mobility_kwargs": {}, "radius": 0.0},
+        {"mobility": "brownian", "mobility_kwargs": {"sigma": 1.0}, "radius": 0.0},
+        {"mobility": "obstacle_walk", "mobility_kwargs": {"domain": wall}, "radius": 0.0},
+        {"mobility": "random_walk", "mobility_kwargs": {}, "radius": 1.0},
+    ]
+    for spec in tiny:
+        config = BroadcastConfig(
+            n_nodes=144, n_agents=6, radius=spec["radius"], max_steps=50,
+            mobility=spec["mobility"], mobility_kwargs=spec["mobility_kwargs"],
+        )
+        for connectivity in (None,) if spec["radius"] == 0.0 else ("recompute", "incremental"):
+            run_broadcast_replications(
+                config, 1, seed=seed, backend="compiled", connectivity=connectivity
+            )
+    process = make_process("frog", n_nodes=144, n_agents=6, max_steps=50)
+    run_process_replications(process, 1, seed=seed, backend="compiled")
+    return time.perf_counter() - start
+
+
+def _large_compiled_trial(seed: int) -> dict:
+    """One completed broadcast trial with 10^5 agents on the compiled backend.
+
+    A dense regime (k = 10^5 agents on a 500x500 grid) so the trial
+    completes in few steps: the point is that a trial at this agent count
+    runs at all — the batched backend's per-step allocation overhead makes
+    it painful — not its asymptotic time.
+    """
+    config = BroadcastConfig(
+        n_nodes=500 * 500, n_agents=100_000, radius=0.0, max_steps=100_000
+    )
+    start = time.perf_counter()
+    summary, results = run_broadcast_replications(config, 1, seed=seed, backend="compiled")
+    elapsed = time.perf_counter() - start
+    result = results[0]
+    if not result.completed:
+        raise AssertionError("large compiled trial did not complete broadcast")
+    return {
+        "workload": {
+            "n_nodes": config.n_nodes,
+            "n_agents": config.n_agents,
+            "radius": 0.0,
+            "n_replications": 1,
+            "seed": seed,
+        },
+        "completed": True,
+        "broadcast_time": int(summary.values[0]),
+        "n_steps": int(result.n_steps),
+        "seconds": elapsed,
+    }
+
+
+def run_compiled(quick: bool = False, seed: int = 2024) -> dict:
+    """Benchmark the compiled backend against batched and return the record.
+
+    Every scenario asserts bitwise equality between the batched and
+    compiled backends before recording.  Requires a compiled provider;
+    raises the provider's RuntimeError otherwise.
+    """
+    import repro.compiled
+    from repro.dissemination.kernels import make_process, run_process_replications
+
+    repro.compiled.require_ops()
+    compile_seconds = _warmup_compiled(seed)
+
+    records: dict[str, dict] = {}
+    for name, spec in compiled_scenarios(quick).items():
+        reps = spec["n_replications"]
+        if "process" in spec:
+            process = make_process(spec["process"], **spec["kwargs"])
+            start = time.perf_counter()
+            batched_summary, _ = run_process_replications(
+                process, reps, seed=seed, backend="batched"
+            )
+            batched_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            compiled_summary, _ = run_process_replications(
+                process, reps, seed=seed, backend="compiled"
+            )
+            compiled_seconds = time.perf_counter() - start
+            batched_values = batched_summary.values
+            compiled_values = compiled_summary.values
+            workload = {
+                "process": spec["process"],
+                "kwargs": spec["kwargs"],
+                "n_replications": reps,
+                "seed": seed,
+            }
+        else:
+            config = BroadcastConfig(
+                n_nodes=spec["n_nodes"],
+                n_agents=spec["n_agents"],
+                radius=spec["radius"],
+                max_steps=spec["max_steps"],
+                mobility=spec["mobility"],
+                mobility_kwargs=spec["mobility_kwargs"],
+            )
+            batched_seconds, batched_values = _time_broadcast(
+                config, reps, seed, "batched", spec["connectivity"]
+            )
+            compiled_seconds, compiled_values = _time_broadcast(
+                config, reps, seed, "compiled", spec["connectivity"]
+            )
+            workload = {
+                "mobility": spec["mobility"],
+                "mobility_kwargs": {
+                    key: value
+                    for key, value in spec["mobility_kwargs"].items()
+                    if key != "domain"
+                },
+                "n_nodes": spec["n_nodes"],
+                "n_agents": spec["n_agents"],
+                "radius": spec["radius"],
+                "connectivity": spec["connectivity"],
+                "n_replications": reps,
+                "max_steps": spec["max_steps"],
+                "seed": seed,
+            }
+            if "domain_spec" in spec:
+                workload["domain"] = spec["domain_spec"]
+        if not np.array_equal(batched_values, compiled_values):
+            raise AssertionError(
+                f"{name}: compiled backend is not bit-for-bit identical to batched"
+            )
+        records[name] = {
+            "workload": workload,
+            "batched_seconds": batched_seconds,
+            "compiled_seconds": compiled_seconds,
+            "speedup": batched_seconds / compiled_seconds if compiled_seconds else float("inf"),
+            "bitwise_identical": True,
+        }
+        print(
+            f"{name:20s} batched {batched_seconds:7.2f} s   "
+            f"compiled {compiled_seconds:7.2f} s   "
+            f"speedup {records[name]['speedup']:5.2f}x"
+        )
+
+    record = {
+        "benchmark": "compiled_backend_step_loops",
+        "provider": repro.compiled.provider_name(),
+        "compile_seconds": compile_seconds,
+        "scenarios": records,
+        "max_speedup": max(entry["speedup"] for entry in records.values()),
+    }
+    if not quick:
+        record["large_trial"] = _large_compiled_trial(seed)
+        print(
+            f"large trial (k=10^5)  compiled {record['large_trial']['seconds']:7.2f} s   "
+            f"broadcast_time {record['large_trial']['broadcast_time']}"
+        )
+    record.update(_environment())
+    return record
+
+
 # --------------------------------------------------------------------------- #
 # Perf-regression gate (--check)
 # --------------------------------------------------------------------------- #
@@ -746,6 +995,38 @@ def check_against(record_path: Path, quick: bool, tolerance: float, seed: int) -
                     f"connectivity {label} step-loop speedup regressed: "
                     f"{got:.2f}x < {floor:.2f}x"
                 )
+    elif kind == "compiled_backend_step_loops":
+        import repro.compiled
+
+        if not repro.compiled.available():
+            print(
+                "no compiled provider on this host; skipping compiled perf check "
+                f"against {record_path}"
+            )
+            return failures
+        measured = run_compiled(quick=quick, seed=seed)
+        if measured.get("provider") != committed.get("provider"):
+            # Speedups are a property of the provider (only cc carries the
+            # fused drivers), so floors across providers are meaningless —
+            # like jobs-scaling rows across different core counts.  The
+            # re-run above still asserted bitwise equality per scenario.
+            print(
+                f"skipping speedup floors: committed provider="
+                f"{committed.get('provider')} vs current "
+                f"{measured.get('provider')} (bitwise equality still checked)"
+            )
+        else:
+            for name, row in committed["scenarios"].items():
+                if name not in measured["scenarios"]:
+                    print(f"{name}: not measured at this size, skipped")
+                    continue
+                got = measured["scenarios"][name]["speedup"]
+                floor = row["speedup"] * tolerance
+                print(f"compiled/{name}: measured {got:.2f}x, floor {floor:.2f}x")
+                if got < floor:
+                    failures.append(
+                        f"compiled/{name} speedup regressed: {got:.2f}x < {floor:.2f}x"
+                    )
     else:
         failures.append(f"unknown benchmark kind {kind!r} in {record_path}")
     return failures
@@ -786,6 +1067,14 @@ def main(argv: list[str] | None = None) -> dict:
         "repo-root BENCH_PR5.json)",
     )
     parser.add_argument(
+        "--compiled",
+        action="store_true",
+        help="run the compiled-vs-batched backend matrix (mobility x "
+        "connectivity x frog process, plus one large compiled-only trial; "
+        "requires a repro.compiled provider; default output: repo-root "
+        "BENCH_PR7.json)",
+    )
+    parser.add_argument(
         "--check",
         type=Path,
         default=None,
@@ -822,11 +1111,14 @@ def main(argv: list[str] | None = None) -> dict:
     args = parser.parse_args(argv)
 
     if args.check is not None:
-        if args.matrix or args.jobs_matrix or args.connectivity or args.dissemination or args.output:
+        if (
+            args.matrix or args.jobs_matrix or args.connectivity
+            or args.dissemination or args.compiled or args.output
+        ):
             parser.error(
                 "--check re-runs the workload family of the given record; it "
                 "cannot be combined with --matrix/--jobs-matrix/--connectivity/"
-                "--dissemination or --output"
+                "--dissemination/--compiled or --output"
             )
         failures = check_against(
             args.check, quick=args.quick, tolerance=args.check_tolerance, seed=args.seed
@@ -838,19 +1130,24 @@ def main(argv: list[str] | None = None) -> dict:
         print(f"perf check against {args.check} passed")
         return {"check": str(args.check), "passed": True}
 
-    exclusive = [args.matrix, args.jobs_matrix, args.connectivity, args.dissemination]
+    exclusive = [
+        args.matrix, args.jobs_matrix, args.connectivity, args.dissemination,
+        args.compiled,
+    ]
     if sum(exclusive) > 1:
         parser.error(
-            "--matrix, --jobs-matrix, --connectivity and --dissemination are "
-            "mutually exclusive"
+            "--matrix, --jobs-matrix, --connectivity, --dissemination and "
+            "--compiled are mutually exclusive"
         )
-    if args.matrix or args.jobs_matrix or args.connectivity or args.dissemination:
+    if any(exclusive):
         mode = (
             "--matrix"
             if args.matrix
             else "--jobs-matrix"
             if args.jobs_matrix
-            else "--connectivity" if args.connectivity else "--dissemination"
+            else "--connectivity"
+            if args.connectivity
+            else "--dissemination" if args.dissemination else "--compiled"
         )
         ignored = {
             "--n-nodes": args.n_nodes != 10_000,
@@ -873,6 +1170,8 @@ def main(argv: list[str] | None = None) -> dict:
         record = run_connectivity(quick=args.quick, seed=args.seed)
     elif args.dissemination:
         record = run_dissemination(quick=args.quick, seed=args.seed)
+    elif args.compiled:
+        record = run_compiled(quick=args.quick, seed=args.seed)
     elif args.quick:
         record = run_benchmark(
             n_nodes=32 * 32, n_agents=16, radius=args.radius,
@@ -884,7 +1183,7 @@ def main(argv: list[str] | None = None) -> dict:
             n_replications=args.replications, seed=args.seed, max_steps=args.max_steps,
         )
 
-    if not any((args.matrix, args.jobs_matrix, args.connectivity, args.dissemination)):
+    if not any(exclusive):
         print(
             f"serial  : {record['serial_seconds']:8.2f} s\n"
             f"batched : {record['batched_seconds']:8.2f} s\n"
@@ -892,7 +1191,9 @@ def main(argv: list[str] | None = None) -> dict:
         )
     output = args.output
     if output is None and not args.quick:
-        if args.dissemination:
+        if args.compiled:
+            name = "BENCH_PR7.json"
+        elif args.dissemination:
             name = "BENCH_PR5.json"
         elif args.connectivity:
             name = "BENCH_PR4.json"

@@ -109,8 +109,11 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=BACKENDS,
         default=None,
         help="replication backend for every simulation in the run: 'serial', "
-        "'batched' (error if a config does not support it), or 'auto' "
-        "(batched wherever supported); default: each config's own choice",
+        "'batched', 'compiled' (native hot kernels via numba or the bundled "
+        "C provider; error if a config does not support it or no provider "
+        "is available), or 'auto' (the fastest supported backend); results "
+        "are bit-for-bit identical across backends; default: each config's "
+        "own choice",
     )
     run_parser.add_argument(
         "--connectivity",

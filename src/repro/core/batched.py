@@ -30,6 +30,16 @@ hand its serial counterpart and consumes it in exactly the same order
 per-step mobility draws), so ``backend="batched"`` and ``backend="serial"``
 return identical results for identical seeds — verified trial-for-trial by
 the property tests, for every built-in mobility model.
+
+The ``compiled`` flag (``backend="compiled"``) keeps this exact loop and
+draw order but routes the per-step hot kernels — mobility apply, component
+labelling, the ``r = 0`` flood scatter and the incremental edge-diff core —
+through :mod:`repro.compiled`; for ``r = 0`` broadcasts with block-draw
+mobility the whole flood → record → complete → move iteration runs as fused
+multi-step native blocks.  All randomness still comes from the same numpy
+generators in the same order, so ``compiled`` results are bit-for-bit
+identical to ``batched`` and ``serial`` (again property-verified trial for
+trial).
 """
 
 from __future__ import annotations
@@ -192,6 +202,7 @@ def run_broadcast_replications_batched(
     *,
     rng_streams: Optional[Sequence[RandomState]] = None,
     connectivity: Optional[str] = None,
+    compiled: bool = False,
 ) -> tuple[ReplicationSummary, list[BroadcastResult]]:
     """Batched equivalent of :func:`repro.core.runner.run_broadcast_replications`.
 
@@ -204,9 +215,11 @@ def run_broadcast_replications_batched(
     ``"incremental"`` one :class:`~repro.connectivity.incremental.DeltaConnectivityEngine`
     carries per-trial spatial-hash and label state across steps, indexed by
     the loop's ``active`` trials so mid-run compaction needs no state
-    surgery.
+    surgery.  ``compiled`` routes the hot kernels through the active
+    :mod:`repro.compiled` provider (raising when none is available) without
+    touching the draw order — see the module docstring.
     """
-    from repro.connectivity.incremental import DeltaConnectivityEngine
+    from repro.connectivity.incremental import SAME_CELL_TABLE_LIMIT, DeltaConnectivityEngine
     from repro.core.runner import resolve_connectivity
 
     n_replications = check_positive_int(n_replications, "n_replications")
@@ -216,27 +229,38 @@ def run_broadcast_replications_batched(
             "valid mobility configuration and no frontier/coverage recording)"
         )
     check_rng_streams(rng_streams, n_replications)
+    ops = None
+    if compiled:
+        from repro.compiled import require_ops
+
+        ops = require_ops()
     rngs = list(rng_streams) if rng_streams is not None else spawn_rngs(seed, n_replications)
     grid, mobility = _build_mobility(config)
     states, positions, sources = _initial_state(mobility, config, rngs, with_source=True)
     k = config.n_agents
     n_trials = n_replications
     incremental = resolve_connectivity(config, connectivity) == "incremental"
+    table_fits = n_trials * grid.n_nodes <= SAME_CELL_TABLE_LIMIT
     engine = flood = None
-    if incremental:
-        if config.radius == 0:
+    if config.radius == 0:
+        if ops is not None and table_fits:
+            # Compiled r = 0 flood scatter (used for both connectivity
+            # engines: the epoch table already is the incremental state, and
+            # recompute yields the identical informed sets at r = 0).
+            from repro.compiled.api import EpochFloodR0
+
+            flood = EpochFloodR0(ops, n_trials, grid.n_nodes)
+        elif incremental and table_fits:
             # The fused colocated flood subsumes the engine's same-cell
             # labelling; the incremental variant only swaps the per-step
             # mask allocation for a persistent epoch table.  Mirror the
             # engine's own table-size guard: past the limit, keep the
             # transient-mask recompute path rather than pinning a huge
             # table for the whole run.
-            from repro.connectivity.incremental import SAME_CELL_TABLE_LIMIT
-
-            if n_trials * grid.n_nodes <= SAME_CELL_TABLE_LIMIT:
-                flood = _EpochColocatedFlood(n_trials, grid.n_nodes)
-        else:
-            engine = DeltaConnectivityEngine(k, config.radius, grid.side, n_trials=n_trials)
+            flood = _EpochColocatedFlood(n_trials, grid.n_nodes)
+    elif incremental:
+        engine = _make_delta_engine(ops, k, config.radius, grid.side, n_trials)
+    labels_fn = _resolve_labels_fn(ops)
 
     informed = np.zeros((n_trials, k), dtype=bool)
     informed[np.arange(n_trials), sources] = True
@@ -246,11 +270,27 @@ def run_broadcast_replications_batched(
     step_trials: list[np.ndarray] = []
     step_counts: list[np.ndarray] = []
     stepper = mobility.batch_stepper(k, rngs, states)
+    if ops is not None:
+        from repro.compiled.api import accelerate_stepper
+
+        stepper = accelerate_stepper(ops, stepper)
+
+    horizon = config.horizon
+    if ops is not None and _fused_broadcast_usable(ops, config.radius, stepper, n_trials, grid):
+        # Whole-loop fused native path: flood -> record -> complete -> move
+        # runs block-at-a-time in the provider, bit-for-bit with the loop
+        # below (the pre-drawn mobility blocks come from the same stepper).
+        from repro.compiled.driver import run_broadcast_r0_fused
+
+        step_trials, step_counts, broadcast_time, n_steps, n_informed = run_broadcast_r0_fused(
+            ops, grid, stepper, positions, informed, n_trials, horizon
+        )
+        curves = _regroup_curves(n_trials, step_trials, step_counts)
+        return _broadcast_results(config, n_trials, broadcast_time, n_steps, n_informed, curves)
 
     # The hot loop works on arrays compacted to the still-active trials
     # (``active`` maps compact rows back to trial indices); completed trials
     # are physically dropped rather than masked, so no per-step gather.
-    horizon = config.horizon
     active = np.arange(n_trials)
     t = 0
     while active.size and t < horizon:
@@ -261,7 +301,7 @@ def run_broadcast_replications_batched(
         elif config.radius == 0:
             informed = _flood_colocated(grid, positions, informed)
         else:
-            labels = batched_visibility_labels(positions, config.radius)
+            labels = labels_fn(positions, config.radius)
             informed = flood_informed_batch(informed, labels)
         counts = informed.sum(axis=1)
         step_trials.append(active)
@@ -283,6 +323,49 @@ def run_broadcast_replications_batched(
     n_informed[active] = informed.sum(axis=1)
 
     curves = _regroup_curves(n_trials, step_trials, step_counts)
+    return _broadcast_results(config, n_trials, broadcast_time, n_steps, n_informed, curves)
+
+
+def _make_delta_engine(ops, k: int, radius: float, side: int, n_trials: int):
+    """The incremental engine for ``radius > 0``: compiled when possible.
+
+    Providers without a compiled edge-diff core (numba, python) fall back to
+    the numpy :class:`~repro.connectivity.incremental.DeltaConnectivityEngine`
+    — labels differ only by relabelling, which every consumer is invariant
+    under, so results stay bit-for-bit identical either way.
+    """
+    from repro.connectivity.incremental import DeltaConnectivityEngine
+
+    if ops is not None and getattr(ops, "has_delta", False):
+        from repro.compiled.engine import CompiledDeltaEngine
+
+        return CompiledDeltaEngine(ops, k, radius, n_trials=n_trials)
+    return DeltaConnectivityEngine(k, radius, side, n_trials=n_trials)
+
+
+def _resolve_labels_fn(ops):
+    """Batch labelling function: the provider's when compiled, numpy otherwise."""
+    if ops is None:
+        return batched_visibility_labels
+    from repro.compiled.api import make_labels_fn
+
+    return make_labels_fn(ops)
+
+
+def _fused_broadcast_usable(ops, radius: float, stepper, n_trials: int, grid: Grid2D) -> bool:
+    from repro.compiled.driver import fused_broadcast_supported
+
+    return fused_broadcast_supported(ops, radius, stepper, n_trials, grid.n_nodes)
+
+
+def _broadcast_results(
+    config: BroadcastConfig,
+    n_trials: int,
+    broadcast_time: np.ndarray,
+    n_steps: np.ndarray,
+    n_informed: np.ndarray,
+    curves: list[np.ndarray],
+) -> tuple[ReplicationSummary, list[BroadcastResult]]:
     results = [
         BroadcastResult(
             config=config,
@@ -305,6 +388,7 @@ def run_process_replications_batched(
     *,
     rng_streams: Optional[Sequence[RandomState]] = None,
     connectivity: Optional[str] = None,
+    compiled: bool = False,
 ) -> tuple[ReplicationSummary, list]:
     """Batched driver for a registered dissemination process kernel.
 
@@ -327,20 +411,40 @@ def run_process_replications_batched(
     are bit-for-bit identical to the serial driver
     (:func:`repro.dissemination.kernels.run_process_serial`) for identical
     seeds — Hypothesis-verified per kernel.
+
+    ``compiled`` swaps the labelling passes (and the incremental engine at
+    ``radius > 0``) for the active :mod:`repro.compiled` provider's kernels;
+    the process kernels keep owning their own draws, so results are again
+    bit-for-bit identical.
     """
-    from repro.connectivity.incremental import DeltaConnectivityEngine
     from repro.connectivity.spatial_hash import neighbor_pairs
 
     n_replications = check_positive_int(n_replications, "n_replications")
     check_rng_streams(rng_streams, n_replications)
+    ops = None
+    if compiled:
+        from repro.compiled import require_ops
+
+        ops = require_ops()
     rngs = list(rng_streams) if rng_streams is not None else spawn_rngs(seed, n_replications)
     n_trials = n_replications
     bstate = process.init_batch(rngs)
+    labels_fn = _resolve_labels_fn(ops)
     engine = None
     if process.needs == "labels" and connectivity == "incremental":
-        engine = DeltaConnectivityEngine(
-            process.n_points, process.radius, process.grid.side, n_trials=n_trials
-        )
+        if process.radius > 0:
+            engine = _make_delta_engine(
+                ops, process.n_points, process.radius, process.grid.side, n_trials
+            )
+        elif ops is None:
+            from repro.connectivity.incremental import DeltaConnectivityEngine
+
+            engine = DeltaConnectivityEngine(
+                process.n_points, process.radius, process.grid.side, n_trials=n_trials
+            )
+        # Compiled at radius == 0: labels_fn's exact-position grouping *is*
+        # the same-cell labelling; recomputing it per step is the compiled
+        # incremental face (identical partitions, no engine state).
 
     n_steps = np.zeros(n_trials, dtype=np.int64)
     step_trials: list[np.ndarray] = []
@@ -358,7 +462,7 @@ def run_process_replications_batched(
             if engine is not None:
                 conn = engine.step(bstate.positions, active)
             else:
-                conn = batched_visibility_labels(bstate.positions, process.radius)
+                conn = labels_fn(bstate.positions, process.radius)
         elif process.needs == "pairs":
             conn = [
                 neighbor_pairs(bstate.positions[row], process.radius)
@@ -391,14 +495,14 @@ def run_gossip_replications_batched(
     *,
     rng_streams: Optional[Sequence[RandomState]] = None,
     connectivity: Optional[str] = None,
+    compiled: bool = False,
 ) -> tuple[ReplicationSummary, list[GossipResult]]:
     """Batched equivalent of :func:`repro.core.runner.run_gossip_replications`.
 
     The knowledge state is an ``(R, k, k)`` boolean tensor flooded across all
-    trials in one pass per step.  ``rng_streams`` and ``connectivity``
-    behave as in :func:`run_broadcast_replications_batched`.
+    trials in one pass per step.  ``rng_streams``, ``connectivity`` and
+    ``compiled`` behave as in :func:`run_broadcast_replications_batched`.
     """
-    from repro.connectivity.incremental import DeltaConnectivityEngine
     from repro.core.runner import resolve_connectivity
 
     n_replications = check_positive_int(n_replications, "n_replications")
@@ -408,16 +512,27 @@ def run_gossip_replications_batched(
             "valid mobility configuration)"
         )
     check_rng_streams(rng_streams, n_replications)
+    ops = None
+    if compiled:
+        from repro.compiled import require_ops
+
+        ops = require_ops()
     rngs = list(rng_streams) if rng_streams is not None else spawn_rngs(seed, n_replications)
     grid, mobility = _build_mobility(config)
     states, positions, _ = _initial_state(mobility, config, rngs, with_source=False)
     k = config.n_agents
     n_trials = n_replications
-    engine = (
-        DeltaConnectivityEngine(k, config.radius, grid.side, n_trials=n_trials)
-        if resolve_connectivity(config, connectivity) == "incremental"
-        else None
-    )
+    labels_fn = _resolve_labels_fn(ops)
+    engine = None
+    if resolve_connectivity(config, connectivity) == "incremental":
+        if config.radius > 0:
+            engine = _make_delta_engine(ops, k, config.radius, grid.side, n_trials)
+        elif ops is None:
+            from repro.connectivity.incremental import DeltaConnectivityEngine
+
+            engine = DeltaConnectivityEngine(k, config.radius, grid.side, n_trials=n_trials)
+        # Compiled at radius == 0: per-step compiled labels recompute (see
+        # the process runner — identical partitions, no engine state).
 
     rumors = np.broadcast_to(np.eye(k, dtype=bool), (n_trials, k, k)).copy()
     gossip_time = np.full(n_trials, -1, dtype=np.int64)
@@ -427,6 +542,10 @@ def run_gossip_replications_batched(
     step_trials: list[np.ndarray] = []
     step_counts: list[np.ndarray] = []
     stepper = mobility.batch_stepper(k, rngs, states)
+    if ops is not None:
+        from repro.compiled.api import accelerate_stepper
+
+        stepper = accelerate_stepper(ops, stepper)
 
     horizon = config.horizon
     active = np.arange(n_trials)
@@ -435,7 +554,7 @@ def run_gossip_replications_batched(
         if engine is not None:
             labels = engine.step(positions, active)
         else:
-            labels = batched_visibility_labels(positions, config.radius)
+            labels = labels_fn(positions, config.radius)
         rumors = flood_rumors_batch(rumors, labels)
         totals = rumors.sum(axis=(1, 2))
         step_trials.append(active)

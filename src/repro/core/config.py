@@ -9,7 +9,7 @@ from typing import Any, Mapping, Optional, Union
 from repro.util.validation import ValidationError, check_non_negative, check_positive_int
 
 
-BACKENDS = ("auto", "serial", "batched")
+BACKENDS = ("auto", "serial", "batched", "compiled")
 
 CONNECTIVITY_MODES = ("auto", "recompute", "incremental")
 
@@ -72,10 +72,12 @@ class BroadcastConfig:
         Whether to track the set of nodes visited by informed agents (T_C).
     backend:
         Replication backend: ``"serial"`` runs one simulation per trial,
-        ``"batched"`` advances all replications as one vectorised system
-        (bit-for-bit identical results), ``"auto"`` (default) picks the
-        batched backend whenever the configuration supports it.  See
-        :mod:`repro.core.batched`.
+        ``"batched"`` advances all replications as one vectorised system,
+        ``"compiled"`` runs the batched loop with native hot kernels
+        (requires a :mod:`repro.compiled` provider) — all bit-for-bit
+        identical — and ``"auto"`` (default) picks the fastest backend the
+        configuration and host support.  See :mod:`repro.core.batched` and
+        ``docs/COMPILED.md``.
     connectivity:
         Connectivity engine for the per-step component labelling:
         ``"recompute"`` rebuilds the visibility graph from scratch each

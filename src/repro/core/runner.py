@@ -12,11 +12,16 @@ the ``backend`` argument (or the config's ``backend`` field):
 * ``"batched"`` — all trials advance together as one vectorised system
   (:mod:`repro.core.batched`), typically an order of magnitude faster on
   replication-heavy workloads;
-* ``"auto"`` — batched whenever the configuration supports it.
+* ``"compiled"`` — the batched loop with its per-step hot kernels compiled
+  (:mod:`repro.compiled`); raises when no provider (numba or the bundled C
+  kernels) is available on the host;
+* ``"auto"`` — the fastest backend the configuration and host support:
+  compiled when a provider is available, else batched, else serial.
 
-The two backends consume identical per-trial random streams (derived with
+All backends consume identical per-trial random streams (derived with
 :func:`repro.util.rng.spawn_rngs`) and return bit-for-bit identical results,
-so the choice is purely a performance knob.  See ``docs/PERFORMANCE.md``.
+so the choice is purely a performance knob.  See ``docs/PERFORMANCE.md``
+and ``docs/COMPILED.md``.
 
 Orthogonally to the backend, an active
 :func:`repro.exec.execution_override` shards every replication run into
@@ -170,13 +175,15 @@ def current_backend_override() -> Optional[str]:
 def resolve_backend(
     config: BroadcastConfig | GossipConfig, backend: Optional[str] = None
 ) -> str:
-    """Resolve the effective backend (``"serial"`` or ``"batched"``).
+    """Resolve the effective backend (``"serial"``, ``"batched"`` or ``"compiled"``).
 
     ``backend`` overrides the config's ``backend`` field (as does an active
-    :func:`backend_override` block); ``"auto"`` picks the batched backend
-    whenever the configuration supports it.  An explicit ``"batched"``
-    request for an unsupported configuration raises when the batched runner
-    is invoked, rather than silently falling back.
+    :func:`backend_override` block); ``"auto"`` picks, among the backends the
+    configuration supports, the compiled one when a :mod:`repro.compiled`
+    provider is available on this host and the batched one otherwise.  An
+    explicit ``"batched"``/``"compiled"`` request for an unsupported
+    configuration (or, for ``"compiled"``, a host without any provider)
+    raises when the runner is invoked, rather than silently falling back.
     """
     from repro.core.batched import supports_batched_broadcast, supports_batched_gossip
 
@@ -189,7 +196,11 @@ def resolve_backend(
         supported = supports_batched_broadcast(config)
     else:
         supported = supports_batched_gossip(config)
-    return "batched" if supported else "serial"
+    if not supported:
+        return "serial"
+    from repro.compiled import available as compiled_available
+
+    return "compiled" if compiled_available() else "batched"
 
 
 #: Process-wide connectivity override installed by :func:`connectivity_override`.
@@ -271,10 +282,10 @@ def run_broadcast_replications(
 ) -> tuple[ReplicationSummary, list[BroadcastResult]]:
     """Run ``n_replications`` broadcast simulations and summarise ``T_B``.
 
-    ``backend`` selects ``"serial"``, ``"batched"`` or ``"auto"`` execution
-    (default: the config's ``backend`` field); both backends produce
-    bit-for-bit identical results for identical seeds.  ``connectivity``
-    selects ``"recompute"``, ``"incremental"`` or ``"auto"`` component
+    ``backend`` selects ``"serial"``, ``"batched"``, ``"compiled"`` or
+    ``"auto"`` execution (default: the config's ``backend`` field); all
+    backends produce bit-for-bit identical results for identical seeds.
+    ``connectivity`` selects ``"recompute"``, ``"incremental"`` or ``"auto"`` component
     labelling the same way (default: the config's ``connectivity`` field);
     engines too are bit-for-bit interchangeable.
 
@@ -298,12 +309,14 @@ def run_broadcast_replications(
                 backend=resolve_backend(config, backend),
                 connectivity=engine,
             )
-    if resolve_backend(config, backend) == "batched":
+    resolved = resolve_backend(config, backend)
+    if resolved in ("batched", "compiled"):
         from repro.core.batched import run_broadcast_replications_batched
 
         return run_broadcast_replications_batched(
             config, n_replications, seed,
             rng_streams=rng_streams, connectivity=engine,
+            compiled=resolved == "compiled",
         )
     rngs = rng_streams if rng_streams is not None else spawn_rngs(seed, n_replications)
     results = [
@@ -324,9 +337,10 @@ def run_gossip_replications(
 ) -> tuple[ReplicationSummary, list[GossipResult]]:
     """Run ``n_replications`` gossip simulations and summarise ``T_G``.
 
-    ``backend`` selects ``"serial"``, ``"batched"`` or ``"auto"`` execution
-    (default: the config's ``backend`` field); both backends produce
-    bit-for-bit identical results for identical seeds.  ``connectivity``,
+    ``backend`` selects ``"serial"``, ``"batched"``, ``"compiled"`` or
+    ``"auto"`` execution (default: the config's ``backend`` field); all
+    backends produce bit-for-bit identical results for identical seeds.
+    ``connectivity``,
     ``rng_streams`` and the executor interception behave as in
     :func:`run_broadcast_replications`.
     """
@@ -343,12 +357,14 @@ def run_gossip_replications(
                 backend=resolve_backend(config, backend),
                 connectivity=engine,
             )
-    if resolve_backend(config, backend) == "batched":
+    resolved = resolve_backend(config, backend)
+    if resolved in ("batched", "compiled"):
         from repro.core.batched import run_gossip_replications_batched
 
         return run_gossip_replications_batched(
             config, n_replications, seed,
             rng_streams=rng_streams, connectivity=engine,
+            compiled=resolved == "compiled",
         )
     rngs = rng_streams if rng_streams is not None else spawn_rngs(seed, n_replications)
     results = [

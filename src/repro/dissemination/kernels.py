@@ -1308,13 +1308,18 @@ def resolve_process_backend(process: ProcessKernel, backend: Optional[str] = Non
 
     Mirrors :func:`repro.core.runner.resolve_backend`: an explicit argument
     wins, then an active :func:`~repro.core.runner.backend_override`, then
-    ``"auto"`` — which is always the batched path, since every registered
-    process kernel implements the batched face of the contract.
+    ``"auto"`` — the compiled batched path when a :mod:`repro.compiled`
+    provider is available on this host, else plain batched (every registered
+    process kernel implements the batched face of the contract).
     """
     if backend is None:
         backend = current_backend_override()
     choice = check_backend(backend if backend is not None else "auto")
-    return "batched" if choice == "auto" else choice
+    if choice != "auto":
+        return choice
+    from repro.compiled import available as compiled_available
+
+    return "compiled" if compiled_available() else "batched"
 
 
 def resolve_process_connectivity(
@@ -1351,7 +1356,8 @@ def run_process_replications(
 
     The process-kernel counterpart of
     :func:`repro.core.runner.run_broadcast_replications`: ``backend``
-    selects serial or batched execution (default ``"auto"`` — batched, which
+    selects serial, batched or compiled execution (default ``"auto"`` —
+    compiled when a provider is available, else batched, both of which
     every kernel supports), ``connectivity`` selects the component-labelling
     engine for label-consuming kernels, and both honour the process-wide
     ``backend_override`` / ``connectivity_override`` blocks the CLI flags
@@ -1375,12 +1381,13 @@ def run_process_replications(
                 backend=resolved_backend,
                 connectivity=engine,
             )
-    if resolved_backend == "batched":
+    if resolved_backend in ("batched", "compiled"):
         from repro.core.batched import run_process_replications_batched
 
         return run_process_replications_batched(
             process, n_replications, seed,
             rng_streams=rng_streams, connectivity=engine,
+            compiled=resolved_backend == "compiled",
         )
     rngs = list(rng_streams) if rng_streams is not None else spawn_rngs(seed, n_replications)
     results = [run_process_serial(process, rng, connectivity=engine) for rng in rngs]

@@ -56,17 +56,18 @@ class WorkUnit:
         Stream spec of the sweep point's root seed; trial ``i`` uses child
         stream ``i``.
     backend:
-        Resolved replication backend for simulation kinds (``"serial"`` or
-        ``"batched"``), or ``None`` for map units.
+        Resolved replication backend for simulation kinds (``"serial"``,
+        ``"batched"`` or ``"compiled"``), or ``None`` for map units.
     connectivity:
         Resolved connectivity engine for simulation kinds (``"recompute"``
         or ``"incremental"``), or ``None`` for map units.  Resolved in the
         dispatching process — like ``backend`` — so workers never depend on
-        ambient override state.  Deliberately *not* part of the unit
-        fingerprint: both engines are bit-for-bit identical by contract
-        (property-tested), so keying the store on the choice would only
-        invalidate resume stores and split the cache without changing any
-        stored result.
+        ambient override state.  Neither field is part of the unit
+        fingerprint: all backends and both engines are bit-for-bit identical
+        by contract (property-tested), so keying the store on either choice
+        would only invalidate resume stores and split the cache without
+        changing any stored result — a store written on a compiled host
+        resumes cleanly on one without a provider, and vice versa.
     """
 
     label: str
@@ -112,7 +113,6 @@ class WorkUnit:
             "start": self.start,
             "stop": self.stop,
             "seed": self.seed.as_json(),
-            "backend": self.backend,
         }
 
 

@@ -84,10 +84,11 @@ def run_experiment(
 ) -> ExperimentReport:
     """Run the experiment with the given id at the given scale.
 
-    ``backend`` (``"serial"``, ``"batched"`` or ``"auto"``) forces every
-    replication run inside the experiment onto that backend via
+    ``backend`` (``"serial"``, ``"batched"``, ``"compiled"`` or ``"auto"``)
+    forces every replication run inside the experiment onto that backend via
     :func:`repro.core.runner.backend_override`; ``None`` keeps each config's
-    own choice.  ``connectivity`` (``"recompute"``, ``"incremental"`` or
+    own choice.  Backends are bit-for-bit interchangeable (``"compiled"``
+    requires a :mod:`repro.compiled` provider on the host).  ``connectivity`` (``"recompute"``, ``"incremental"`` or
     ``"auto"``) does the same for the component-labelling engine via
     :func:`repro.core.runner.connectivity_override`; engines are bit-for-bit
     interchangeable, so this is purely a performance knob.

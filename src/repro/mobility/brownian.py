@@ -88,6 +88,7 @@ class BrownianMobility(MobilityModel):
             rngs,
             draw=lambda rng, block: rng.normal(0.0, sigma, size=(block, n_agents, 2)),
             apply=self._apply,
+            kernel=("brownian", self._grid.side),
         )
 
 

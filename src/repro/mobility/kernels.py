@@ -272,6 +272,13 @@ class BlockDrawStepper(BatchStepper):
     Trials advance in lockstep (completed trials leave, none join), so a
     single shared cursor tracks every active trial's offset within the
     current block, and refills draw only for the trials still active.
+
+    ``kernel``, when given, is a declarative spec of what ``apply`` computes
+    — ``("lazy", side)``, ``("masked", side, free_mask)`` or
+    ``("brownian", side)`` — letting the compiled backend substitute a
+    compiled implementation of the same pure function (``set_apply``) or
+    consume whole draw blocks at once (``next_draws``) without changing the
+    generator streams.
     """
 
     def __init__(
@@ -280,6 +287,7 @@ class BlockDrawStepper(BatchStepper):
         draw: Callable[[RandomState, int], np.ndarray],
         apply: Callable[[np.ndarray, np.ndarray], np.ndarray],
         block: int = 128,
+        kernel: Optional[tuple] = None,
     ) -> None:
         self._rngs = list(rngs)
         self._draw = draw
@@ -287,18 +295,52 @@ class BlockDrawStepper(BatchStepper):
         self._block = block
         self._buffer: np.ndarray | None = None
         self._cursor = block  # forces a fill on first use
+        self.kernel = kernel
+
+    def set_apply(self, apply: Callable[[np.ndarray, np.ndarray], np.ndarray]) -> None:
+        """Replace the apply function (must compute the same pure function).
+
+        Draws are untouched, so the swap cannot affect the generator streams;
+        the compiled backend uses this to route the apply through a compiled
+        kernel while keeping trajectories bit-for-bit identical.
+        """
+        self._apply = apply
+
+    def _refill(self, active: np.ndarray) -> None:
+        for trial in active:
+            draws = self._draw(self._rngs[trial], self._block)
+            if self._buffer is None:
+                self._buffer = np.empty(
+                    (len(self._rngs),) + draws.shape, dtype=draws.dtype
+                )
+            self._buffer[trial] = draws
 
     def step(self, positions: np.ndarray, active: np.ndarray) -> np.ndarray:
         cursor = self._cursor
         if cursor == self._block:
-            for trial in active:
-                draws = self._draw(self._rngs[trial], self._block)
-                if self._buffer is None:
-                    self._buffer = np.empty(
-                        (len(self._rngs),) + draws.shape, dtype=draws.dtype
-                    )
-                self._buffer[trial] = draws
+            self._refill(active)
             cursor = 0
         self._cursor = cursor + 1
         assert self._buffer is not None
         return self._apply(positions, self._buffer[active, cursor])
+
+    def next_draws(self, active: np.ndarray, limit: int) -> np.ndarray:
+        """Hand out the next (up to ``limit``) per-step draw slices in bulk.
+
+        Returns ``self._buffer[active, cursor:cursor + m]`` with
+        ``m = min(limit, block - cursor)`` and advances the cursor by ``m`` —
+        exactly the draws ``m`` successive :meth:`step` calls with this
+        ``active`` set would have consumed, refilled at the identical step
+        index for the identical trial set.  A block chunk never spans a
+        refill, so interleaving ``next_draws`` with per-step ``step`` calls
+        keeps the streams aligned.  The returned view's second axis is the
+        step axis.
+        """
+        cursor = self._cursor
+        if cursor == self._block:
+            self._refill(active)
+            cursor = 0
+        m = min(int(limit), self._block - cursor)
+        self._cursor = cursor + m
+        assert self._buffer is not None
+        return self._buffer[active, cursor:cursor + m]

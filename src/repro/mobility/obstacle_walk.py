@@ -100,4 +100,5 @@ class ObstacleWalkMobility(MobilityModel):
             apply=lambda positions, choice: apply_masked_choices(
                 side, free_mask, positions, choice
             ),
+            kernel=("masked", side, free_mask),
         )

@@ -85,4 +85,5 @@ class RandomWalkMobility(MobilityModel):
             rngs,
             draw=lambda rng, block: rng.integers(0, 5, size=(block, n_agents)),
             apply=lambda positions, choice: apply_lazy_choices(grid, positions, choice),
+            kernel=("lazy", grid.side),
         )

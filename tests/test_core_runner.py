@@ -23,6 +23,13 @@ from repro.core.runner import (
 from repro.util.validation import ValidationError
 
 
+def _auto_fast() -> str:
+    """What ``"auto"`` resolves to on a supported config on this host."""
+    import repro.compiled
+
+    return "compiled" if repro.compiled.available() else "batched"
+
+
 class TestSummariseValues:
     def test_basic_stats(self):
         summary = summarise_values([10, 20, 30])
@@ -116,11 +123,11 @@ class TestGossipReplications:
 
 
 class TestBackendSeam:
-    def test_auto_resolves_to_batched_for_paper_model(self):
+    def test_auto_resolves_to_fastest_for_paper_model(self):
         config = BroadcastConfig(n_nodes=144, n_agents=8)
         assert config.backend == "auto"
-        assert resolve_backend(config) == "batched"
-        assert resolve_backend(GossipConfig(n_nodes=100, n_agents=4)) == "batched"
+        assert resolve_backend(config) == _auto_fast()
+        assert resolve_backend(GossipConfig(n_nodes=100, n_agents=4)) == _auto_fast()
 
     def test_every_builtin_mobility_is_batched_under_auto(self):
         for mobility, kwargs in [
@@ -135,12 +142,12 @@ class TestBackendSeam:
                 n_nodes=144, n_agents=8, mobility=mobility, mobility_kwargs=kwargs
             )
             assert supports_batched_broadcast(config), mobility
-            assert resolve_backend(config) == "batched"
+            assert resolve_backend(config) == _auto_fast()
             gossip = GossipConfig(
                 n_nodes=100, n_agents=4, mobility=mobility, mobility_kwargs=kwargs
             )
             assert supports_batched_gossip(gossip), mobility
-            assert resolve_backend(gossip) == "batched"
+            assert resolve_backend(gossip) == _auto_fast()
 
     def test_obstacle_walk_is_batched_under_auto(self):
         from repro.grid.obstacles import ObstacleGrid
@@ -151,7 +158,7 @@ class TestBackendSeam:
             mobility_kwargs={"domain": domain},
         )
         assert supports_batched_broadcast(config)
-        assert resolve_backend(config) == "batched"
+        assert resolve_backend(config) == _auto_fast()
 
     def test_auto_falls_back_to_serial_when_unsupported(self):
         assert not supports_batched_broadcast(
@@ -179,7 +186,7 @@ class TestBackendSeam:
         config = BroadcastConfig(n_nodes=144, n_agents=8, backend="serial")
         assert resolve_backend(config) == "serial"
         assert resolve_backend(config, backend="batched") == "batched"
-        assert resolve_backend(config, backend="auto") == "batched"
+        assert resolve_backend(config, backend="auto") == _auto_fast()
 
     def test_invalid_backend_rejected(self):
         with pytest.raises(ValidationError):

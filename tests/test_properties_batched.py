@@ -1,19 +1,25 @@
 """Property-based tests (hypothesis) for the batched replication backend.
 
-Two families of invariants:
+Three families of invariants:
 
 * **backend equivalence** — the batched backend must reproduce the serial
   backend *trial for trial* (not just in distribution) under identical
   seeds, across radii, step rules and horizon truncation;
 * **connectivity oracles** — the lexsort spatial hash, the batched
   union–find and the batched component labelling must match naive
-  ``O(k^2)`` references on random small inputs.
+  ``O(k^2)`` references on random small inputs;
+* **compiled equivalence** — when a :mod:`repro.compiled` provider is
+  available, ``backend="compiled"`` must reproduce the serial backend
+  trial for trial over the same strategy space (skip-marked otherwise).
 """
 
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
+
+import repro.compiled
 
 from repro.connectivity.batched import batched_visibility_labels
 from repro.connectivity.spatial_hash import neighbor_pairs
@@ -32,6 +38,10 @@ from repro.grid.geometry import pairwise_manhattan
 from strategies import point_sets as point_sets_strategy, radii
 
 point_sets = point_sets_strategy(max_coord=25)
+
+requires_compiled = pytest.mark.skipif(
+    not repro.compiled.available(), reason="no repro.compiled provider on this host"
+)
 
 
 def brute_force_pairs(positions: np.ndarray, radius: float) -> set[tuple[int, int]]:
@@ -441,3 +451,106 @@ class TestBackendEquivalenceAllModels:
             assert serial.n_steps == batched.n_steps
             assert serial.min_rumors_known == batched.min_rumors_known
             assert np.array_equal(serial.knowledge_curve, batched.knowledge_curve)
+
+
+# --------------------------------------------------------------------------- #
+# Compiled backend equivalence (skip-marked when no provider is available)
+# --------------------------------------------------------------------------- #
+@requires_compiled
+class TestCompiledBackendEquivalence:
+    """``backend="compiled"`` reproduces serial trial for trial.
+
+    The same strategy space as the serial-vs-batched suite above: every
+    mobility model, r = 0 (the fused flood driver) and r >= 1 (compiled
+    labelling), multi-trial runs whose horizon truncation and mid-run
+    trial compaction must not disturb the shared pre-drawn RNG streams.
+    """
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        side=st.integers(6, 14),
+        k=st.integers(2, 10),
+        radius=st.sampled_from([0.0, 1.0, 2.0]),
+        rule=st.sampled_from(["lazy", "simple"]),
+        n_replications=st.integers(1, 5),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_broadcast_compiled_identical_trial_for_trial(
+        self, side, k, radius, rule, n_replications, seed
+    ):
+        config = BroadcastConfig(
+            n_nodes=side * side,
+            n_agents=k,
+            radius=radius,
+            max_steps=80,
+            mobility_kwargs={"rule": rule},
+        )
+        serial_summary, serial_results = run_broadcast_replications(
+            config, n_replications, seed=seed, backend="serial"
+        )
+        compiled_summary, compiled_results = run_broadcast_replications(
+            config, n_replications, seed=seed, backend="compiled"
+        )
+        assert np.array_equal(serial_summary.values, compiled_summary.values)
+        for serial, compiled in zip(serial_results, compiled_results):
+            assert serial.broadcast_time == compiled.broadcast_time
+            assert serial.completed == compiled.completed
+            assert serial.n_steps == compiled.n_steps
+            assert serial.n_informed == compiled.n_informed
+            assert np.array_equal(serial.informed_curve, compiled.informed_curve)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        side=st.integers(6, 12),
+        k=st.integers(2, 8),
+        radius=st.sampled_from([0.0, 1.0]),
+        name=st.sampled_from(MOBILITY_NAMES),
+        n_replications=st.integers(1, 4),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_broadcast_compiled_identical_for_every_model(
+        self, side, k, radius, name, n_replications, seed
+    ):
+        _, registry_name, kwargs = _make_model(name, side)
+        config = BroadcastConfig(
+            n_nodes=side * side,
+            n_agents=k,
+            radius=radius,
+            max_steps=60,
+            mobility=registry_name,
+            mobility_kwargs=kwargs,
+        )
+        serial_summary, _ = run_broadcast_replications(
+            config, n_replications, seed=seed, backend="serial"
+        )
+        compiled_summary, _ = run_broadcast_replications(
+            config, n_replications, seed=seed, backend="compiled"
+        )
+        assert np.array_equal(serial_summary.values, compiled_summary.values)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        side=st.integers(5, 9),
+        k=st.integers(2, 6),
+        radius=st.sampled_from([0.0, 1.0]),
+        n_replications=st.integers(1, 3),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_gossip_compiled_identical_trial_for_trial(
+        self, side, k, radius, n_replications, seed
+    ):
+        config = GossipConfig(
+            n_nodes=side * side, n_agents=k, radius=radius, max_steps=80
+        )
+        serial_summary, serial_results = run_gossip_replications(
+            config, n_replications, seed=seed, backend="serial"
+        )
+        compiled_summary, compiled_results = run_gossip_replications(
+            config, n_replications, seed=seed, backend="compiled"
+        )
+        assert np.array_equal(serial_summary.values, compiled_summary.values)
+        for serial, compiled in zip(serial_results, compiled_results):
+            assert serial.gossip_time == compiled.gossip_time
+            assert serial.min_rumors_known == compiled.min_rumors_known
+            assert serial.first_rumor_broadcast_time == compiled.first_rumor_broadcast_time
+            assert np.array_equal(serial.knowledge_curve, compiled.knowledge_curve)

@@ -5,6 +5,8 @@ bit-for-bit identical results for identical seeds:
 
 * ``backend="serial"`` vs ``backend="batched"`` (including mid-run
   compaction: with several trials per run some finish early);
+* ``backend="compiled"`` vs both, when a :mod:`repro.compiled` provider is
+  available on the host (skip-marked otherwise);
 * ``connectivity="recompute"`` vs ``connectivity="incremental"`` on both
   backends (label-consuming kernels drive the
   :class:`~repro.connectivity.incremental.DeltaConnectivityEngine`);
@@ -20,8 +22,11 @@ from __future__ import annotations
 import dataclasses
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
+
+import repro.compiled
 
 from repro.dissemination.frog import FrogModelSimulation
 from repro.dissemination.kernels import (
@@ -47,6 +52,10 @@ _SETTINGS = dict(
     deadline=None,
     max_examples=max_examples(25),
     suppress_health_check=[HealthCheck.too_slow],
+)
+
+_requires_compiled = pytest.mark.skipif(
+    not repro.compiled.available(), reason="no repro.compiled provider on this host"
 )
 
 
@@ -96,6 +105,43 @@ class TestSerialBatchedEquivalence:
         )
         _, results = run_process_replications(process, n, seed=seed)
         assert_results_identical(reference, results)
+
+
+@_requires_compiled
+class TestCompiledEquivalence:
+    """``backend="compiled"`` ≡ serial for every registered process kernel.
+
+    Skip-marked when no :mod:`repro.compiled` provider is available; the
+    strategy space (all kernels × replication counts, so mid-run compaction
+    occurs, × both connectivity engines) mirrors the batched suite above.
+    """
+
+    @given(process=process_kernels(), n=replication_counts, seed=seeds)
+    @settings(**_SETTINGS)
+    def test_compiled_matches_serial_bit_for_bit(self, process, n, seed):
+        _, reference = run_process_replications(
+            process, n, seed=seed, backend="serial", connectivity="recompute"
+        )
+        for connectivity in ("recompute", "incremental"):
+            _, results = run_process_replications(
+                process, n, seed=seed, backend="compiled", connectivity=connectivity
+            )
+            assert_results_identical(reference, results)
+
+    @given(process=process_kernels(), n=replication_counts, seed=seeds,
+           chunk_size=chunk_sizes)
+    @settings(deadline=None, max_examples=max_examples(10),
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_sharded_compiled_matches_plain(self, process, n, seed, chunk_size):
+        s_plain, r_plain = run_process_replications(
+            process, n, seed=seed, backend="compiled"
+        )
+        with execution_override(SweepExecutor(jobs=1, chunk_size=chunk_size)):
+            s_shard, r_shard = run_process_replications(
+                process, n, seed=seed, backend="compiled"
+            )
+        assert np.array_equal(s_plain.values, s_shard.values)
+        assert_results_identical(r_plain, r_shard)
 
 
 class TestExecutorEquivalence:

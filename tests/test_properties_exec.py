@@ -37,6 +37,14 @@ from strategies import (
     sweep_grids,
 )
 
+import repro.compiled
+
+#: Backends exercised by the composition tests: "compiled" joins the sample
+#: whenever a provider is available on the host.
+_AVAILABLE_BACKENDS = ["serial", "batched"] + (
+    ["compiled"] if repro.compiled.available() else []
+)
+
 
 # --------------------------------------------------------------------------- #
 # Stream derivation: the root of the determinism contract
@@ -177,9 +185,9 @@ class TestBroadcastExecutorEquivalence:
         config=broadcast_configs(max_side=9, max_agents=6),
         n_replications=replication_counts,
         seed=seeds,
-        backend=st.sampled_from(["serial", "batched"]),
+        backend=st.sampled_from(_AVAILABLE_BACKENDS),
     )
-    def test_sharding_composes_with_both_backends(self, config, n_replications, seed, backend):
+    def test_sharding_composes_with_every_backend(self, config, n_replications, seed, backend):
         plain_summary, _ = run_broadcast_replications(
             config, n_replications, seed=seed, backend=backend
         )

@@ -344,3 +344,133 @@ def test_engine_reset_rebuilds_cleanly():
     assert labels_equivalent(
         engine.step(positions), visibility_components(positions, 1.0)
     )
+
+
+# --------------------------------------------------------------------------- #
+# Compiled delta engine and compiled-backend incremental runs
+# --------------------------------------------------------------------------- #
+import pytest  # noqa: E402
+
+import repro.compiled  # noqa: E402
+
+requires_compiled = pytest.mark.skipif(
+    not repro.compiled.available(), reason="no repro.compiled provider on this host"
+)
+
+
+def _delta_ops():
+    """The active provider's ops, or skip when it has no edge-diff kernel."""
+    ops = repro.compiled.require_ops()
+    if not ops.has_delta:
+        pytest.skip(f"provider {ops.name!r} has no compiled edge-diff kernel")
+    return ops
+
+
+@requires_compiled
+@settings(max_examples=max_examples(30), deadline=None)
+@given(
+    side=st.integers(4, 14),
+    n_agents=st.integers(1, 10),
+    radius=st.sampled_from([0.5, 1.0, 1.5, 2.0, 3.0]),
+    kernel=kernels,
+    seed=seeds,
+)
+def test_compiled_engine_partitions_match_recompute_on_kernel_trajectories(
+    side, n_agents, radius, kernel, seed
+):
+    """The compiled edge-diff engine ≡ recompute along real trajectories."""
+    from repro.compiled.engine import CompiledDeltaEngine
+
+    ops = _delta_ops()
+    name, kwargs = kernel
+    grid = Grid2D(side)
+    mobility = make_mobility(name, grid, **kwargs)
+    rng = np.random.default_rng(seed)
+    state = mobility.init_state(n_agents, rng)
+    positions = mobility.initial_positions(n_agents, rng)
+    engine = CompiledDeltaEngine(ops, n_agents, radius)
+    for _ in range(25):
+        got = engine.step(positions[None, :, :], np.arange(1))
+        assert labels_equivalent(got[0], visibility_components(positions, radius))
+        positions = mobility.step(positions, rng, state)
+
+
+@requires_compiled
+@settings(max_examples=max_examples(20), deadline=None)
+@given(
+    side=st.integers(4, 10),
+    n_agents=st.integers(2, 8),
+    n_trials=st.integers(1, 5),
+    radius=st.sampled_from([1.0, 2.0]),
+    seed=seeds,
+)
+def test_compiled_engine_batched_labels_match_per_trial_with_compaction(
+    side, n_agents, n_trials, radius, seed
+):
+    """Batched compiled-engine labels ≡ per-trial recompute, with compaction."""
+    from repro.compiled.engine import CompiledDeltaEngine
+
+    ops = _delta_ops()
+    rng = np.random.default_rng(seed)
+    engine = CompiledDeltaEngine(ops, n_agents, radius, n_trials=n_trials)
+    positions = rng.integers(0, side, size=(n_trials, n_agents, 2))
+    active = np.arange(n_trials)
+    for _ in range(20):
+        labels = engine.step(positions, active)
+        for row in range(active.size):
+            assert labels_equivalent(
+                labels[row], visibility_components(positions[row], radius)
+            )
+        # Batch-global label distinctness, as flooding requires.
+        flat = [set(labels[row].tolist()) for row in range(active.size)]
+        for i in range(len(flat)):
+            for j in range(i + 1, len(flat)):
+                assert not (flat[i] & flat[j])
+        positions = np.clip(
+            positions + rng.integers(-1, 2, size=positions.shape), 0, side - 1
+        )
+        if active.size > 1 and rng.random() < 0.25:
+            drop = rng.integers(active.size)
+            keep = np.ones(active.size, dtype=bool)
+            keep[drop] = False
+            active = active[keep]
+            positions = positions[keep]
+
+
+@requires_compiled
+@settings(max_examples=max_examples(15), deadline=None)
+@given(
+    config=broadcast_configs(),
+    n_replications=replication_counts,
+    seed=seeds,
+)
+def test_broadcast_compiled_incremental_is_bit_for_bit(config, n_replications, seed):
+    """``backend="compiled"``: incremental ≡ recompute, and both ≡ serial."""
+    serial = run_broadcast_replications(
+        config, n_replications, seed=seed, backend="serial", connectivity="recompute"
+    )
+    recompute = run_broadcast_replications(
+        config, n_replications, seed=seed, backend="compiled", connectivity="recompute"
+    )
+    incremental = run_broadcast_replications(
+        config, n_replications, seed=seed, backend="compiled", connectivity="incremental"
+    )
+    assert_broadcast_results_identical(serial, recompute)
+    assert_broadcast_results_identical(serial, incremental)
+
+
+@requires_compiled
+@settings(max_examples=max_examples(10), deadline=None)
+@given(
+    config=gossip_configs(),
+    n_replications=st.integers(1, 3),
+    seed=seeds,
+)
+def test_gossip_compiled_incremental_is_bit_for_bit(config, n_replications, seed):
+    reference = run_gossip_replications(
+        config, n_replications, seed=seed, backend="compiled", connectivity="recompute"
+    )
+    incremental = run_gossip_replications(
+        config, n_replications, seed=seed, backend="compiled", connectivity="incremental"
+    )
+    assert_gossip_results_identical(reference, incremental)
