@@ -37,6 +37,11 @@ Seven modes:
   first so the timings measure steady state; the warmup (JIT/C-build) time
   is recorded separately as ``compile_seconds``.  Requires a
   :mod:`repro.compiled` provider (numba or the bundled C kernels).
+* ``--streaming`` — measures buffered vs streaming replication aggregation
+  over a multi-point sweep (wall clock and tracemalloc peak memory, with the
+  scalar statistics asserted to agree) and writes the record to
+  ``BENCH_PR8.json``: the seventh point of the trajectory, demonstrating the
+  O(1)-per-sweep-point memory of ``aggregate="streaming"``.
 * ``--check FILE`` — perf-regression gate: re-runs the workload family of a
   committed record (at ``--quick`` size in CI) and fails if the measured
   speedups regress below ``--check-tolerance`` times the committed ones.
@@ -55,6 +60,7 @@ Usage::
     PYTHONPATH=src python scripts/bench_backends.py --connectivity   # full PR4 workload
     PYTHONPATH=src python scripts/bench_backends.py --dissemination  # full PR5 workload
     PYTHONPATH=src python scripts/bench_backends.py --compiled       # full PR7 workload
+    PYTHONPATH=src python scripts/bench_backends.py --streaming      # full PR8 workload
     PYTHONPATH=src python scripts/bench_backends.py --quick          # smoke test
     PYTHONPATH=src python scripts/bench_backends.py --quick --check BENCH_PR3.json
 """
@@ -67,6 +73,7 @@ import os
 import platform
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 import numpy as np
@@ -891,6 +898,106 @@ def run_compiled(quick: bool = False, seed: int = 2024) -> dict:
     return record
 
 
+def streaming_workload(quick: bool = False) -> dict:
+    """The multi-point sweep the ``--streaming`` mode aggregates two ways.
+
+    Enough replications per point (with frontier/informed curves buffered by
+    the default path) that the retained per-trial data dominates the
+    buffered peak, making the memory comparison meaningful.
+    """
+    if quick:
+        return {
+            "n_nodes": 16 * 16,
+            "agent_counts": [4, 8],
+            "n_replications": 16,
+            "max_steps": 400,
+            "chunk_size": 4,
+        }
+    return {
+        "n_nodes": 32 * 32,
+        "agent_counts": [8, 16, 32, 64],
+        "n_replications": 64,
+        "max_steps": 2000,
+        "chunk_size": 8,
+    }
+
+
+def _sweep_with_aggregate(
+    workload: dict, seed: int, aggregate: str
+) -> tuple[list, float, int]:
+    """One full ``run_sweep`` pass; returns (rows, seconds, tracemalloc peak)."""
+    from repro.analysis.sweep import ParameterSweep
+
+    sweep = ParameterSweep(
+        parameter="n_agents", values=workload["agent_counts"], fixed={}
+    )
+    factory = lambda point: BroadcastConfig(
+        n_nodes=workload["n_nodes"],
+        n_agents=point.value,
+        radius=0.0,
+        max_steps=workload["max_steps"],
+    )
+    tracemalloc.start()
+    start = time.perf_counter()
+    with SweepExecutor(
+        jobs=1, chunk_size=workload["chunk_size"], aggregate=aggregate
+    ) as executor:
+        rows = executor.run_sweep(
+            sweep, factory, workload["n_replications"], seed, label="streaming-bench"
+        )
+    elapsed = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return rows, elapsed, peak
+
+
+def run_streaming(quick: bool = False, seed: int = 2024) -> dict:
+    """Benchmark buffered vs streaming sweep aggregation and return the record.
+
+    Streaming must reproduce the buffered scalar statistics (counts exactly,
+    means to floating-point tolerance) while retaining far less memory —
+    ``memory_ratio`` (buffered peak / streaming peak) is the headline the
+    ``--check`` gate guards.
+    """
+    workload = streaming_workload(quick)
+    buffered_rows, buffered_seconds, buffered_peak = _sweep_with_aggregate(
+        workload, seed, "buffered"
+    )
+    streaming_rows, streaming_seconds, streaming_peak = _sweep_with_aggregate(
+        workload, seed, "streaming"
+    )
+    for (point, summary, _), (_, streaming_summary, results) in zip(
+        buffered_rows, streaming_rows
+    ):
+        if results != []:
+            raise AssertionError("streaming sweep materialised per-trial results")
+        if summary.n_completed != streaming_summary.n_completed:
+            raise AssertionError(
+                f"k={point.value}: streaming completion count diverged"
+            )
+        if summary.n_completed and not np.isclose(
+            summary.mean, streaming_summary.mean, rtol=1e-9
+        ):
+            raise AssertionError(f"k={point.value}: streaming mean diverged")
+    record = {
+        "benchmark": "streaming_aggregation_memory",
+        "workload": {**workload, "seed": seed},
+        "buffered_seconds": buffered_seconds,
+        "streaming_seconds": streaming_seconds,
+        "buffered_peak_bytes": buffered_peak,
+        "streaming_peak_bytes": streaming_peak,
+        "memory_ratio": buffered_peak / streaming_peak if streaming_peak else float("inf"),
+        "statistics_agree": True,
+    }
+    record.update(_environment())
+    print(
+        f"buffered : {buffered_seconds:7.2f} s   peak {buffered_peak / 1e6:8.2f} MB\n"
+        f"streaming: {streaming_seconds:7.2f} s   peak {streaming_peak / 1e6:8.2f} MB\n"
+        f"memory ratio {record['memory_ratio']:5.2f}x  (statistics agree)"
+    )
+    return record
+
+
 # --------------------------------------------------------------------------- #
 # Perf-regression gate (--check)
 # --------------------------------------------------------------------------- #
@@ -1027,6 +1134,16 @@ def check_against(record_path: Path, quick: bool, tolerance: float, seed: int) -
                     failures.append(
                         f"compiled/{name} speedup regressed: {got:.2f}x < {floor:.2f}x"
                     )
+    elif kind == "streaming_aggregation_memory":
+        measured = run_streaming(quick=quick, seed=seed)
+        floor = committed["memory_ratio"] * tolerance
+        got = measured["memory_ratio"]
+        print(f"streaming memory ratio: measured {got:.2f}x, floor {floor:.2f}x")
+        if got < floor:
+            failures.append(
+                f"streaming aggregation memory ratio regressed: "
+                f"{got:.2f}x < {floor:.2f}x"
+            )
     else:
         failures.append(f"unknown benchmark kind {kind!r} in {record_path}")
     return failures
@@ -1075,6 +1192,13 @@ def main(argv: list[str] | None = None) -> dict:
         "BENCH_PR7.json)",
     )
     parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="run the buffered-vs-streaming aggregation comparison on a "
+        "multi-point sweep (wall clock + tracemalloc peak memory; default "
+        "output: repo-root BENCH_PR8.json)",
+    )
+    parser.add_argument(
         "--check",
         type=Path,
         default=None,
@@ -1113,12 +1237,12 @@ def main(argv: list[str] | None = None) -> dict:
     if args.check is not None:
         if (
             args.matrix or args.jobs_matrix or args.connectivity
-            or args.dissemination or args.compiled or args.output
+            or args.dissemination or args.compiled or args.streaming or args.output
         ):
             parser.error(
                 "--check re-runs the workload family of the given record; it "
                 "cannot be combined with --matrix/--jobs-matrix/--connectivity/"
-                "--dissemination/--compiled or --output"
+                "--dissemination/--compiled/--streaming or --output"
             )
         failures = check_against(
             args.check, quick=args.quick, tolerance=args.check_tolerance, seed=args.seed
@@ -1132,12 +1256,12 @@ def main(argv: list[str] | None = None) -> dict:
 
     exclusive = [
         args.matrix, args.jobs_matrix, args.connectivity, args.dissemination,
-        args.compiled,
+        args.compiled, args.streaming,
     ]
     if sum(exclusive) > 1:
         parser.error(
-            "--matrix, --jobs-matrix, --connectivity, --dissemination and "
-            "--compiled are mutually exclusive"
+            "--matrix, --jobs-matrix, --connectivity, --dissemination, "
+            "--compiled and --streaming are mutually exclusive"
         )
     if any(exclusive):
         mode = (
@@ -1147,7 +1271,9 @@ def main(argv: list[str] | None = None) -> dict:
             if args.jobs_matrix
             else "--connectivity"
             if args.connectivity
-            else "--dissemination" if args.dissemination else "--compiled"
+            else "--dissemination"
+            if args.dissemination
+            else "--compiled" if args.compiled else "--streaming"
         )
         ignored = {
             "--n-nodes": args.n_nodes != 10_000,
@@ -1172,6 +1298,8 @@ def main(argv: list[str] | None = None) -> dict:
         record = run_dissemination(quick=args.quick, seed=args.seed)
     elif args.compiled:
         record = run_compiled(quick=args.quick, seed=args.seed)
+    elif args.streaming:
+        record = run_streaming(quick=args.quick, seed=args.seed)
     elif args.quick:
         record = run_benchmark(
             n_nodes=32 * 32, n_agents=16, radius=args.radius,
@@ -1191,7 +1319,9 @@ def main(argv: list[str] | None = None) -> dict:
         )
     output = args.output
     if output is None and not args.quick:
-        if args.compiled:
+        if args.streaming:
+            name = "BENCH_PR8.json"
+        elif args.compiled:
             name = "BENCH_PR7.json"
         elif args.dissemination:
             name = "BENCH_PR5.json"

@@ -1,6 +1,13 @@
 """Analysis toolkit: statistics, scaling fits, sweeps, tables and reports."""
 
-from repro.analysis.statistics import SummaryStats, summarize, bootstrap_ci
+from repro.analysis.statistics import (
+    QuantileSketch,
+    ReplicationAggregate,
+    StreamingMoments,
+    SummaryStats,
+    bootstrap_ci,
+    summarize,
+)
 from repro.analysis.fitting import (
     PowerLawFit,
     fit_power_law,
@@ -11,6 +18,9 @@ from repro.analysis.tables import render_table, format_float
 from repro.analysis.report import ExperimentReport, ExperimentRow
 
 __all__ = [
+    "QuantileSketch",
+    "ReplicationAggregate",
+    "StreamingMoments",
     "SummaryStats",
     "summarize",
     "bootstrap_ci",

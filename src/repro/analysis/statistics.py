@@ -1,9 +1,25 @@
-"""Summary statistics and bootstrap confidence intervals."""
+"""Summary statistics, bootstrap confidence intervals and streaming moments.
+
+Two aggregation styles live here:
+
+* the classic *buffered* helpers (:func:`summarize`, :func:`bootstrap_ci`)
+  that operate on a materialised sample; and
+* the *streaming* accumulators (:class:`StreamingMoments`,
+  :class:`QuantileSketch`, :class:`ReplicationAggregate`) — single-pass,
+  mergeable and O(1)-memory, so a replication sweep can be summarised
+  without ever holding the per-trial value list.  Merging partial
+  accumulators in any chunking or order yields the same counts/min/max
+  exactly, the same mean/variance up to floating-point associativity
+  (Chan's parallel update), and quantiles within the sketch's documented
+  relative accuracy.  See ``docs/OBSERVABILITY.md``.
+"""
 
 from __future__ import annotations
 
+import hashlib
+import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -31,13 +47,30 @@ class SummaryStats:
         return self.std / np.sqrt(self.n)
 
 
+def _sample_seed(arr: np.ndarray) -> int:
+    """A deterministic RNG seed derived from the sample's bytes.
+
+    ``bootstrap_ci``/``summarize`` used to fall back to entropy-based
+    seeding, so two analyses of the *identical* sample reported different
+    confidence intervals.  Hashing the sample itself makes the default
+    reproducible (same values -> same resamples -> same interval) without
+    coupling unrelated samples to one global seed.
+    """
+    digest = hashlib.sha256(np.ascontiguousarray(arr, dtype=np.float64).tobytes())
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
 def bootstrap_ci(
     values: Sequence[float],
     confidence: float = 0.95,
     n_resamples: int = 2000,
     rng: RandomState | int | None = None,
 ) -> tuple[float, float]:
-    """Percentile bootstrap confidence interval of the mean."""
+    """Percentile bootstrap confidence interval of the mean.
+
+    With ``rng=None`` the resampling stream is seeded from a hash of the
+    sample bytes, so identical samples always yield identical intervals.
+    """
     arr = np.asarray(list(values), dtype=np.float64)
     if arr.size == 0:
         return (float("nan"), float("nan"))
@@ -45,7 +78,7 @@ def bootstrap_ci(
         return (float(arr[0]), float(arr[0]))
     if not (0 < confidence < 1):
         raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
-    rng = default_rng(rng)
+    rng = default_rng(_sample_seed(arr) if rng is None else rng)
     indices = rng.integers(0, arr.size, size=(n_resamples, arr.size))
     means = arr[indices].mean(axis=1)
     alpha = (1.0 - confidence) / 2.0
@@ -84,3 +117,256 @@ def geometric_mean(values: Sequence[float]) -> float:
     if arr.size == 0 or np.any(arr <= 0):
         return float("nan")
     return float(np.exp(np.mean(np.log(arr))))
+
+
+# --------------------------------------------------------------------------- #
+# Streaming accumulators
+# --------------------------------------------------------------------------- #
+
+
+class StreamingMoments:
+    """Single-pass, mergeable count/mean/variance/min/max accumulator.
+
+    ``add`` is Welford's online update; ``merge`` is Chan et al.'s parallel
+    combination of two partial aggregates.  Count, min and max are exact
+    under any chunking or merge order; mean and variance agree with the
+    buffered computation up to floating-point associativity.
+    """
+
+    __slots__ = ("count", "mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count: int = 0
+        self.mean: float = 0.0
+        self._m2: float = 0.0
+        self.min: float = math.inf
+        self.max: float = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation in (Welford update)."""
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold a batch of observations in, one at a time."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "StreamingMoments") -> None:
+        """Fold another partial aggregate in (Chan's parallel update)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * (other.count / total)
+        self._m2 += other._m2 + delta * delta * (self.count * other.count / total)
+        self.count = total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (``ddof=1``); 0.0 for fewer than two points."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (``ddof=1``)."""
+        return math.sqrt(self.variance)
+
+    def copy(self) -> "StreamingMoments":
+        out = StreamingMoments()
+        out.merge(self)
+        return out
+
+
+class QuantileSketch:
+    """Mergeable log-bucketed quantile sketch (DDSketch-flavoured).
+
+    Values are binned into geometrically-spaced buckets whose width is set
+    by ``relative_accuracy``: a reported quantile ``q̂`` satisfies
+    ``|q̂ - q| <= relative_accuracy * |q|`` for positive values.  Buckets are
+    a plain ``{index: count}`` dict, so merging two sketches is bucket-count
+    addition — exactly associative and commutative, which makes the sketch
+    fully order- and chunking-independent.  Zero and negative values get
+    mirrored bucket maps of their own; memory is O(number of distinct
+    buckets touched), bounded in practice by the dynamic range of the data.
+    """
+
+    __slots__ = ("relative_accuracy", "_gamma", "_log_gamma", "count", "_positive", "_negative", "_zeros")
+
+    def __init__(self, relative_accuracy: float = 0.01) -> None:
+        if not (0.0 < relative_accuracy < 1.0):
+            raise ValueError(
+                f"relative_accuracy must lie in (0, 1), got {relative_accuracy}"
+            )
+        self.relative_accuracy = relative_accuracy
+        self._gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy)
+        self._log_gamma = math.log(self._gamma)
+        self.count: int = 0
+        self._positive: dict[int, int] = {}
+        self._negative: dict[int, int] = {}
+        self._zeros: int = 0
+
+    def _bucket(self, value: float) -> int:
+        return int(math.ceil(math.log(value) / self._log_gamma))
+
+    def _bucket_value(self, index: int) -> float:
+        # Midpoint (in the relative sense) of bucket ``index``.
+        return 2.0 * self._gamma ** index / (1.0 + self._gamma)
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the sketch."""
+        value = float(value)
+        self.count += 1
+        if value > 0.0:
+            index = self._bucket(value)
+            self._positive[index] = self._positive.get(index, 0) + 1
+        elif value < 0.0:
+            index = self._bucket(-value)
+            self._negative[index] = self._negative.get(index, 0) + 1
+        else:
+            self._zeros += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch in (bucket-count addition; exact)."""
+        if other.relative_accuracy != self.relative_accuracy:
+            raise ValueError(
+                "cannot merge sketches with different relative_accuracy "
+                f"({self.relative_accuracy} vs {other.relative_accuracy})"
+            )
+        self.count += other.count
+        self._zeros += other._zeros
+        for index, n in other._positive.items():
+            self._positive[index] = self._positive.get(index, 0) + n
+        for index, n in other._negative.items():
+            self._negative[index] = self._negative.get(index, 0) + n
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile estimate (NaN on an empty sketch)."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"q must lie in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        # Rank in [0, count - 1]; walk negatives (descending magnitude),
+        # then zeros, then positives (ascending).
+        rank = q * (self.count - 1)
+        seen = 0
+        for index in sorted(self._negative, reverse=True):
+            seen += self._negative[index]
+            if seen > rank:
+                return -self._bucket_value(index)
+        seen += self._zeros
+        if seen > rank:
+            return 0.0
+        for index in sorted(self._positive):
+            seen += self._positive[index]
+            if seen > rank:
+                return self._bucket_value(index)
+        # Floating-point slack: fall back to the largest bucket.
+        if self._positive:
+            return self._bucket_value(max(self._positive))
+        if self._zeros:
+            return 0.0
+        return -self._bucket_value(min(self._negative))
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def n_buckets(self) -> int:
+        """Distinct buckets in use (the sketch's memory footprint)."""
+        return len(self._positive) + len(self._negative) + (1 if self._zeros else 0)
+
+    def copy(self) -> "QuantileSketch":
+        out = QuantileSketch(self.relative_accuracy)
+        out.merge(self)
+        return out
+
+
+class ReplicationAggregate:
+    """Mergeable aggregate over replication outcomes.
+
+    Mirrors the semantics of the buffered replication summary: a value is
+    *completed* when it is ``>= 0`` (failed/timed-out trials are recorded as
+    negative sentinels) and only completed values enter the moments and the
+    quantile sketch; ``n_total`` counts every trial either way.
+    """
+
+    __slots__ = ("n_total", "moments", "sketch")
+
+    def __init__(self, relative_accuracy: float = 0.01) -> None:
+        self.n_total: int = 0
+        self.moments = StreamingMoments()
+        self.sketch = QuantileSketch(relative_accuracy)
+
+    def add(self, value: float) -> None:
+        """Fold one replication outcome in (negative = not completed)."""
+        self.n_total += 1
+        value = float(value)
+        if value >= 0.0:
+            self.moments.add(value)
+            self.sketch.add(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "ReplicationAggregate") -> None:
+        """Fold another partial aggregate in."""
+        self.n_total += other.n_total
+        self.moments.merge(other.moments)
+        self.sketch.merge(other.sketch)
+
+    @property
+    def n_completed(self) -> int:
+        return self.moments.count
+
+    @property
+    def completion_rate(self) -> float:
+        if self.n_total == 0:
+            return 0.0
+        return self.n_completed / self.n_total
+
+    @property
+    def mean(self) -> float:
+        return self.moments.mean if self.n_completed else float("nan")
+
+    @property
+    def std(self) -> float:
+        return self.moments.std if self.n_completed else float("nan")
+
+    @property
+    def median(self) -> float:
+        return self.sketch.median
+
+    @property
+    def min(self) -> float:
+        return self.moments.min if self.n_completed else float("nan")
+
+    @property
+    def max(self) -> float:
+        return self.moments.max if self.n_completed else float("nan")

@@ -116,6 +116,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "own choice",
     )
     run_parser.add_argument(
+        "--aggregate",
+        choices=("buffered", "streaming"),
+        default="buffered",
+        help="replication aggregation: 'buffered' (default) keeps every "
+        "per-trial value and result in memory; 'streaming' folds unit "
+        "records into mergeable moment/quantile accumulators as they "
+        "complete (O(1) memory per sweep point; per-trial records still "
+        "reach a --resume store; summaries expose scalar statistics only)",
+    )
+    run_parser.add_argument(
+        "--metrics-file",
+        metavar="PATH",
+        default=None,
+        help="after the run, write all collected metrics (executor, store, "
+        "leases, simulation step loops) to PATH in the Prometheus text "
+        "exposition format",
+    )
+    run_parser.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=None,
+        help="append structured JSON-line progress events (unit completions, "
+        "retries, store hits, pool rebuilds) to PATH during the run",
+    )
+    run_parser.add_argument(
         "--connectivity",
         choices=CONNECTIVITY_MODES,
         default=None,
@@ -143,7 +168,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from repro.exec import SweepExecutor, execution_override
+    from repro.obs import global_registry, progress_logging, render_registries
 
     if args.experiment.lower() == "all":
         experiment_ids = available_experiments()
@@ -156,9 +184,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     executor = SweepExecutor.from_options(
         jobs=args.jobs, chunk_size=args.chunk_size, store=args.resume,
         retries=args.retries, unit_timeout=args.unit_timeout,
+        aggregate=args.aggregate,
+    )
+    logging_context = (
+        progress_logging(args.log_json) if args.log_json else nullcontext()
     )
     reports: list[ExperimentReport] = []
-    with execution_override(executor):
+    with logging_context, execution_override(executor):
         for experiment_id in experiment_ids:
             report = run_experiment(
                 experiment_id, scale=args.scale, seed=args.seed,
@@ -171,6 +203,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # The per-run execution report goes to stderr so report output on
         # stdout stays byte-identical across --jobs/--retries settings.
         print(executor.execution_report().render(), file=sys.stderr)
+    if args.metrics_file:
+        registries = [executor.metrics] if executor is not None else []
+        registries.append(global_registry())
+        with open(args.metrics_file, "w", encoding="utf-8") as handle:
+            handle.write(render_registries(*registries))
+        print(f"wrote {args.metrics_file}", file=sys.stderr)
     if args.json:
         payload = [to_jsonable(report) for report in reports]
         dump_json(payload if len(payload) > 1 else payload[0], args.json)

@@ -21,10 +21,12 @@ from repro.core.protocol import (
 from repro.core.metrics import FrontierTracker, CoverageTracker, InformedCurve
 from repro.core.runner import (
     ReplicationSummary,
+    StreamingReplicationSummary,
     backend_override,
     resolve_backend,
     run_broadcast_replications,
     run_gossip_replications,
+    summarise_values,
 )
 from repro.core.batched import (
     run_broadcast_replications_batched,
@@ -49,6 +51,8 @@ __all__ = [
     "CoverageTracker",
     "InformedCurve",
     "ReplicationSummary",
+    "StreamingReplicationSummary",
+    "summarise_values",
     "backend_override",
     "resolve_backend",
     "run_broadcast_replications",

@@ -57,6 +57,7 @@ from repro.core.simulation import BroadcastResult
 from repro.grid.lattice import Grid2D
 from repro.mobility import make_mobility
 from repro.mobility.base import MobilityModel
+from repro.obs.metrics import step_loop_instruments
 from repro.util.rng import RandomState, SeedLike, spawn_rngs
 from repro.util.validation import ValidationError, check_positive_int
 
@@ -291,9 +292,12 @@ def run_broadcast_replications_batched(
     # The hot loop works on arrays compacted to the still-active trials
     # (``active`` maps compact rows back to trial indices); completed trials
     # are physically dropped rather than masked, so no per-step gather.
+    steps_metric, active_metric = step_loop_instruments("batched_broadcast")
     active = np.arange(n_trials)
     t = 0
     while active.size and t < horizon:
+        steps_metric.inc(int(active.size))
+        active_metric.set(int(active.size))
         if engine is not None:
             informed = flood_informed_batch(informed, engine.step(positions, active))
         elif flood is not None:
@@ -319,6 +323,7 @@ def run_broadcast_replications_batched(
             positions = positions[keep]
             informed = informed[keep]
             active = active[keep]
+    active_metric.set(0)
     n_steps[active] = t
     n_informed[active] = informed.sum(axis=1)
 
@@ -457,7 +462,10 @@ def run_process_replications_batched(
         active = active[keep]
     t = 0
     horizon = process.horizon
+    steps_metric, active_metric = step_loop_instruments("batched_process")
     while active.size and t < horizon:
+        steps_metric.inc(int(active.size))
+        active_metric.set(int(active.size))
         if process.needs == "labels":
             if engine is not None:
                 conn = engine.step(bstate.positions, active)
@@ -479,6 +487,7 @@ def run_process_replications_batched(
             keep = ~done
             process.compact(bstate, keep)
             active = active[keep]
+    active_metric.set(0)
     n_steps[active] = t
     process.finalize(bstate, active)
 
@@ -548,9 +557,12 @@ def run_gossip_replications_batched(
         stepper = accelerate_stepper(ops, stepper)
 
     horizon = config.horizon
+    steps_metric, active_metric = step_loop_instruments("batched_gossip")
     active = np.arange(n_trials)
     t = 0
     while active.size and t < horizon:
+        steps_metric.inc(int(active.size))
+        active_metric.set(int(active.size))
         if engine is not None:
             labels = engine.step(positions, active)
         else:
@@ -573,6 +585,7 @@ def run_gossip_replications_batched(
             positions = positions[keep]
             rumors = rumors[keep]
             active = active[keep]
+    active_metric.set(0)
     n_steps[active] = t
     min_rumors[active] = rumors.sum(axis=2).min(axis=1)
 

@@ -135,9 +135,15 @@ class GossipSimulation:
 
     def run(self, max_steps: Optional[int] = None) -> GossipResult:
         """Run until every agent knows every rumor or the horizon is exhausted."""
+        from repro.obs.metrics import step_loop_instruments
+
+        steps_metric, active_metric = step_loop_instruments("serial_gossip")
+        active_metric.set(1)
         horizon = int(max_steps) if max_steps is not None else self._config.horizon
         while self._time < horizon and self._gossip_time < 0:
+            steps_metric.inc()
             self.step()
+        active_metric.set(0)
         return GossipResult(
             config=self._config,
             gossip_time=self._gossip_time,

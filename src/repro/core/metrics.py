@@ -9,11 +9,22 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.grid.lattice import Grid2D
+
+
+def threshold_count(n_agents: int, fraction: float) -> int:
+    """The exact integer count meaning "at least ``fraction`` of ``n_agents``".
+
+    Computed as ``ceil(fraction * n_agents)`` with a tiny tolerance so that
+    products which are integers up to binary round-off (``0.7 * 10``) do not
+    get bumped to the next integer.
+    """
+    return int(math.ceil(fraction * n_agents - 1e-9))
 
 
 @dataclass
@@ -33,13 +44,20 @@ class InformedCurve:
     def time_to_fraction(self, n_agents: int, fraction: float) -> int:
         """First time at which at least ``fraction`` of the agents are informed.
 
-        Returns ``-1`` if the fraction is never reached.
+        Returns ``-1`` if the fraction is never reached.  The threshold is
+        the exact integer ``ceil(fraction * n_agents)``: comparing counts
+        against the raw float product is wrong whenever the product picks up
+        binary round-off (``0.7 * 10 == 7.000000000000001`` would demand 8
+        informed agents instead of 7).
         """
-        target = fraction * n_agents
-        for t, count in enumerate(self.counts):
-            if count >= target:
-                return t
-        return -1
+        target = threshold_count(n_agents, fraction)
+        counts = self.as_array()
+        if counts.size == 0:
+            return -1
+        reached = counts >= target
+        if not reached.any():
+            return -1
+        return int(np.argmax(reached))
 
 
 class FrontierTracker:
@@ -76,8 +94,15 @@ class FrontierTracker:
         self._history.append(self._frontier)
 
     def max_advance_per_window(self, window: int) -> int:
-        """Largest advance of the frontier over any window of ``window`` steps."""
+        """Largest advance of the frontier over any window of ``window`` steps.
+
+        Steps recorded before the first informed observation carry the ``-1``
+        sentinel, not a frontier position; a window straddling that prefix
+        would count the sentinel-to-column jump as one extra column of
+        advance, so the sentinel prefix is dropped before differencing.
+        """
         hist = self.history
+        hist = hist[hist >= 0]
         if hist.size <= window:
             return int(hist[-1] - hist[0]) if hist.size else 0
         diffs = hist[window:] - hist[:-window]

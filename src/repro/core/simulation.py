@@ -23,7 +23,12 @@ import numpy as np
 
 from repro.connectivity.visibility import visibility_components
 from repro.core.config import BroadcastConfig
-from repro.core.metrics import CoverageTracker, FrontierTracker, InformedCurve
+from repro.core.metrics import (
+    CoverageTracker,
+    FrontierTracker,
+    InformedCurve,
+    threshold_count,
+)
 from repro.core.protocol import flood_informed
 from repro.grid.lattice import Grid2D
 from repro.mobility import make_mobility
@@ -51,8 +56,13 @@ class BroadcastResult:
         return self.config.n_agents
 
     def time_to_fraction(self, fraction: float) -> int:
-        """First time at which at least ``fraction`` of the agents were informed."""
-        target = fraction * self.config.n_agents
+        """First time at which at least ``fraction`` of the agents were informed.
+
+        Uses the exact integer threshold ``ceil(fraction * n_agents)`` — see
+        :func:`repro.core.metrics.threshold_count` for why comparing against
+        the raw float product is wrong.
+        """
+        target = threshold_count(self.config.n_agents, fraction)
         reached = np.flatnonzero(self.informed_curve >= target)
         return int(reached[0]) if reached.size else -1
 
@@ -201,12 +211,18 @@ class BroadcastSimulation:
         until coverage also completes, so that both ``T_B`` and ``T_C`` are
         measured from a single trajectory.
         """
+        from repro.obs.metrics import step_loop_instruments
+
+        steps_metric, active_metric = step_loop_instruments("serial_broadcast")
+        active_metric.set(1)
         horizon = int(max_steps) if max_steps is not None else self._config.horizon
         while self._time < horizon:
+            steps_metric.inc()
             self.step()
             if self._broadcast_time >= 0:
                 if self._coverage is None or self._coverage.complete:
                     break
+        active_metric.set(0)
         return self._result()
 
     def _result(self) -> BroadcastResult:

@@ -55,10 +55,13 @@ from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.statistics import ReplicationAggregate
 from repro.exec.faults import FaultPlan, corrupt_record
 from repro.exec.leases import DEFAULT_LEASE_TTL, LeaseTable
 from repro.exec.seeds import SeedStreamSpec
 from repro.exec.store import ResultStore
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import emit_progress
 from repro.exec.units import (
     WorkUnit,
     chunk_bounds,
@@ -77,6 +80,18 @@ START_METHOD_ENV = "REPRO_EXEC_START_METHOD"
 #: Consecutive pool rebuilds (with no completed unit in between) after which
 #: the executor stops trusting the pool and degrades to in-process execution.
 POOL_FAILURE_LIMIT = 3
+
+#: Record-merging styles an executor supports.
+AGGREGATES = ("buffered", "streaming")
+
+
+def check_aggregate(aggregate: str) -> str:
+    """Validate an ``aggregate`` choice (``"buffered"`` or ``"streaming"``)."""
+    if aggregate not in AGGREGATES:
+        raise ValueError(
+            f"aggregate must be one of {AGGREGATES}, got {aggregate!r}"
+        )
+    return aggregate
 
 
 # --------------------------------------------------------------------------- #
@@ -144,24 +159,53 @@ class RetryPolicy:
 # --------------------------------------------------------------------------- #
 # Execution reporting
 # --------------------------------------------------------------------------- #
-@dataclass
-class _Counters:
-    """Mutable tallies the executor accumulates across ``run_units`` calls."""
+class _ExecCounters:
+    """The executor's own instruments, created in its metrics registry.
 
-    units: int = 0
-    store_hits: int = 0
-    executed: int = 0
-    submissions: int = 0
-    retries: int = 0
-    timeouts: int = 0
-    requeues: int = 0
-    pool_rebuilds: int = 0
-    degraded: bool = False
+    The attribute names match the historical ``_Counters`` tallies; each is
+    now a live :class:`repro.obs.Counter`/``Gauge`` in ``registry``, so the
+    execution report is a snapshot of the same numbers a ``--metrics-file``
+    scrape sees.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.units = registry.counter(
+            "repro_exec_units_total", help="Work units handled (store hits included)."
+        )
+        self.store_hits = registry.counter(
+            "repro_exec_store_hits_total", help="Units satisfied from the result store."
+        )
+        self.executed = registry.counter(
+            "repro_exec_executed_total", help="Units executed to completion."
+        )
+        self.submissions = registry.counter(
+            "repro_exec_attempts_total", help="Unit executions started (pool and inline)."
+        )
+        self.retries = registry.counter(
+            "repro_exec_retries_total", help="Failures that consumed an attempt and retried."
+        )
+        self.timeouts = registry.counter(
+            "repro_exec_timeouts_total", help="Units killed for exceeding the unit timeout."
+        )
+        self.requeues = registry.counter(
+            "repro_exec_requeues_total", help="In-flight units requeued after a worker crash."
+        )
+        self.pool_rebuilds = registry.counter(
+            "repro_exec_pool_rebuilds_total", help="Worker pools discarded and rebuilt."
+        )
+        self.degraded = registry.gauge(
+            "repro_exec_degraded", help="1 once the executor fell back to in-process execution."
+        )
 
 
 @dataclass(frozen=True)
 class ExecutionReport:
     """Snapshot of everything the fault-tolerance layer did during a run.
+
+    Since the observability PR this is literally a snapshot of the
+    executor's :class:`~repro.obs.MetricsRegistry` (``executor.metrics``):
+    every field reads the corresponding counter, so the report, a
+    ``--metrics-file`` scrape and the JSON progress log all agree.
 
     ``attempts`` counts unit submissions (pool and in-process); ``retries``
     the failures that consumed an attempt and were re-executed;
@@ -388,6 +432,36 @@ def _merge_simulation_records(
     return summarise_values(values), results
 
 
+class _StreamingFold:
+    """Folds each unit's record into a per-unit aggregate as it completes.
+
+    Per-unit partials are merged *in unit order* when a span is read back —
+    never in completion order — so the streaming summary is deterministic
+    for any worker count, chunking or completion interleaving (and, because
+    the sketch merge is exact and Chan's moment merge is order-fixed here,
+    identical across runs).  Memory is one small aggregate per unit instead
+    of every per-trial value and result object.
+    """
+
+    def __init__(self) -> None:
+        self._partials: dict[int, ReplicationAggregate] = {}
+
+    def __call__(self, index: int, record: Mapping[str, Any]) -> None:
+        aggregate = ReplicationAggregate()
+        for value in record["values"]:
+            aggregate.add(float(value))
+        self._partials[index] = aggregate
+
+    def merged(self, start: int, stop: int) -> ReplicationAggregate:
+        """The units ``[start, stop)`` merged in unit order."""
+        total = ReplicationAggregate()
+        for index in range(start, stop):
+            partial = self._partials.get(index)
+            if partial is not None:
+                total.merge(partial)
+        return total
+
+
 # --------------------------------------------------------------------------- #
 # The executor
 # --------------------------------------------------------------------------- #
@@ -422,6 +496,16 @@ class SweepExecutor:
     lease_ttl:
         Seconds a claimed unit may go without a heartbeat before another
         executor may steal it (only meaningful with a store).
+    aggregate:
+        ``"buffered"`` (default) merges unit records into the classic
+        ``(ReplicationSummary, results)`` shapes, holding every per-trial
+        value and result in memory.  ``"streaming"`` folds each record into
+        a mergeable :class:`~repro.analysis.statistics.ReplicationAggregate`
+        the moment the unit completes and drops the record, so a sweep point
+        costs O(1) memory; the high-level entry points then return a
+        :class:`~repro.core.runner.StreamingReplicationSummary` and an empty
+        results list.  Per-trial records still reach the result store, and
+        the default path is bit-for-bit unchanged.
     """
 
     def __init__(
@@ -433,6 +517,7 @@ class SweepExecutor:
         retry: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
         lease_ttl: float = DEFAULT_LEASE_TTL,
+        aggregate: str = "buffered",
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -445,11 +530,25 @@ class SweepExecutor:
         self.retry = retry if retry is not None else RetryPolicy()
         self.fault_plan = fault_plan
         self.lease_ttl = float(lease_ttl)
+        self.aggregate = check_aggregate(aggregate)
         self.leases: Optional[LeaseTable] = None
         if self.store is not None:
             self.leases = LeaseTable(self.store.directory / "leases", ttl=self.lease_ttl)
         self._pool: Optional[ProcessPoolExecutor] = None
-        self._counters = _Counters()
+        #: Per-executor registry: the executor's own counters plus the
+        #: adopted store and lease instruments.  ``--metrics-file`` renders
+        #: this merged with the process-global registry.
+        self.metrics = MetricsRegistry()
+        self._counters = _ExecCounters(self.metrics)
+        self._unit_seconds = self.metrics.histogram(
+            "repro_exec_unit_seconds", help="Wall-clock seconds per executed work unit."
+        )
+        if self.store is not None:
+            for counter in self.store.stats.counters():
+                self.metrics.register(counter)
+        if self.leases is not None:
+            for counter in self.leases.stats.counters():
+                self.metrics.register(counter)
         self._degraded = False
 
     @classmethod
@@ -460,20 +559,25 @@ class SweepExecutor:
         store: Optional[ResultStore | str] = None,
         retries: int = 0,
         unit_timeout: Optional[float] = None,
+        aggregate: str = "buffered",
     ) -> Optional["SweepExecutor"]:
         """An executor when any option departs from the defaults, else ``None``.
 
         The single activation rule behind ``--jobs`` / ``--resume`` /
-        ``--chunk-size`` / ``--retries`` / ``--unit-timeout``: all-default
-        options mean "keep the classic in-process path" (``None`` composes
-        with :func:`execution_override` as a true no-op).
+        ``--chunk-size`` / ``--retries`` / ``--unit-timeout`` /
+        ``--aggregate``: all-default options mean "keep the classic
+        in-process path" (``None`` composes with :func:`execution_override`
+        as a true no-op).  ``aggregate="streaming"`` alone activates an
+        in-process executor, since streaming needs the unit machinery.
         """
+        check_aggregate(aggregate)
         if (
             jobs == 1
             and chunk_size is None
             and store is None
             and retries == 0
             and unit_timeout is None
+            and aggregate == "buffered"
         ):
             return None
         return cls(
@@ -481,6 +585,7 @@ class SweepExecutor:
             chunk_size=chunk_size,
             store=store,
             retry=RetryPolicy.from_options(retries=retries, unit_timeout=unit_timeout),
+            aggregate=aggregate,
         )
 
     # -- lifecycle ---------------------------------------------------------- #
@@ -494,20 +599,24 @@ class SweepExecutor:
             self._pool = None
 
     def execution_report(self) -> ExecutionReport:
-        """Everything the fault-tolerance layer did so far, as one snapshot."""
+        """Everything the fault-tolerance layer did so far, as one snapshot.
+
+        Reads the live instruments in :attr:`metrics`, so the report always
+        agrees with a metrics scrape taken at the same moment.
+        """
         c = self._counters
         store_stats = self.store.stats if self.store is not None else None
         lease_stats = self.leases.stats if self.leases is not None else None
         return ExecutionReport(
-            units=c.units,
-            store_hits=c.store_hits,
-            executed=c.executed,
-            attempts=c.submissions,
-            retries=c.retries,
-            timeouts=c.timeouts,
-            requeues=c.requeues,
-            pool_rebuilds=c.pool_rebuilds,
-            degraded=c.degraded,
+            units=int(c.units.value),
+            store_hits=int(c.store_hits.value),
+            executed=int(c.executed.value),
+            attempts=int(c.submissions.value),
+            retries=int(c.retries.value),
+            timeouts=int(c.timeouts.value),
+            requeues=int(c.requeues.value),
+            pool_rebuilds=int(c.pool_rebuilds.value),
+            degraded=bool(c.degraded.value),
             quarantined=store_stats.quarantined if store_stats else 0,
             fingerprint_mismatches=(
                 store_stats.fingerprint_mismatches if store_stats else 0
@@ -568,7 +677,11 @@ class SweepExecutor:
         ]
 
     # -- execution ---------------------------------------------------------- #
-    def run_units(self, units: Sequence[WorkUnit]) -> list[dict[str, Any]]:
+    def run_units(
+        self,
+        units: Sequence[WorkUnit],
+        consume: Optional[Callable[[int, dict[str, Any]], None]] = None,
+    ) -> list[dict[str, Any]]:
         """Execute (or load) every unit; records are returned in unit order.
 
         Units whose key is already in the store are loaded from disk (after
@@ -578,8 +691,21 @@ class SweepExecutor:
         executor's :class:`RetryPolicy`; worker crashes rebuild the pool and
         requeue its in-flight units; units leased to a concurrent executor
         are awaited (or stolen once the lease expires).
+
+        ``consume``, when given, receives each unit's record exactly once as
+        ``consume(index, record)`` the moment it becomes available (in
+        completion order, NOT unit order) and the record is dropped instead
+        of retained — the streaming-aggregation memory bound — and the call
+        returns an empty list.  A consumer needing unit order must bucket by
+        ``index`` itself (see ``_StreamingFold``).
         """
         records: list[Optional[dict[str, Any]]] = [None] * len(units)
+
+        def deliver(index: int, record: dict[str, Any]) -> None:
+            if consume is not None:
+                consume(index, record)
+            else:
+                records[index] = record
         # Picklability gates both pool dispatch and the store: an unpicklable
         # payload (e.g. a closure) has no faithful content fingerprint — its
         # captured state is invisible to the unit key — so it must neither
@@ -608,13 +734,14 @@ class SweepExecutor:
                 fingerprints[index] = unit.fingerprint(described_by_payload[payload_id])
                 keys[index] = unit_key(unit, described_by_payload[payload_id])
 
-        self._counters.units += len(units)
+        self._counters.units.inc(len(units))
         pending: list[int] = []
         for index, key in enumerate(keys):
             stored = self._load_stored(units[index], key, fingerprints[index])
             if stored is not None:
-                records[index] = stored
-                self._counters.store_hits += 1
+                self._counters.store_hits.inc()
+                emit_progress("unit_store_hit", label=units[index].label, key=key)
+                deliver(index, stored)
             else:
                 pending.append(index)
 
@@ -625,11 +752,14 @@ class SweepExecutor:
         inline = [i for i in pending if i not in parallel_set]
 
         if parallel:
-            self._run_pooled(units, parallel, keys, fingerprints, records)
+            self._run_pooled(units, parallel, keys, fingerprints, deliver)
         for index in inline:
-            records[index] = self._run_inline_unit(
-                units[index], keys[index], fingerprints[index]
+            deliver(
+                index,
+                self._run_inline_unit(units[index], keys[index], fingerprints[index]),
             )
+        if consume is not None:
+            return []
         return [record for record in records if record is not None]
 
     # -- the pooled dispatcher (retries, timeouts, crash recovery) ---------- #
@@ -639,7 +769,7 @@ class SweepExecutor:
         indices: Sequence[int],
         keys: Sequence[Optional[str]],
         fingerprints: Sequence[Optional[dict[str, Any]]],
-        records: list[Optional[dict[str, Any]]],
+        deliver: Callable[[int, dict[str, Any]], None],
     ) -> None:
         policy = self.retry
         crash_limit = max(3, policy.max_attempts)
@@ -655,6 +785,7 @@ class SweepExecutor:
         blocked: dict[int, float] = {}  # lease-blocked -> next poll time
         in_flight: dict[Future, int] = {}
         deadlines: dict[Future, Optional[float]] = {}
+        started: dict[Future, float] = {}
         timed_out: set[int] = set()
         consecutive_rebuilds = 0
         completed_since_rebuild = False
@@ -663,7 +794,8 @@ class SweepExecutor:
             failures[index] += 1
             if failures[index] >= policy.max_attempts:
                 raise exc
-            self._counters.retries += 1
+            self._counters.retries.inc()
+            emit_progress("unit_retry", unit=tokens[index], failures=failures[index])
             ready = time.monotonic() + policy.delay(failures[index], tokens[index])
             heapq.heappush(delayed, (ready, index))
 
@@ -676,7 +808,8 @@ class SweepExecutor:
                 if index in timed_out:
                     # This unit was killed on purpose: its deadline passed.
                     timed_out.discard(index)
-                    self._counters.timeouts += 1
+                    self._counters.timeouts.inc()
+                    emit_progress("unit_timeout", unit=tokens[index])
                     fail(
                         index,
                         TimeoutError(
@@ -689,7 +822,8 @@ class SweepExecutor:
                     # consuming an attempt, bounded so a unit that keeps
                     # losing its pool cannot spin forever.
                     crash_requeues[index] += 1
-                    self._counters.requeues += 1
+                    self._counters.requeues.inc()
+                    emit_progress("unit_requeued", unit=tokens[index])
                     if crash_requeues[index] > crash_limit:
                         raise RuntimeError(
                             f"unit {tokens[index]} lost to {crash_requeues[index]} "
@@ -710,7 +844,11 @@ class SweepExecutor:
                     ),
                 )
                 return False
-            records[index] = self._complete(keys[index], fingerprints[index], record)
+            began = started.get(future)
+            if began is not None:
+                self._unit_seconds.observe(time.monotonic() - began)
+            deliver(index, self._complete(keys[index], fingerprints[index], record))
+            emit_progress("unit_completed", unit=tokens[index])
             completed_since_rebuild = True
             return False
 
@@ -723,9 +861,11 @@ class SweepExecutor:
                 settle(future, index)
             in_flight.clear()
             deadlines.clear()
+            started.clear()
             timed_out.clear()
             self._discard_pool()
-            self._counters.pool_rebuilds += 1
+            self._counters.pool_rebuilds.inc()
+            emit_progress("pool_rebuild", consecutive=consecutive_rebuilds + 1)
             if completed_since_rebuild:
                 consecutive_rebuilds = 1
             else:
@@ -733,7 +873,8 @@ class SweepExecutor:
             completed_since_rebuild = False
             if consecutive_rebuilds > POOL_FAILURE_LIMIT:
                 self._degraded = True
-                self._counters.degraded = True
+                self._counters.degraded.set(1)
+                emit_progress("degraded")
 
         while queue or in_flight or delayed or blocked:
             if self._degraded:
@@ -746,11 +887,14 @@ class SweepExecutor:
                 delayed.clear()
                 blocked.clear()
                 for index in leftovers:
-                    records[index] = self._run_inline_unit(
-                        units[index],
-                        keys[index],
-                        fingerprints[index],
-                        start_submission=submissions[index],
+                    deliver(
+                        index,
+                        self._run_inline_unit(
+                            units[index],
+                            keys[index],
+                            fingerprints[index],
+                            start_submission=submissions[index],
+                        ),
                     )
                 continue
 
@@ -763,8 +907,11 @@ class SweepExecutor:
                 stored = self._load_stored(units[index], keys[index], fingerprints[index])
                 if stored is not None:
                     # The lease holder finished it for us.
-                    records[index] = stored
-                    self._counters.store_hits += 1
+                    self._counters.store_hits.inc()
+                    emit_progress(
+                        "unit_store_hit", label=units[index].label, key=keys[index]
+                    )
+                    deliver(index, stored)
                 else:
                     queue.append(index)
 
@@ -791,8 +938,9 @@ class SweepExecutor:
                     submit_broken = True
                     break
                 submissions[index] += 1
-                self._counters.submissions += 1
+                self._counters.submissions.inc()
                 in_flight[future] = index
+                started[future] = time.monotonic()
                 deadlines[future] = (
                     time.monotonic() + policy.unit_timeout
                     if policy.unit_timeout is not None
@@ -838,6 +986,7 @@ class SweepExecutor:
                 index = in_flight.pop(future)
                 deadlines.pop(future, None)
                 pool_broken |= settle(future, index)
+                started.pop(future, None)
             if pool_broken:
                 rebuild_pool()
 
@@ -853,14 +1002,16 @@ class SweepExecutor:
         if key is not None and self.leases is not None:
             stored = self._await_lease(unit, key, fingerprint)
             if stored is not None:
-                self._counters.store_hits += 1
+                self._counters.store_hits.inc()
+                emit_progress("unit_store_hit", label=unit.label, key=key)
                 return stored
         policy = self.retry
         submission = start_submission
         failures = 0
         while True:
-            self._counters.submissions += 1
+            self._counters.submissions.inc()
             submission += 1
+            began = time.monotonic()
             try:
                 record = run_unit_with_faults(
                     unit, submission - 1, self.fault_plan, in_worker=False
@@ -874,9 +1025,12 @@ class SweepExecutor:
                 failures += 1
                 if failures >= policy.max_attempts:
                     raise
-                self._counters.retries += 1
+                self._counters.retries.inc()
+                emit_progress("unit_retry", unit=token, failures=failures)
                 time.sleep(policy.delay(failures, token))
                 continue
+            self._unit_seconds.observe(time.monotonic() - began)
+            emit_progress("unit_completed", unit=token)
             return self._complete(key, fingerprint, record)
 
     def _await_lease(
@@ -906,6 +1060,22 @@ class SweepExecutor:
         return None
 
     # -- shared completion / recovery helpers ------------------------------- #
+    def _run_streaming(self, units: Sequence[WorkUnit]) -> tuple[Any, list[Any]]:
+        """Run ``units`` folding each record into a streaming aggregate.
+
+        Records are consumed (never buffered) and merged in unit order, so
+        the summary matches any worker count or completion interleaving.
+        Per-trial result objects are not materialised — streaming callers
+        get a :class:`~repro.core.runner.StreamingReplicationSummary` and an
+        empty results list (the per-trial records are still on disk when a
+        store is configured).
+        """
+        from repro.core.runner import StreamingReplicationSummary
+
+        fold = _StreamingFold()
+        self.run_units(units, consume=fold)
+        return StreamingReplicationSummary(fold.merged(0, len(units))), []
+
     def _load_stored(
         self,
         unit: WorkUnit,
@@ -941,7 +1111,7 @@ class SweepExecutor:
             self.store.put(key, record, fingerprint=fingerprint)
             if self.leases is not None:
                 self.leases.release(key)
-        self._counters.executed += 1
+        self._counters.executed.inc()
         return record
 
     def _wait_timeout(
@@ -1009,6 +1179,8 @@ class SweepExecutor:
             backend=backend,
             connectivity=connectivity,
         )
+        if self.aggregate == "streaming":
+            return self._run_streaming(units)
         return _merge_simulation_records(kind, config, self.run_units(units))
 
     def run_process(
@@ -1038,6 +1210,8 @@ class SweepExecutor:
             backend=backend,
             connectivity=connectivity,
         )
+        if self.aggregate == "streaming":
+            return self._run_streaming(units)
         return _merge_process_records(process, self.run_units(units))
 
     def run_sweep(
@@ -1083,6 +1257,15 @@ class SweepExecutor:
             )
             spans.append((len(units), len(units) + len(point_units), config))
             units.extend(point_units)
+        if self.aggregate == "streaming":
+            from repro.core.runner import StreamingReplicationSummary
+
+            fold = _StreamingFold()
+            self.run_units(units, consume=fold)
+            return [
+                (point, StreamingReplicationSummary(fold.merged(start, stop)), [])
+                for point, (start, stop, _config) in zip(points, spans)
+            ]
         records = self.run_units(units)
         return [
             (point, *_merge_simulation_records(kind, config, records[start:stop]))

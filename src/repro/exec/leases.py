@@ -33,18 +33,71 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.obs.metrics import Counter
+
 #: Default seconds without a heartbeat before a lease counts as expired.
 DEFAULT_LEASE_TTL = 60.0
 
 
-@dataclass
 class LeaseStats:
-    """Counters a :class:`LeaseTable` accumulates, for execution reports."""
+    """Counters a :class:`LeaseTable` accumulates, for execution reports.
 
-    claims: int = 0
-    conflicts: int = 0
-    steals: int = 0
-    releases: int = 0
+    The attributes read and assign as plain ``int``s (existing call sites
+    do ``stats.claims += 1``) but are backed by :class:`repro.obs.Counter`
+    instruments, so an executor can adopt them into its
+    :class:`~repro.obs.MetricsRegistry` and the execution report becomes a
+    registry snapshot.  See ``docs/OBSERVABILITY.md``.
+    """
+
+    def __init__(self) -> None:
+        self._claims = Counter(
+            "repro_lease_claims_total", help="Lease claims won (fresh claims and steals)."
+        )
+        self._conflicts = Counter(
+            "repro_lease_conflicts_total", help="Lease claims lost to another live owner."
+        )
+        self._steals = Counter(
+            "repro_lease_steals_total", help="Expired leases stolen from a dead owner."
+        )
+        self._releases = Counter(
+            "repro_lease_releases_total", help="Leases released after unit completion."
+        )
+
+    def counters(self) -> tuple[Counter, ...]:
+        """The backing instruments, for adoption into a registry."""
+        return (self._claims, self._conflicts, self._steals, self._releases)
+
+    @property
+    def claims(self) -> int:
+        return int(self._claims.value)
+
+    @claims.setter
+    def claims(self, value: int) -> None:
+        self._claims.set(value)
+
+    @property
+    def conflicts(self) -> int:
+        return int(self._conflicts.value)
+
+    @conflicts.setter
+    def conflicts(self, value: int) -> None:
+        self._conflicts.set(value)
+
+    @property
+    def steals(self) -> int:
+        return int(self._steals.value)
+
+    @steals.setter
+    def steals(self, value: int) -> None:
+        self._steals.set(value)
+
+    @property
+    def releases(self) -> int:
+        return int(self._releases.value)
+
+    @releases.setter
+    def releases(self, value: int) -> None:
+        self._releases.set(value)
 
 
 @dataclass
@@ -78,29 +131,46 @@ class LeaseTable:
         """
         path = self.path_for(key)
         payload = json.dumps({"owner": self.owner, "claimed_at": time.time()})
-        try:
-            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
-        except FileExistsError:
-            pass
-        else:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(payload)
-            self.stats.claims += 1
-            return True
-        holder = self.holder(key)
-        if holder == self.owner:
-            return True
-        if holder is not None and not self.expired(key):
-            self.stats.conflicts += 1
-            return False
-        # Expired (or unreadable) lease: steal it with an atomic replace, so
-        # concurrent stealers cannot interleave partial writes.
-        tmp = path.with_name(path.name + f".steal-{self.owner}")
+        # The payload is written to a private temp file first and hard-linked
+        # into place: ``os.link`` fails with ``FileExistsError`` exactly like
+        # ``O_CREAT | O_EXCL``, but the lease file becomes visible with its
+        # payload already complete.  Creating the file empty and writing the
+        # payload afterwards (the previous scheme) left a window in which a
+        # concurrent claimant read ``holder() is None`` and stole a lease
+        # whose owner was alive and mid-write.
+        tmp: Optional[Path] = path.with_name(path.name + f".steal-{self.owner}")
         tmp.write_text(payload, encoding="utf-8")
-        os.replace(tmp, path)
-        self.stats.claims += 1
-        self.stats.steals += 1
-        return True
+        try:
+            try:
+                os.link(tmp, path)
+            except FileExistsError:
+                pass
+            else:
+                self.stats.claims += 1
+                return True
+            if self.owns(key):
+                return True
+            self._sweep_stale_temps()
+            # Only a lease whose mtime has outlived the TTL is stealable.  An
+            # unreadable payload with a live mtime is NOT: its writer may be
+            # alive (mid-write, or about to heartbeat), and treating corrupt
+            # as stealable is what let racing claimants both "win".
+            if not self.expired(key):
+                self.stats.conflicts += 1
+                return False
+            # Expired lease: steal it with an atomic replace, so concurrent
+            # stealers cannot interleave partial writes.
+            os.replace(tmp, path)
+            tmp = None  # consumed by the rename
+            self.stats.claims += 1
+            self.stats.steals += 1
+            return True
+        finally:
+            if tmp is not None:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
 
     def holder(self, key: str) -> Optional[str]:
         """Owner id recorded in the lease file, or ``None`` if absent/corrupt."""
@@ -144,6 +214,22 @@ class LeaseTable:
             except OSError:
                 pass
 
+    def _sweep_stale_temps(self) -> None:
+        """Remove ``.steal-*`` temp files abandoned by crashed claimants.
+
+        A claimant that dies between writing its temp file and linking or
+        renaming it leaves the temp behind; anything older than the TTL can
+        never be consumed and is deleted.  Live temps are left alone.
+        """
+        now = time.time()
+        for tmp in Path(self.directory).glob("*.lease.steal-*"):
+            try:
+                if (now - tmp.stat().st_mtime) > self.ttl:
+                    tmp.unlink()
+            except OSError:
+                pass
+
     def keys(self) -> list[str]:
-        """Keys of all live lease files."""
+        """Keys of all live lease files (stale steal temps are swept)."""
+        self._sweep_stale_temps()
         return sorted(p.name[: -len(".lease")] for p in Path(self.directory).glob("*.lease"))

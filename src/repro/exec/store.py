@@ -29,19 +29,72 @@ from __future__ import annotations
 import json
 import os
 import time
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Optional, Union
 
+from repro.obs.metrics import Counter
 
-@dataclass
+
 class StoreStats:
-    """Counters a :class:`ResultStore` accumulates, for execution reports."""
+    """Counters a :class:`ResultStore` accumulates, for execution reports.
 
-    hits: int = 0
-    misses: int = 0
-    quarantined: int = 0
-    fingerprint_mismatches: int = 0
+    The attributes read and assign as plain ``int``s (the executor does
+    ``stats.hits -= 1`` when it reclassifies a hit) but are backed by
+    :class:`repro.obs.Counter` instruments, so an executor can adopt them
+    into its :class:`~repro.obs.MetricsRegistry`.  See
+    ``docs/OBSERVABILITY.md``.
+    """
+
+    def __init__(self) -> None:
+        self._hits = Counter(
+            "repro_store_hits_total", help="Work units satisfied from stored records."
+        )
+        self._misses = Counter(
+            "repro_store_misses_total", help="Store lookups that required execution."
+        )
+        self._quarantined = Counter(
+            "repro_store_quarantined_total", help="Corrupt record files moved aside."
+        )
+        self._fingerprint_mismatches = Counter(
+            "repro_store_fingerprint_mismatches_total",
+            help="Stored records rejected because their fingerprint did not match.",
+        )
+
+    def counters(self) -> tuple[Counter, ...]:
+        """The backing instruments, for adoption into a registry."""
+        return (self._hits, self._misses, self._quarantined, self._fingerprint_mismatches)
+
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.set(value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.set(value)
+
+    @property
+    def quarantined(self) -> int:
+        return int(self._quarantined.value)
+
+    @quarantined.setter
+    def quarantined(self, value: int) -> None:
+        self._quarantined.set(value)
+
+    @property
+    def fingerprint_mismatches(self) -> int:
+        return int(self._fingerprint_mismatches.value)
+
+    @fingerprint_mismatches.setter
+    def fingerprint_mismatches(self, value: int) -> None:
+        self._fingerprint_mismatches.set(value)
 
 
 class ResultStore:

@@ -1,0 +1,48 @@
+"""Run observability: metrics and structured progress logging.
+
+The ``repro.obs`` subsystem is the dependency-free instrumentation layer
+behind long sweeps:
+
+* :mod:`repro.obs.metrics` — counters, gauges and histograms collected in
+  a :class:`MetricsRegistry` and exposed in the Prometheus text format.
+  The sweep executor, the result store, the lease table and the core step
+  loops all publish here; the CLI's ``--metrics-file`` flag writes the
+  combined exposition after a run.
+* :mod:`repro.obs.progress` — structured JSON-line progress logging.  One
+  JSON object per line, machine-parseable, enabled process-wide with
+  :func:`progress_logging` (the CLI's ``--log-json`` flag).
+
+Nothing in this package touches a random stream or a simulation result:
+instrumentation is observational only, so every experiment output stays
+bit-for-bit identical with or without it.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    render_registries,
+)
+from repro.obs.progress import (
+    ProgressLogger,
+    current_progress_logger,
+    emit_progress,
+    progress_logging,
+    set_progress_logger,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProgressLogger",
+    "current_progress_logger",
+    "emit_progress",
+    "global_registry",
+    "progress_logging",
+    "render_registries",
+    "set_progress_logger",
+]

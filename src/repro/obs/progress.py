@@ -1,0 +1,87 @@
+"""Structured JSON-line progress logging.
+
+A progress log is a stream of single-line JSON objects — one event per
+line, each carrying at least ``event`` (the event name) and ``ts`` (a Unix
+timestamp) plus arbitrary event fields.  Machine-parseable by anything that
+reads JSON lines, human-skim-able with ``jq``/``grep``.
+
+The logger is installed process-wide with :func:`progress_logging` (this is
+what the CLI's ``--log-json`` flag does) and instrumented code reports
+through the module-level :func:`emit_progress`, which is a no-op while no
+logger is installed — so the hot paths pay one ``None`` check when logging
+is off.  Events never carry simulation results, only progress facts, and
+emitting them never touches a random stream: experiment outputs are
+bit-for-bit identical with logging on or off.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Any, Iterator, Optional, Union
+
+
+class ProgressLogger:
+    """Writes one JSON object per line to a text stream."""
+
+    def __init__(self, stream: IO[str]) -> None:
+        self._stream = stream
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Write one event line (keys sorted, so lines are deterministic
+        up to the timestamp and field values)."""
+        document = {"event": event, "ts": round(time.time(), 6), **fields}
+        try:
+            self._stream.write(json.dumps(document, sort_keys=True, default=str) + "\n")
+            self._stream.flush()
+        except (OSError, ValueError):
+            # A closed or full log target must never take the run down.
+            pass
+
+
+#: The process-wide logger installed by :func:`progress_logging` / ``--log-json``.
+_LOGGER: Optional[ProgressLogger] = None
+
+
+def current_progress_logger() -> Optional[ProgressLogger]:
+    """The installed :class:`ProgressLogger`, or ``None``."""
+    return _LOGGER
+
+
+def set_progress_logger(logger: Optional[ProgressLogger]) -> Optional[ProgressLogger]:
+    """Install ``logger`` process-wide; returns the previous one."""
+    global _LOGGER
+    previous = _LOGGER
+    _LOGGER = logger
+    return previous
+
+
+def emit_progress(event: str, **fields: Any) -> None:
+    """Emit an event through the installed logger (no-op when none is)."""
+    if _LOGGER is not None:
+        _LOGGER.emit(event, **fields)
+
+
+@contextmanager
+def progress_logging(target: Union[str, Path, IO[str]]) -> Iterator[ProgressLogger]:
+    """Install a JSON-line progress logger for the duration of the block.
+
+    ``target`` is a path (opened in append mode, so several runs can share
+    one log file) or an already-open text stream (left open on exit).
+    """
+    handle: Optional[IO[str]] = None
+    if isinstance(target, (str, Path)):
+        handle = open(target, "a", encoding="utf-8")
+        stream: IO[str] = handle
+    else:
+        stream = target
+    logger = ProgressLogger(stream)
+    previous = set_progress_logger(logger)
+    try:
+        yield logger
+    finally:
+        set_progress_logger(previous)
+        if handle is not None:
+            handle.close()

@@ -66,6 +66,20 @@ class TestBootstrapCI:
         data = [1.0, 5.0, 2.0, 8.0, 3.0]
         assert bootstrap_ci(data, rng=3) == bootstrap_ci(data, rng=3)
 
+    def test_default_rng_is_deterministic_regression(self):
+        # With rng=None the old code seeded from OS entropy, so two analyses
+        # of the *same sample* reported different intervals.  The stream is
+        # now seeded from a hash of the sample bytes.
+        data = [1.0, 5.0, 2.0, 8.0, 3.0]
+        assert bootstrap_ci(data) == bootstrap_ci(data)
+        assert bootstrap_ci(np.asarray(data)) == bootstrap_ci(data)
+
+    def test_default_rng_differs_across_samples(self):
+        # The sample-hash seed must actually depend on the sample.
+        first = bootstrap_ci([1.0, 5.0, 2.0, 8.0, 3.0])
+        second = bootstrap_ci([1.0, 5.0, 2.0, 8.0, 4.0])
+        assert first != second
+
 
 class TestGeometricMean:
     def test_basic(self):

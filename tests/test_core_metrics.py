@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.metrics import CoverageTracker, FrontierTracker, InformedCurve
+from repro.core.metrics import (
+    CoverageTracker,
+    FrontierTracker,
+    InformedCurve,
+    threshold_count,
+)
 from repro.grid.lattice import Grid2D
 
 
@@ -27,6 +32,24 @@ class TestInformedCurve:
         curve = InformedCurve()
         curve.record(np.array([True, False]))
         assert curve.time_to_fraction(2, 1.0) == -1
+
+    def test_time_to_fraction_float_threshold_regression(self):
+        # 0.7 * 10 == 7.000000000000001 in binary floating point, so the
+        # old `count >= fraction * n_agents` comparison demanded 8 informed
+        # agents instead of 7.  The exact integer threshold fixes this.
+        curve = InformedCurve()
+        for n_informed in (0, 3, 7, 10):
+            flags = np.zeros(10, dtype=bool)
+            flags[:n_informed] = True
+            curve.record(flags)
+        assert threshold_count(10, 0.7) == 7
+        assert curve.time_to_fraction(10, 0.7) == 2
+
+    def test_threshold_count_edges(self):
+        assert threshold_count(10, 0.0) == 0
+        assert threshold_count(10, 1.0) == 10
+        assert threshold_count(3, 1 / 3) == 1
+        assert threshold_count(7, 2 / 7) == 2
 
 
 class TestFrontierTracker:
@@ -64,6 +87,23 @@ class TestFrontierTracker:
 
     def test_max_advance_empty(self):
         assert FrontierTracker().max_advance_per_window(3) == 0
+
+    def test_max_advance_ignores_uninformed_sentinel_regression(self):
+        # While no agent is informed the history holds the -1 sentinel; the
+        # old implementation differenced straight across it, so a frontier
+        # appearing at x after a sentinel stretch reported an advance of
+        # x + 1 instead of the real movement.
+        tracker = FrontierTracker()
+        for x, informed in [(5, False), (5, False), (2, True), (3, True)]:
+            tracker.record(np.array([[x, 0]]), np.array([informed]))
+        assert tracker.history.tolist() == [-1, -1, 2, 3]
+        assert tracker.max_advance_per_window(1) == 1
+
+    def test_max_advance_all_sentinel_history(self):
+        tracker = FrontierTracker()
+        for _ in range(3):
+            tracker.record(np.array([[4, 0]]), np.array([False]))
+        assert tracker.max_advance_per_window(2) == 0
 
 
 class TestCoverageTracker:

@@ -187,3 +187,29 @@ class TestOptionsAndVariants:
         )
         result = BroadcastSimulation(config, rng=3).run()
         assert result.completed
+
+
+class TestBroadcastResultTimeToFraction:
+    def _result(self, n_agents: int, curve: list[int]):
+        from repro.core.simulation import BroadcastResult
+
+        config = BroadcastConfig(n_nodes=256, n_agents=n_agents)
+        return BroadcastResult(
+            config=config,
+            broadcast_time=len(curve) - 1,
+            completed=curve[-1] == n_agents,
+            n_steps=len(curve),
+            n_informed=curve[-1],
+            informed_curve=np.asarray(curve),
+        )
+
+    def test_float_threshold_regression(self):
+        # 0.7 * 10 exceeds 7 by one ulp in binary floating point; the old
+        # float comparison therefore demanded an 8th informed agent.  The
+        # integer threshold accepts the step where 7 agents know the rumor.
+        result = self._result(10, [1, 3, 7, 10])
+        assert result.time_to_fraction(0.7) == 2
+
+    def test_fraction_never_reached(self):
+        result = self._result(10, [1, 3, 4])
+        assert result.time_to_fraction(0.5) == -1

@@ -98,16 +98,68 @@ class TestLeaseTable:
         assert table.expired("never-claimed")
         assert table.holder("never-claimed") is None
 
-    def test_corrupt_lease_file_is_reclaimable(self, tmp_path):
+    def test_corrupt_lease_file_is_reclaimable_only_after_expiry(self, tmp_path):
+        # A corrupt payload with a *fresh* mtime may belong to a live owner
+        # caught mid-write, so it must be treated as held; once the mtime
+        # outlives the TTL it is reclaimable like any expired lease.
         table = LeaseTable(tmp_path, ttl=60.0)
         table.path_for("unit").write_text("not json", encoding="utf-8")
         assert table.holder("unit") is None
+        assert not table.claim("unit")
+        assert table.stats.conflicts == 1
+        stale = time.time() - 3600.0
+        os.utime(table.path_for("unit"), (stale, stale))
         assert table.claim("unit")
         assert table.owns("unit")
 
     def test_ttl_validation(self, tmp_path):
         with pytest.raises(ValueError):
             LeaseTable(tmp_path, ttl=0.0)
+
+    def test_concurrent_fresh_claims_have_exactly_one_winner(self, tmp_path):
+        # Regression: claim() used to create the lease file and *then*
+        # write the payload, so a concurrent claimant could read the still
+        # empty file, see ``holder() is None`` and steal a live lease —
+        # both executors then ran the unit.  The claim is now
+        # payload-complete-or-absent (write-to-temp + atomic link), so a
+        # fresh key has exactly one winner no matter the interleaving.
+        n_claimants, n_rounds = 6, 25
+        tables = [
+            LeaseTable(tmp_path, ttl=60.0, owner=f"claimant-{i}")
+            for i in range(n_claimants)
+        ]
+        barrier = threading.Barrier(n_claimants)
+        wins = [[False] * n_rounds for _ in range(n_claimants)]
+
+        def run(i: int) -> None:
+            for r in range(n_rounds):
+                barrier.wait()
+                wins[i][r] = tables[i].claim(f"unit-{r}")
+
+        threads = [
+            threading.Thread(target=run, args=(i,)) for i in range(n_claimants)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for r in range(n_rounds):
+            winners = sum(row[r] for row in wins)
+            assert winners == 1, f"round {r}: {winners} winners"
+        # Losing claimants must clean up their temp payload files.
+        assert not list(tmp_path.glob("*.steal-*"))
+
+    def test_stale_claim_temps_are_swept(self, tmp_path):
+        table = LeaseTable(tmp_path, ttl=1.0)
+        stray = tmp_path / "unit.lease.steal-dead-owner"
+        stray.write_text("{}", encoding="utf-8")
+        old = time.time() - 3600.0
+        os.utime(stray, (old, old))
+        fresh = tmp_path / "unit.lease.steal-live-owner"
+        fresh.write_text("{}", encoding="utf-8")
+        table.keys()  # any directory scan sweeps expired temps
+        assert not stray.exists()
+        assert fresh.exists()  # younger than the TTL: may still be mid-claim
 
 
 # --------------------------------------------------------------------------- #
