@@ -3,11 +3,12 @@
 Public surface of the ``repro.exec`` subsystem:
 
 * :class:`SweepExecutor` — decomposes replicated measurements into
-  (sweep-point × replication-chunk) work units, runs them in process or
-  over a process pool, and merges the records back;
+  (sweep-point × replication-chunk) work units, runs them in process, over
+  a process pool, or over HTTP workers (``dispatch="remote"``), and merges
+  the records back;
 * :class:`ResultStore` — the on-disk record store that makes interrupted
   sweeps resumable;
-* :func:`execution_override` / :func:`current_executor` — the process-wide
+* :func:`execution_override` / :func:`current_executor` — the ambient
   override through which ``--jobs`` / ``--resume`` reach every experiment's
   replication loops;
 * :func:`map_replications` — the executor-aware per-trial map experiments
@@ -19,27 +20,45 @@ Public surface of the ``repro.exec`` subsystem:
   worker-crash recovery, and the per-run observability snapshot;
 * :class:`LeaseTable` — cooperative unit ownership for concurrent or
   restarted executors sharing one store;
-* :class:`FaultPlan` / :class:`FaultInjectionError` — the deterministic
-  fault-injection harness the chaos suite drives.
+* :class:`FaultPlan` / :class:`FaultInjectionError` /
+  :class:`TransportFaultPlan` — the deterministic fault-injection harness
+  the chaos suite drives (process faults and HTTP transport faults);
+* :class:`Coordinator` / :func:`run_worker` — the multi-host transport:
+  an embedded HTTP coordinator serving the unit lifecycle, and the worker
+  loop behind ``repro worker --coordinator URL``;
+* :func:`encode_unit` / :func:`decode_unit` / :func:`unit_is_remotable` —
+  the wire codecs (:mod:`repro.exec.protocol`).
 
 See ``docs/PARALLEL.md`` for the work-unit model, the determinism contract,
-resume semantics and the fault-tolerance layer.
+resume semantics and the fault-tolerance layer, and ``docs/DISTRIBUTED.md``
+for the coordinator/worker protocol.
 """
 
 from repro.exec.executor import (
     AGGREGATES,
+    DISPATCH_MODES,
     ExecutionReport,
     RetryPolicy,
     SweepExecutor,
     check_aggregate,
+    check_dispatch,
     current_executor,
     execute_unit,
     execution_override,
     map_replications,
     run_unit_with_faults,
 )
-from repro.exec.faults import FaultInjectionError, FaultPlan
+from repro.exec.faults import FaultInjectionError, FaultPlan, TransportFaultPlan
 from repro.exec.leases import LeaseTable
+from repro.exec.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    canonical_json,
+    decode_unit,
+    encode_unit,
+    unit_is_remotable,
+)
+from repro.exec.remote import Coordinator, CoordinatorClient, WorkerStats, run_worker
 from repro.exec.seeds import SeedStreamSpec
 from repro.exec.store import ResultStore
 from repro.exec.units import (
@@ -52,23 +71,36 @@ from repro.exec.units import (
 
 __all__ = [
     "AGGREGATES",
+    "DISPATCH_MODES",
+    "PROTOCOL_VERSION",
+    "Coordinator",
+    "CoordinatorClient",
     "ExecutionReport",
     "check_aggregate",
+    "check_dispatch",
     "FaultInjectionError",
     "FaultPlan",
     "LeaseTable",
+    "ProtocolError",
     "RetryPolicy",
     "SweepExecutor",
     "ResultStore",
     "SeedStreamSpec",
+    "TransportFaultPlan",
     "WorkUnit",
+    "WorkerStats",
+    "canonical_json",
     "chunk_bounds",
     "current_executor",
+    "decode_unit",
     "default_chunk_size",
+    "encode_unit",
     "execute_unit",
     "execution_override",
     "map_replications",
     "record_matches_unit",
     "run_unit_with_faults",
+    "run_worker",
+    "unit_is_remotable",
     "unit_key",
 ]

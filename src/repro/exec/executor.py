@@ -34,10 +34,16 @@ requeues and lease steals merges exactly the records a fault-free ``jobs=1``
 run produces.  A per-run :class:`ExecutionReport` makes the recovery work
 observable.
 
-The module-global override installed by :func:`execution_override` is how
+The context-local override installed by :func:`execution_override` is how
 ``--jobs`` reaches the replication runners inside experiments without
 per-experiment plumbing, mirroring
 :func:`repro.core.runner.backend_override`.
+
+Remote dispatch (``dispatch="remote"``) embeds an HTTP coordinator
+(:mod:`repro.exec.remote`) instead of a process pool: remotable units are
+queued for ``repro worker`` processes on any host, everything else runs
+inline, and the same merge path assembles the same bytes.  See
+``docs/DISTRIBUTED.md``.
 """
 
 from __future__ import annotations
@@ -45,11 +51,14 @@ from __future__ import annotations
 import hashlib
 import heapq
 import os
+import shutil
+import tempfile
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
 
@@ -84,6 +93,11 @@ POOL_FAILURE_LIMIT = 3
 #: Record-merging styles an executor supports.
 AGGREGATES = ("buffered", "streaming")
 
+#: Unit dispatch modes an executor supports.  ``"auto"`` resolves to
+#: ``"remote"`` when a listen address is given, else ``"pool"`` when
+#: ``jobs > 1``, else ``"inline"`` — the pre-remote behaviour exactly.
+DISPATCH_MODES = ("auto", "inline", "pool", "remote")
+
 
 def check_aggregate(aggregate: str) -> str:
     """Validate an ``aggregate`` choice (``"buffered"`` or ``"streaming"``)."""
@@ -92,6 +106,15 @@ def check_aggregate(aggregate: str) -> str:
             f"aggregate must be one of {AGGREGATES}, got {aggregate!r}"
         )
     return aggregate
+
+
+def check_dispatch(dispatch: str) -> str:
+    """Validate a ``dispatch`` choice (one of :data:`DISPATCH_MODES`)."""
+    if dispatch not in DISPATCH_MODES:
+        raise ValueError(
+            f"dispatch must be one of {DISPATCH_MODES}, got {dispatch!r}"
+        )
+    return dispatch
 
 
 # --------------------------------------------------------------------------- #
@@ -506,6 +529,19 @@ class SweepExecutor:
         :class:`~repro.core.runner.StreamingReplicationSummary` and an empty
         results list.  Per-trial records still reach the result store, and
         the default path is bit-for-bit unchanged.
+    dispatch:
+        ``"auto"`` (default) resolves to ``"remote"`` when ``listen`` is
+        given, else ``"pool"`` when ``jobs > 1``, else ``"inline"`` — the
+        historical behaviour.  ``"remote"`` embeds an HTTP coordinator and
+        queues every wire-safe unit for external ``repro worker`` loops;
+        units that cannot cross the wire (map payloads, non-JSON-able
+        configs) run inline.  Any topology of workers produces bit-for-bit
+        the ``jobs=1`` result.
+    listen:
+        ``"host:port"`` bind address of the embedded coordinator (remote
+        dispatch only; port 0 picks a free port — read it back from
+        ``executor.coordinator.address``).  Defaults to loopback; the
+        coordinator is unauthenticated, so never bind a public interface.
     """
 
     def __init__(
@@ -518,6 +554,8 @@ class SweepExecutor:
         fault_plan: Optional[FaultPlan] = None,
         lease_ttl: float = DEFAULT_LEASE_TTL,
         aggregate: str = "buffered",
+        dispatch: str = "auto",
+        listen: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -531,6 +569,17 @@ class SweepExecutor:
         self.fault_plan = fault_plan
         self.lease_ttl = float(lease_ttl)
         self.aggregate = check_aggregate(aggregate)
+        check_dispatch(dispatch)
+        if dispatch == "auto":
+            dispatch = "remote" if listen is not None else ("pool" if jobs > 1 else "inline")
+        self.dispatch = dispatch
+        #: A remote executor needs a store (the coordinator's source of
+        #: truth for pushed records); without one a private temp directory
+        #: serves the run and is removed on close.
+        self._own_store_dir: Optional[str] = None
+        if self.dispatch == "remote" and self.store is None:
+            self._own_store_dir = tempfile.mkdtemp(prefix="repro-remote-store-")
+            self.store = ResultStore(self._own_store_dir)
         self.leases: Optional[LeaseTable] = None
         if self.store is not None:
             self.leases = LeaseTable(self.store.directory / "leases", ttl=self.lease_ttl)
@@ -550,6 +599,19 @@ class SweepExecutor:
             for counter in self.leases.stats.counters():
                 self.metrics.register(counter)
         self._degraded = False
+        #: The embedded HTTP coordinator (remote dispatch only), started
+        #: eagerly so ``/metrics`` answers before any unit is submitted.
+        self.coordinator = None
+        if self.dispatch == "remote":
+            from repro.exec.remote import Coordinator
+            from repro.obs.metrics import global_registry
+
+            self.coordinator = Coordinator(
+                self.store,
+                lease_ttl=self.lease_ttl,
+                listen=listen or "127.0.0.1:0",
+                extra_registries=(self.metrics, global_registry()),
+            )
 
     @classmethod
     def from_options(
@@ -560,17 +622,23 @@ class SweepExecutor:
         retries: int = 0,
         unit_timeout: Optional[float] = None,
         aggregate: str = "buffered",
+        dispatch: str = "auto",
+        listen: Optional[str] = None,
+        lease_ttl: Optional[float] = None,
     ) -> Optional["SweepExecutor"]:
         """An executor when any option departs from the defaults, else ``None``.
 
         The single activation rule behind ``--jobs`` / ``--resume`` /
         ``--chunk-size`` / ``--retries`` / ``--unit-timeout`` /
-        ``--aggregate``: all-default options mean "keep the classic
-        in-process path" (``None`` composes with :func:`execution_override`
-        as a true no-op).  ``aggregate="streaming"`` alone activates an
-        in-process executor, since streaming needs the unit machinery.
+        ``--aggregate`` / ``--dispatch`` / ``--listen``: all-default options
+        mean "keep the classic in-process path" (``None`` composes with
+        :func:`execution_override` as a true no-op).
+        ``aggregate="streaming"`` alone activates an in-process executor,
+        since streaming needs the unit machinery; a non-``"auto"`` dispatch
+        or a listen address activates one because dispatch needs it.
         """
         check_aggregate(aggregate)
+        check_dispatch(dispatch)
         if (
             jobs == 1
             and chunk_size is None
@@ -578,6 +646,8 @@ class SweepExecutor:
             and retries == 0
             and unit_timeout is None
             and aggregate == "buffered"
+            and dispatch == "auto"
+            and listen is None
         ):
             return None
         return cls(
@@ -586,17 +656,30 @@ class SweepExecutor:
             store=store,
             retry=RetryPolicy.from_options(retries=retries, unit_timeout=unit_timeout),
             aggregate=aggregate,
+            dispatch=dispatch,
+            listen=listen,
+            lease_ttl=lease_ttl if lease_ttl is not None else DEFAULT_LEASE_TTL,
         )
 
     # -- lifecycle ---------------------------------------------------------- #
     def close(self) -> None:
-        """Shut down the worker pool and release held leases (idempotent)."""
+        """Shut down the pool, coordinator and held leases (idempotent).
+
+        A remote executor's coordinator first tells polling workers the
+        sweep is done, then stops serving; a temp store created for
+        store-less remote dispatch is removed with it.
+        """
+        if self.coordinator is not None:
+            self.coordinator.close()
         if self.leases is not None:
             for key in self.leases.keys():
                 self.leases.release(key)
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._own_store_dir is not None:
+            shutil.rmtree(self._own_store_dir, ignore_errors=True)
+            self._own_store_dir = None
 
     def execution_report(self) -> ExecutionReport:
         """Everything the fault-tolerance layer did so far, as one snapshot.
@@ -745,8 +828,44 @@ class SweepExecutor:
             else:
                 pending.append(index)
 
+        # Remote dispatch: every storable unit that survives the wire goes to
+        # the coordinator's queue for workers to drain; anything else (map
+        # payloads, non-JSON-able configs) falls back to inline execution
+        # here, exactly as the jobs=1 reference path would run it.
+        remote_keys: list[str] = []
+        if self.coordinator is not None and pending:
+            from repro.exec.protocol import unit_is_remotable
+
+            def remote_callback(index: int) -> Callable[[dict[str, Any]], None]:
+                def on_record(record: dict[str, Any]) -> None:
+                    self._counters.executed.inc()
+                    deliver(index, record)
+
+                return on_record
+
+            local: list[int] = []
+            for index in pending:
+                key = keys[index]
+                if key is None or not storable[index] or not unit_is_remotable(units[index]):
+                    local.append(index)
+                    continue
+                self.coordinator.submit(
+                    units[index],
+                    key,
+                    fingerprints[index],
+                    on_record=remote_callback(index),
+                )
+                self._counters.submissions.inc()
+                remote_keys.append(key)
+            pending = local
+
         parallel: list[int] = []
-        if self.jobs > 1 and len(pending) > 1 and not self._degraded:
+        if (
+            self.dispatch == "pool"
+            and self.jobs > 1
+            and len(pending) > 1
+            and not self._degraded
+        ):
             parallel = [i for i in pending if storable[i]]
         parallel_set = set(parallel)
         inline = [i for i in pending if i not in parallel_set]
@@ -758,6 +877,9 @@ class SweepExecutor:
                 index,
                 self._run_inline_unit(units[index], keys[index], fingerprints[index]),
             )
+        if remote_keys:
+            assert self.coordinator is not None
+            self.coordinator.wait(remote_keys)
         if consume is not None:
             return []
         return [record for record in records if record is not None]
@@ -1308,9 +1430,16 @@ def _config_label(kind: str, config: Any) -> str:
 
 
 # --------------------------------------------------------------------------- #
-# The process-wide override (how --jobs reaches experiments' inner loops).
+# The ambient override (how --jobs reaches experiments' inner loops).
 # --------------------------------------------------------------------------- #
-_EXECUTOR: Optional[SweepExecutor] = None
+#: Context-local rather than a plain module global so that in-process remote
+#: workers (threads running :func:`execute_unit` while the main thread holds
+#: an :func:`execution_override`) neither see the main thread's executor nor
+#: race its install/restore.  Pool workers are separate processes and start
+#: from the default (``None``) either way.
+_EXECUTOR: ContextVar[Optional[SweepExecutor]] = ContextVar(
+    "repro_exec_executor", default=None
+)
 
 
 @contextmanager
@@ -1323,34 +1452,30 @@ def execution_override(executor: Optional[SweepExecutor]) -> Iterator[None]:
     the command line's ``--jobs`` / ``--resume`` flags reach experiments
     that drive their replications internally.
     """
-    global _EXECUTOR
     if executor is None:
         yield
         return
-    previous = _EXECUTOR
-    _EXECUTOR = executor
+    token = _EXECUTOR.set(executor)
     try:
         yield
     finally:
-        _EXECUTOR = previous
+        _EXECUTOR.reset(token)
         executor.close()
 
 
 @contextmanager
 def _suspended_override() -> Iterator[None]:
     """Temporarily clear the executor override (worker recursion guard)."""
-    global _EXECUTOR
-    previous = _EXECUTOR
-    _EXECUTOR = None
+    token = _EXECUTOR.set(None)
     try:
         yield
     finally:
-        _EXECUTOR = previous
+        _EXECUTOR.reset(token)
 
 
 def current_executor() -> Optional[SweepExecutor]:
     """The active :class:`SweepExecutor`, or ``None``."""
-    return _EXECUTOR
+    return _EXECUTOR.get()
 
 
 def map_replications(

@@ -1,0 +1,447 @@
+"""Wire protocol for multi-host sweep execution.
+
+Everything that crosses the coordinator/worker HTTP boundary is defined
+here: JSON codecs for :class:`~repro.exec.units.WorkUnit`\\ s (including the
+simulation configs inside them) and the request/response message shapes of
+the coordinator API (:mod:`repro.exec.remote`).
+
+Design rules
+------------
+* **Canonical JSON everywhere.**  Bodies are serialised with
+  :func:`canonical_json` (sorted keys, no whitespace), so byte-equality of
+  two encoded documents is exactly value-equality — which is what lets the
+  coordinator accept a double-pushed record idempotently by comparing bytes.
+* **Strict decoding.**  Every ``from_json`` / ``decode_*`` function
+  validates shape and types and raises :class:`ProtocolError` on anything
+  malformed; a bad message must be rejected at the boundary, never handed
+  half-parsed to the executor.
+* **Round-trip fidelity.**  ``decode(encode(x)) == x`` for every unit and
+  message — the property the Hypothesis suite in
+  ``tests/test_exec_protocol.py`` pins down.  This is what makes a unit's
+  result independent of *where* it executes: the worker rebuilds exactly
+  the unit the coordinator decomposed.
+
+Only ``"broadcast"``, ``"gossip"`` and ``"process"`` units cross the wire
+(:data:`REMOTE_KINDS`): their payloads are pure data (a config dataclass or
+a registered process-kernel spec).  ``"map"`` payloads hold live callables
+and never leave the coordinator process — the executor runs them inline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from repro.core.config import BroadcastConfig, GossipConfig
+from repro.exec.seeds import SeedStreamSpec
+from repro.exec.units import UNIT_KINDS, WorkUnit
+from repro.util.serialization import to_jsonable
+
+#: Version stamped on every encoded unit and register handshake; a worker
+#: and coordinator must agree exactly (the protocol has no compat shims).
+PROTOCOL_VERSION = 1
+
+#: Unit kinds whose payloads survive JSON encoding (see module docstring).
+REMOTE_KINDS = ("broadcast", "gossip", "process")
+
+#: Config dataclasses allowed inside simulation-unit payloads.
+_CONFIG_TYPES: dict[str, type] = {
+    "BroadcastConfig": BroadcastConfig,
+    "GossipConfig": GossipConfig,
+}
+
+
+class ProtocolError(ValueError):
+    """A message or unit document that does not conform to the protocol."""
+
+
+def canonical_json(document: Any) -> str:
+    """``document`` as canonical JSON (sorted keys, minimal separators).
+
+    Two value-equal documents always canonicalise to identical bytes, so
+    byte comparison of canonical forms is value comparison — the idempotent
+    double-push check relies on this.
+    """
+    try:
+        return json.dumps(document, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"document is not JSON-able: {exc}") from exc
+
+
+# --------------------------------------------------------------------------- #
+# Strict field extraction
+# --------------------------------------------------------------------------- #
+def _expect_mapping(document: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(document, Mapping):
+        raise ProtocolError(f"{what} must be a JSON object, got {type(document).__name__}")
+    return document
+
+
+def _field(document: Mapping[str, Any], name: str, what: str) -> Any:
+    if name not in document:
+        raise ProtocolError(f"{what} is missing required field {name!r}")
+    return document[name]
+
+
+def _str_field(document: Mapping[str, Any], name: str, what: str) -> str:
+    value = _field(document, name, what)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(f"{what}.{name} must be a non-empty string, got {value!r}")
+    return value
+
+
+def _int_field(document: Mapping[str, Any], name: str, what: str) -> int:
+    value = _field(document, name, what)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"{what}.{name} must be an integer, got {value!r}")
+    return value
+
+
+def _dict_field(document: Mapping[str, Any], name: str, what: str) -> dict[str, Any]:
+    value = _field(document, name, what)
+    if not isinstance(value, Mapping):
+        raise ProtocolError(f"{what}.{name} must be a JSON object, got {type(value).__name__}")
+    return dict(value)
+
+
+# --------------------------------------------------------------------------- #
+# Config + unit codecs
+# --------------------------------------------------------------------------- #
+def encode_config(config: Any) -> dict[str, Any]:
+    """A simulation config dataclass as a typed JSON document."""
+    type_name = type(config).__name__
+    if type_name not in _CONFIG_TYPES:
+        raise ProtocolError(f"unsupported config type {type_name!r}")
+    try:
+        fields = to_jsonable(config)
+    except TypeError as exc:
+        # e.g. a barrier domain object in mobility_kwargs: such configs have
+        # no faithful JSON form and their units stay on the coordinator.
+        raise ProtocolError(f"config {type_name} is not JSON-able: {exc}") from exc
+    return {"type": type_name, "fields": fields}
+
+
+def decode_config(document: Any) -> Any:
+    """Inverse of :func:`encode_config` (strictly validated)."""
+    document = _expect_mapping(document, "config document")
+    type_name = _str_field(document, "type", "config document")
+    cls = _CONFIG_TYPES.get(type_name)
+    if cls is None:
+        raise ProtocolError(f"unsupported config type {type_name!r}")
+    fields = _dict_field(document, "fields", "config document")
+    try:
+        return cls(**fields)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid {type_name} fields: {exc}") from exc
+
+
+def _encode_payload(kind: str, payload: Mapping[str, Any]) -> dict[str, Any]:
+    if kind in ("broadcast", "gossip"):
+        return {"config": encode_config(_field(payload, "config", "unit payload"))}
+    if kind == "process":
+        spec = _field(payload, "process", "unit payload")
+        try:
+            spec = to_jsonable(spec)
+        except TypeError as exc:
+            raise ProtocolError(f"process spec is not JSON-able: {exc}") from exc
+        spec = _expect_mapping(spec, "process spec")
+        _str_field(spec, "name", "process spec")
+        return {"process": dict(spec)}
+    raise ProtocolError(
+        f"unit kind {kind!r} does not cross the wire (its payload holds live objects)"
+    )
+
+
+def _decode_payload(kind: str, document: Any) -> dict[str, Any]:
+    document = _expect_mapping(document, "unit payload")
+    if kind in ("broadcast", "gossip"):
+        return {"config": decode_config(_field(document, "config", "unit payload"))}
+    spec = _dict_field(document, "process", "unit payload")
+    _str_field(spec, "name", "process spec")
+    kwargs = spec.get("kwargs")
+    if kwargs is not None and not isinstance(kwargs, Mapping):
+        raise ProtocolError(f"process spec kwargs must be a JSON object, got {kwargs!r}")
+    return {"process": spec}
+
+
+def encode_unit(unit: WorkUnit) -> dict[str, Any]:
+    """A :class:`WorkUnit` as a JSON document (raises for non-remote kinds)."""
+    return {
+        "version": PROTOCOL_VERSION,
+        "label": unit.label,
+        "kind": unit.kind,
+        "payload": _encode_payload(unit.kind, unit.payload),
+        "n_replications": unit.n_replications,
+        "start": unit.start,
+        "stop": unit.stop,
+        "seed": unit.seed.as_json(),
+        "backend": unit.backend,
+        "connectivity": unit.connectivity,
+    }
+
+
+def decode_unit(document: Any) -> WorkUnit:
+    """Inverse of :func:`encode_unit` (strictly validated)."""
+    document = _expect_mapping(document, "unit document")
+    version = _int_field(document, "version", "unit document")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: unit is v{version}, this side speaks v{PROTOCOL_VERSION}"
+        )
+    kind = _str_field(document, "kind", "unit document")
+    if kind not in REMOTE_KINDS or kind not in UNIT_KINDS:
+        raise ProtocolError(f"unit kind must be one of {REMOTE_KINDS}, got {kind!r}")
+    for name in ("backend", "connectivity"):
+        value = document.get(name)
+        if value is not None and not isinstance(value, str):
+            raise ProtocolError(f"unit document.{name} must be a string or null, got {value!r}")
+    try:
+        seed = SeedStreamSpec.from_json(_dict_field(document, "seed", "unit document"))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid seed spec: {exc}") from exc
+    try:
+        return WorkUnit(
+            label=_str_field(document, "label", "unit document"),
+            kind=kind,
+            payload=_decode_payload(kind, _field(document, "payload", "unit document")),
+            n_replications=_int_field(document, "n_replications", "unit document"),
+            start=_int_field(document, "start", "unit document"),
+            stop=_int_field(document, "stop", "unit document"),
+            seed=seed,
+            backend=document.get("backend"),
+            connectivity=document.get("connectivity"),
+        )
+    except ValueError as exc:
+        raise ProtocolError(f"invalid unit document: {exc}") from exc
+
+
+def unit_is_remotable(unit: WorkUnit) -> bool:
+    """Whether ``unit`` survives the wire (kind and payload both encode)."""
+    try:
+        encode_unit(unit)
+        return True
+    except ProtocolError:
+        return False
+
+
+# --------------------------------------------------------------------------- #
+# Coordinator API messages
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RegisterRequest:
+    """``POST /api/register`` body: a worker announcing itself."""
+
+    worker: str
+    pid: int = 0
+    host: str = ""
+    version: int = PROTOCOL_VERSION
+
+    def as_json(self) -> dict[str, Any]:
+        return {"worker": self.worker, "pid": self.pid, "host": self.host, "version": self.version}
+
+    @classmethod
+    def from_json(cls, document: Any) -> "RegisterRequest":
+        document = _expect_mapping(document, "register request")
+        host = document.get("host", "")
+        if not isinstance(host, str):
+            raise ProtocolError(f"register request.host must be a string, got {host!r}")
+        return cls(
+            worker=_str_field(document, "worker", "register request"),
+            pid=_int_field(document, "pid", "register request") if "pid" in document else 0,
+            host=host,
+            version=_int_field(document, "version", "register request"),
+        )
+
+
+@dataclass(frozen=True)
+class RegisterResponse:
+    """``POST /api/register`` response: the coordinator's operating terms."""
+
+    worker: str
+    lease_ttl: float
+    poll_interval: float
+
+    def as_json(self) -> dict[str, Any]:
+        return {
+            "worker": self.worker,
+            "lease_ttl": self.lease_ttl,
+            "poll_interval": self.poll_interval,
+        }
+
+    @classmethod
+    def from_json(cls, document: Any) -> "RegisterResponse":
+        document = _expect_mapping(document, "register response")
+        return cls(
+            worker=_str_field(document, "worker", "register response"),
+            lease_ttl=float(_field(document, "lease_ttl", "register response")),
+            poll_interval=float(_field(document, "poll_interval", "register response")),
+        )
+
+
+@dataclass(frozen=True)
+class ClaimRequest:
+    """``POST /api/claim`` body: a registered worker asking for a unit."""
+
+    worker: str
+
+    def as_json(self) -> dict[str, Any]:
+        return {"worker": self.worker}
+
+    @classmethod
+    def from_json(cls, document: Any) -> "ClaimRequest":
+        document = _expect_mapping(document, "claim request")
+        return cls(worker=_str_field(document, "worker", "claim request"))
+
+
+@dataclass(frozen=True)
+class ClaimResponse:
+    """``POST /api/claim`` response.
+
+    ``status`` is ``"unit"`` (a lease on ``key`` is now held by the worker,
+    whose record push must echo ``fingerprint``), ``"idle"`` (everything
+    pending is leased elsewhere — poll again after ``retry_after``) or
+    ``"done"`` (the coordinator is finished; the worker should exit).
+    """
+
+    status: str
+    key: Optional[str] = None
+    fingerprint: Optional[dict[str, Any]] = None
+    retry_after: float = 0.5
+
+    STATUSES = ("unit", "idle", "done")
+
+    def as_json(self) -> dict[str, Any]:
+        return {
+            "status": self.status,
+            "key": self.key,
+            "fingerprint": self.fingerprint,
+            "retry_after": self.retry_after,
+        }
+
+    @classmethod
+    def from_json(cls, document: Any) -> "ClaimResponse":
+        document = _expect_mapping(document, "claim response")
+        status = _str_field(document, "status", "claim response")
+        if status not in cls.STATUSES:
+            raise ProtocolError(f"claim status must be one of {cls.STATUSES}, got {status!r}")
+        key = document.get("key")
+        if status == "unit":
+            if not isinstance(key, str) or not key:
+                raise ProtocolError(f"claim response.key must be a non-empty string, got {key!r}")
+            fingerprint = _dict_field(document, "fingerprint", "claim response")
+        else:
+            key, fingerprint = None, None
+        retry_after = document.get("retry_after", 0.5)
+        if not isinstance(retry_after, (int, float)) or isinstance(retry_after, bool):
+            raise ProtocolError(f"claim response.retry_after must be a number, got {retry_after!r}")
+        return cls(status=status, key=key, fingerprint=fingerprint, retry_after=float(retry_after))
+
+
+@dataclass(frozen=True)
+class HeartbeatRequest:
+    """``POST /api/heartbeat`` body: leases the worker is still working on."""
+
+    worker: str
+    keys: tuple[str, ...] = ()
+
+    def as_json(self) -> dict[str, Any]:
+        return {"worker": self.worker, "keys": list(self.keys)}
+
+    @classmethod
+    def from_json(cls, document: Any) -> "HeartbeatRequest":
+        document = _expect_mapping(document, "heartbeat request")
+        keys = _field(document, "keys", "heartbeat request")
+        if not isinstance(keys, list) or not all(isinstance(k, str) and k for k in keys):
+            raise ProtocolError(f"heartbeat request.keys must be a list of keys, got {keys!r}")
+        return cls(
+            worker=_str_field(document, "worker", "heartbeat request"),
+            keys=tuple(keys),
+        )
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """``POST /api/fail`` body: a worker reporting a unit it could not run.
+
+    The coordinator releases the worker's lease so another worker retries
+    immediately instead of waiting out the TTL; units that keep failing are
+    eventually declared dead (see ``Coordinator.max_unit_failures``).
+    """
+
+    worker: str
+    key: str
+    error: str = ""
+
+    def as_json(self) -> dict[str, Any]:
+        return {"worker": self.worker, "key": self.key, "error": self.error}
+
+    @classmethod
+    def from_json(cls, document: Any) -> "FailureReport":
+        document = _expect_mapping(document, "failure report")
+        error = document.get("error", "")
+        if not isinstance(error, str):
+            raise ProtocolError(f"failure report.error must be a string, got {error!r}")
+        return cls(
+            worker=_str_field(document, "worker", "failure report"),
+            key=_str_field(document, "key", "failure report"),
+            error=error,
+        )
+
+
+@dataclass(frozen=True)
+class PushRequest:
+    """``POST /api/push`` body: a completed unit's canonical record.
+
+    ``fingerprint`` must echo the fingerprint the claim handed out; the
+    coordinator verifies it against the unit's own fingerprint before the
+    record may touch the store.
+    """
+
+    worker: str
+    key: str
+    fingerprint: dict[str, Any]
+    record: dict[str, Any]
+
+    def as_json(self) -> dict[str, Any]:
+        return {
+            "worker": self.worker,
+            "key": self.key,
+            "fingerprint": self.fingerprint,
+            "record": self.record,
+        }
+
+    @classmethod
+    def from_json(cls, document: Any) -> "PushRequest":
+        document = _expect_mapping(document, "push request")
+        return cls(
+            worker=_str_field(document, "worker", "push request"),
+            key=_str_field(document, "key", "push request"),
+            fingerprint=_dict_field(document, "fingerprint", "push request"),
+            record=_dict_field(document, "record", "push request"),
+        )
+
+
+@dataclass(frozen=True)
+class PushResponse:
+    """``POST /api/push`` response: ``"stored"`` or ``"duplicate"``.
+
+    ``"duplicate"`` acknowledges a byte-equal re-push of an already-stored
+    record — the normal outcome of a retried push whose first response was
+    lost, and of a double-run after a lease steal.
+    """
+
+    status: str
+
+    STATUSES = ("stored", "duplicate")
+
+    def as_json(self) -> dict[str, Any]:
+        return {"status": self.status}
+
+    @classmethod
+    def from_json(cls, document: Any) -> "PushResponse":
+        document = _expect_mapping(document, "push response")
+        status = _str_field(document, "status", "push response")
+        if status not in cls.STATUSES:
+            raise ProtocolError(f"push status must be one of {cls.STATUSES}, got {status!r}")
+        return cls(status=status)

@@ -1,0 +1,881 @@
+"""Multi-host sweep execution: HTTP coordinator + worker loop.
+
+The missing transport between :class:`~repro.exec.executor.SweepExecutor`
+and a fleet of hosts.  Everything that makes single-box execution
+deterministic and resumable already lives below this module — JSON-able
+:class:`~repro.exec.seeds.SeedStreamSpec` stream derivation,
+content-addressed :class:`~repro.exec.store.ResultStore` records, and
+claim/heartbeat/steal :class:`~repro.exec.leases.LeaseTable` ownership —
+so the transport only has to carry the existing unit lifecycle over HTTP:
+
+* the **coordinator** (one per sweep, embedded in the executor under
+  ``dispatch="remote"``) owns the store directory and serves worker
+  registration, lease claims over the pending units, unit payload fetches,
+  record pushes and heartbeats, plus a Prometheus ``/metrics`` scrape of
+  the run's registries;
+* a **worker** (``repro worker --coordinator URL``, or :func:`run_worker`
+  in-process) loops claim → fetch → :func:`~repro.exec.executor.execute_unit`
+  → push until the coordinator says the sweep is done.
+
+Determinism is inherited, not re-implemented: a worker rebuilds exactly the
+unit the coordinator decomposed (:mod:`repro.exec.protocol` round-trip),
+derives exactly the trial streams the inline path would, and the executor
+merges records in unit order — so any worker topology produces bit-for-bit
+the ``--jobs 1`` result.  Fault handling is inherited too: each worker gets
+its own :class:`LeaseTable` view (same directory, its own owner id), so a
+dead worker's leases expire and are *stolen* through the ordinary claim
+path, and a double-run after a steal pushes a byte-equal record the
+coordinator accepts idempotently.
+
+Everything here is stdlib-only (``http.server`` / ``urllib.request``); no
+new runtime dependencies.
+
+Security: the coordinator implements **no authentication, authorization or
+transport encryption**.  Any peer that can reach the socket can claim
+units and push records.  Bind it to loopback or a trusted private network
+only — never to an internet-facing interface.  See ``docs/DISTRIBUTED.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+import uuid
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Optional, Sequence, Union
+
+from repro.exec.executor import execute_unit
+from repro.exec.faults import TransportFaultPlan
+from repro.exec.leases import DEFAULT_LEASE_TTL, LeaseTable
+from repro.exec.protocol import (
+    PROTOCOL_VERSION,
+    ClaimRequest,
+    ClaimResponse,
+    FailureReport,
+    HeartbeatRequest,
+    ProtocolError,
+    PushRequest,
+    PushResponse,
+    RegisterRequest,
+    RegisterResponse,
+    canonical_json,
+    decode_unit,
+    encode_unit,
+)
+from repro.exec.store import ResultStore, fingerprints_match
+from repro.exec.units import WorkUnit, record_matches_unit
+from repro.obs.metrics import MetricsRegistry, render_registries
+from repro.obs.progress import emit_progress
+
+#: Deterministic worker-side failures tolerated per unit before the
+#: coordinator declares the unit dead and the sweep fails loudly.
+DEFAULT_MAX_UNIT_FAILURES = 5
+
+#: Content type of the Prometheus text exposition format.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _parse_listen(listen: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (port 0 asks the OS for one)."""
+    host, sep, port_text = listen.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"listen address must be 'host:port', got {listen!r}")
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise ValueError(f"invalid listen port in {listen!r}") from exc
+    return host, port
+
+
+# --------------------------------------------------------------------------- #
+# Coordinator
+# --------------------------------------------------------------------------- #
+@dataclass
+class _PendingUnit:
+    """One submitted unit awaiting a worker's record."""
+
+    unit: WorkUnit
+    fingerprint: dict[str, Any]
+    document: dict[str, Any]
+    callbacks: list[Callable[[dict[str, Any]], None]] = field(default_factory=list)
+
+
+class _CoordinatorServer(ThreadingHTTPServer):
+    """The embedded HTTP server; one handler thread per request."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    coordinator: "Coordinator"
+
+
+class Coordinator:
+    """HTTP side of remote dispatch: owns the store, serves the unit lifecycle.
+
+    Parameters
+    ----------
+    store:
+        The :class:`ResultStore` (or its directory) every pushed record is
+        verified against and persisted into.  Leases live in
+        ``<store>/leases`` — the same table layout single-box executors
+        share, so remote workers and local executors interoperate.
+    lease_ttl:
+        Seconds a claimed unit may go without a heartbeat before its lease
+        counts as expired and another worker may steal it.
+    listen:
+        ``"host:port"`` bind address; port ``0`` picks a free port (read
+        the result back from :attr:`address`).  Loopback by default — see
+        the module security note.
+    extra_registries:
+        Additional :class:`MetricsRegistry` instances merged into the
+        ``/metrics`` exposition (the executor passes its own registry and
+        the process-global one, so one scrape shows the whole run).
+    poll_interval:
+        Idle-claim retry hint handed to workers (default: derived from the
+        TTL).
+    max_unit_failures:
+        Worker-reported failures tolerated per unit before the unit is
+        declared dead and :meth:`wait` raises.
+    """
+
+    def __init__(
+        self,
+        store: Union[ResultStore, str, os.PathLike],
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        listen: str = "127.0.0.1:0",
+        extra_registries: Sequence[MetricsRegistry] = (),
+        poll_interval: Optional[float] = None,
+        max_unit_failures: int = DEFAULT_MAX_UNIT_FAILURES,
+    ) -> None:
+        self.store = store if isinstance(store, ResultStore) else ResultStore(store)
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
+        if max_unit_failures < 1:
+            raise ValueError(f"max_unit_failures must be >= 1, got {max_unit_failures}")
+        self.lease_ttl = float(lease_ttl)
+        self.poll_interval = (
+            float(poll_interval)
+            if poll_interval is not None
+            else min(max(self.lease_ttl / 20.0, 0.05), 1.0)
+        )
+        self.max_unit_failures = int(max_unit_failures)
+        self.extra_registries = tuple(extra_registries)
+        self._lease_directory = self.store.directory / "leases"
+
+        self._condition = threading.Condition()
+        self._pending: dict[str, _PendingUnit] = {}
+        self._completed: set[str] = set()
+        self._failed: dict[str, str] = {}
+        self._failures: dict[str, int] = {}
+        self._tables: dict[str, LeaseTable] = {}
+        self._active_workers: set[str] = set()
+        self._finished = False
+        self._closed = False
+
+        # Transport counters, created eagerly so a /metrics scrape shows the
+        # full repro_remote_* family (at zero) before any traffic arrives.
+        self.registry = MetricsRegistry()
+        reg = self.registry
+        self._workers_total = reg.counter(
+            "repro_remote_workers_total", help="Workers that registered with the coordinator."
+        )
+        self._claims_total = reg.counter(
+            "repro_remote_claims_total", help="Unit leases handed to workers."
+        )
+        self._idle_polls_total = reg.counter(
+            "repro_remote_idle_polls_total", help="Claim polls answered with no claimable unit."
+        )
+        self._unit_fetches_total = reg.counter(
+            "repro_remote_unit_fetches_total", help="Unit payload documents served."
+        )
+        self._heartbeats_total = reg.counter(
+            "repro_remote_heartbeats_total", help="Worker heartbeat requests processed."
+        )
+        self._pushes_total = reg.counter(
+            "repro_remote_pushes_total", help="Record pushes accepted and stored."
+        )
+        self._duplicate_pushes_total = reg.counter(
+            "repro_remote_duplicate_pushes_total",
+            help="Byte-equal re-pushes of already-stored records (accepted idempotently).",
+        )
+        self._rejected_pushes_total = reg.counter(
+            "repro_remote_rejected_pushes_total",
+            help="Pushes rejected (bad fingerprint, corrupt record) and quarantined.",
+        )
+        self._lease_steals_total = reg.counter(
+            "repro_remote_lease_steals_total",
+            help="Expired leases stolen from a dead worker through the claim path.",
+        )
+        self._unit_failures_total = reg.counter(
+            "repro_remote_unit_failures_total", help="Worker-reported unit execution failures."
+        )
+        self._units_completed_total = reg.counter(
+            "repro_remote_units_completed_total", help="Units completed via a worker push."
+        )
+        self._units_pending = reg.gauge(
+            "repro_remote_units_pending", help="Units submitted and not yet completed."
+        )
+
+        host, port = _parse_listen(listen)
+        self._server = _CoordinatorServer((host, port), _CoordinatorHandler)
+        self._server.coordinator = self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-coordinator",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> str:
+        """Base URL workers connect to (bound host and the actual port)."""
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    # -- executor-facing API ------------------------------------------------- #
+    def submit(
+        self,
+        unit: WorkUnit,
+        key: str,
+        fingerprint: dict[str, Any],
+        on_record: Optional[Callable[[dict[str, Any]], None]] = None,
+    ) -> None:
+        """Queue ``unit`` for workers; ``on_record`` fires once it completes.
+
+        Raises :class:`ProtocolError` if the unit cannot cross the wire
+        (check with :func:`~repro.exec.protocol.unit_is_remotable` first).
+        """
+        document = encode_unit(unit)
+        with self._condition:
+            if self._closed:
+                raise RuntimeError("coordinator is closed")
+            if key in self._completed:
+                # Completed since the caller's store check: serve from disk.
+                record = self._raw_stored_record(key)
+                if record is not None:
+                    if on_record is not None:
+                        on_record(record)
+                    return
+                self._completed.discard(key)
+            entry = self._pending.get(key)
+            if entry is None:
+                entry = _PendingUnit(unit=unit, fingerprint=fingerprint, document=document)
+                self._pending[key] = entry
+                self._units_pending.set(len(self._pending))
+            if on_record is not None:
+                entry.callbacks.append(on_record)
+            self._condition.notify_all()
+
+    def wait(self, keys: Sequence[str], timeout: Optional[float] = None) -> None:
+        """Block until every key completes; raise if any unit was declared dead."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            while True:
+                failed = [key for key in keys if key in self._failed]
+                if failed:
+                    details = "; ".join(
+                        f"{key}: {self._failed[key]}" for key in failed[:3]
+                    )
+                    raise RuntimeError(
+                        f"{len(failed)} remote unit(s) failed "
+                        f"{self.max_unit_failures} times and were declared dead "
+                        f"({details})"
+                    )
+                if all(key in self._completed for key in keys):
+                    return
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            f"remote units not completed within {timeout}s"
+                        )
+                self._condition.wait(timeout=remaining if remaining is not None else 1.0)
+
+    def finish(self) -> None:
+        """Declare that no more units will be submitted.
+
+        Workers polling an empty queue are answered ``"done"`` (and exit)
+        only after this — between batches of one sweep they are told
+        ``"idle"`` and keep polling.
+        """
+        with self._condition:
+            self._finished = True
+            self._condition.notify_all()
+
+    def close(self, linger: float = 2.0) -> None:
+        """Finish, give workers up to ``linger`` seconds to hear "done", stop.
+
+        The linger loop polls the active-worker set, so it normally returns
+        in one or two poll intervals; a worker that died mid-run simply
+        times the linger out.  Idempotent.
+        """
+        with self._condition:
+            if self._closed:
+                return
+            self._finished = True
+            self._closed = True
+            self._condition.notify_all()
+        deadline = time.monotonic() + max(0.0, linger)
+        while time.monotonic() < deadline:
+            with self._condition:
+                if not self._active_workers:
+                    break
+            time.sleep(0.05)
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def render_metrics(self) -> str:
+        """The ``/metrics`` document: this registry merged with the extras."""
+        return render_registries(self.registry, *self.extra_registries)
+
+    # -- worker-facing operations (called from handler threads) -------------- #
+    def register(self, request: RegisterRequest) -> RegisterResponse:
+        if request.version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version mismatch: worker speaks v{request.version}, "
+                f"coordinator speaks v{PROTOCOL_VERSION}"
+            )
+        with self._condition:
+            if request.worker not in self._tables:
+                self._tables[request.worker] = LeaseTable(
+                    self._lease_directory, ttl=self.lease_ttl, owner=request.worker
+                )
+                self._workers_total.inc()
+                emit_progress("worker_registered", worker=request.worker, host=request.host)
+            self._active_workers.add(request.worker)
+        return RegisterResponse(
+            worker=request.worker,
+            lease_ttl=self.lease_ttl,
+            poll_interval=self.poll_interval,
+        )
+
+    def _table_for(self, worker: str) -> LeaseTable:
+        table = self._tables.get(worker)
+        if table is None:
+            raise ProtocolError(f"unknown worker {worker!r} (register first)")
+        return table
+
+    def claim(self, request: ClaimRequest) -> ClaimResponse:
+        with self._condition:
+            table = self._table_for(request.worker)
+            for key, entry in list(self._pending.items()):
+                steals_before = table.stats.steals
+                if not table.claim(key):
+                    continue
+                if table.stats.steals > steals_before:
+                    self._lease_steals_total.inc()
+                    emit_progress("remote_lease_stolen", key=key, worker=request.worker)
+                self._claims_total.inc()
+                return ClaimResponse(
+                    status="unit",
+                    key=key,
+                    fingerprint=entry.fingerprint,
+                    retry_after=self.poll_interval,
+                )
+            if self._finished and not self._pending:
+                self._active_workers.discard(request.worker)
+                self._condition.notify_all()
+                return ClaimResponse(status="done")
+            self._idle_polls_total.inc()
+            return ClaimResponse(status="idle", retry_after=self.poll_interval)
+
+    def unit_document(self, key: str) -> Optional[dict[str, Any]]:
+        with self._condition:
+            entry = self._pending.get(key)
+            if entry is None:
+                return None
+            self._unit_fetches_total.inc()
+            return entry.document
+
+    def heartbeat(self, request: HeartbeatRequest) -> None:
+        with self._condition:
+            table = self._table_for(request.worker)
+            self._heartbeats_total.inc()
+        # Touching lease mtimes needs no coordinator state; the table only
+        # refreshes leases this worker actually owns.
+        table.heartbeat(request.keys)
+
+    def fail(self, request: FailureReport) -> None:
+        with self._condition:
+            table = self._table_for(request.worker)
+            self._unit_failures_total.inc()
+            emit_progress(
+                "remote_unit_failed",
+                key=request.key,
+                worker=request.worker,
+                error=request.error,
+            )
+            table.release(request.key)
+            if request.key not in self._pending:
+                return
+            self._failures[request.key] = self._failures.get(request.key, 0) + 1
+            if self._failures[request.key] >= self.max_unit_failures:
+                self._failed[request.key] = request.error or "unit execution failed"
+                self._pending.pop(request.key, None)
+                self._units_pending.set(len(self._pending))
+                self._condition.notify_all()
+
+    def push(self, request: PushRequest) -> tuple[int, dict[str, Any]]:
+        """Verify and store a pushed record; returns ``(status, body)``."""
+        with self._condition:
+            table = self._table_for(request.worker)
+            entry = self._pending.get(request.key)
+            if entry is None:
+                if request.key in self._completed:
+                    stored = self._raw_stored_record(request.key)
+                    if stored is not None and canonical_json(stored) == canonical_json(
+                        request.record
+                    ):
+                        self._duplicate_pushes_total.inc()
+                        return 200, PushResponse(status="duplicate").as_json()
+                    self._quarantine_push(request)
+                    return 409, {
+                        "error": f"unit {request.key} already completed with different bytes"
+                    }
+                return 404, {"error": f"unknown unit {request.key}"}
+            if not fingerprints_match(request.fingerprint, entry.fingerprint):
+                self._quarantine_push(request)
+                return 409, {"error": f"fingerprint mismatch for unit {request.key}"}
+            if not record_matches_unit(entry.unit, request.record):
+                self._quarantine_push(request)
+                return 409, {
+                    "error": f"corrupt record for unit {request.key} "
+                    f"(expected {entry.unit.n_trials} trials)"
+                }
+            self.store.put(request.key, request.record, fingerprint=entry.fingerprint)
+            table.release(request.key)
+            self._pending.pop(request.key, None)
+            self._completed.add(request.key)
+            self._failures.pop(request.key, None)
+            self._units_pending.set(len(self._pending))
+            self._pushes_total.inc()
+            self._units_completed_total.inc()
+            emit_progress("unit_completed", unit=request.key, worker=request.worker)
+            for callback in entry.callbacks:
+                callback(request.record)
+            self._condition.notify_all()
+            return 200, PushResponse(status="stored").as_json()
+
+    def status_document(self) -> dict[str, Any]:
+        with self._condition:
+            return {
+                "pending": len(self._pending),
+                "completed": len(self._completed),
+                "failed": dict(self._failed),
+                "finished": self._finished,
+                "workers": sorted(self._tables),
+                "active_workers": sorted(self._active_workers),
+            }
+
+    # -- internals ----------------------------------------------------------- #
+    def _raw_stored_record(self, key: str) -> Optional[dict[str, Any]]:
+        """The stored record for ``key``, read without touching store stats.
+
+        The store's ``get`` counts hits/misses that feed the *executor's*
+        resume accounting; a duplicate-push byte comparison must not inflate
+        those numbers.
+        """
+        try:
+            with self.store.path_for(key).open("r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        record = document.get("record") if isinstance(document, dict) else None
+        return record if isinstance(record, dict) else None
+
+    def _quarantine_push(self, request: PushRequest) -> None:
+        """Keep a rejected push body on disk for forensics, off the store path.
+
+        ``<key>.pushrejected-<ns>`` never matches the store's ``*.json``
+        glob, so a rejected body can never satisfy a later lookup.
+        """
+        self._rejected_pushes_total.inc()
+        emit_progress("remote_push_rejected", key=request.key, worker=request.worker)
+        target = self.store.directory / f"{request.key}.pushrejected-{time.time_ns()}"
+        try:
+            target.write_text(canonical_json(request.as_json()) + "\n", encoding="utf-8")
+        except (OSError, ProtocolError):
+            pass
+
+
+# --------------------------------------------------------------------------- #
+# HTTP plumbing
+# --------------------------------------------------------------------------- #
+class _CoordinatorHandler(BaseHTTPRequestHandler):
+    """Routes the coordinator API; every response is canonical JSON."""
+
+    protocol_version = "HTTP/1.1"
+    server: _CoordinatorServer
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # request logging goes through emit_progress, not stderr
+
+    def _send_json(self, status: int, document: dict[str, Any]) -> None:
+        body = (canonical_json(document) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> Any:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError as exc:
+            raise ProtocolError("invalid Content-Length header") from exc
+        raw = self.rfile.read(length) if length > 0 else b""
+        if not raw:
+            raise ProtocolError("request body is empty")
+        try:
+            return json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        coordinator = self.server.coordinator
+        try:
+            if self.path == "/metrics":
+                self._send_text(200, coordinator.render_metrics(), METRICS_CONTENT_TYPE)
+            elif self.path == "/api/status":
+                self._send_json(200, coordinator.status_document())
+            elif self.path.startswith("/api/unit/"):
+                key = self.path[len("/api/unit/"):]
+                document = coordinator.unit_document(key)
+                if document is None:
+                    self._send_json(404, {"error": f"unknown unit {key}"})
+                else:
+                    self._send_json(200, {"key": key, "unit": document})
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path}"})
+        except BrokenPipeError:
+            pass
+        except Exception as exc:  # never let a handler thread die silently
+            self._best_effort_error(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        coordinator = self.server.coordinator
+        try:
+            body = self._read_json_body()
+            if self.path == "/api/register":
+                response = coordinator.register(RegisterRequest.from_json(body))
+                self._send_json(200, response.as_json())
+            elif self.path == "/api/claim":
+                response = coordinator.claim(ClaimRequest.from_json(body))
+                self._send_json(200, response.as_json())
+            elif self.path == "/api/heartbeat":
+                coordinator.heartbeat(HeartbeatRequest.from_json(body))
+                self._send_json(200, {"ok": True})
+            elif self.path == "/api/push":
+                status, document = coordinator.push(PushRequest.from_json(body))
+                self._send_json(status, document)
+            elif self.path == "/api/fail":
+                coordinator.fail(FailureReport.from_json(body))
+                self._send_json(200, {"ok": True})
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path}"})
+        except ProtocolError as exc:
+            try:
+                self._send_json(400, {"error": str(exc)})
+            except OSError:
+                pass
+        except BrokenPipeError:
+            pass
+        except Exception as exc:
+            self._best_effort_error(exc)
+
+    def _best_effort_error(self, exc: Exception) -> None:
+        try:
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+        except OSError:
+            pass
+
+
+class CoordinatorClient:
+    """Minimal JSON-over-HTTP client for the coordinator API (stdlib only)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def request(
+        self, path: str, payload: Optional[dict[str, Any]] = None
+    ) -> tuple[int, dict[str, Any]]:
+        """``GET`` (no payload) or ``POST`` (JSON payload) -> ``(status, body)``.
+
+        HTTP error statuses are returned, not raised; connection-level
+        failures (refused, reset, timeout) propagate as :class:`OSError`
+        for the caller's retry logic.
+        """
+        url = self.base_url + path
+        data = None
+        headers = {}
+        if payload is not None:
+            data = canonical_json(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method="POST" if payload is not None else "GET"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.status, self._parse(response.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, self._parse(exc.read())
+
+    @staticmethod
+    def _parse(raw: bytes) -> dict[str, Any]:
+        try:
+            document = json.loads(raw) if raw else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return {"error": raw.decode("utf-8", errors="replace")}
+        return document if isinstance(document, dict) else {"value": document}
+
+
+# --------------------------------------------------------------------------- #
+# Worker loop
+# --------------------------------------------------------------------------- #
+@dataclass
+class WorkerStats:
+    """What one :func:`run_worker` loop did, for logs and assertions."""
+
+    worker: str
+    executed: int = 0
+    pushed: int = 0
+    duplicates: int = 0
+    idle_polls: int = 0
+    failures: int = 0
+
+    def as_json(self) -> dict[str, Any]:
+        return {
+            "worker": self.worker,
+            "executed": self.executed,
+            "pushed": self.pushed,
+            "duplicates": self.duplicates,
+            "idle_polls": self.idle_polls,
+            "failures": self.failures,
+        }
+
+    def render(self) -> str:
+        return (
+            f"worker {self.worker}: executed {self.executed} units "
+            f"({self.pushed} pushed, {self.duplicates} duplicates, "
+            f"{self.idle_polls} idle polls, {self.failures} failures)"
+        )
+
+
+#: Consecutive connection failures after which a worker that has already
+#: completed work treats the coordinator as gone and exits cleanly.
+_CONNECTION_FAILURE_LIMIT = 20
+
+
+def run_worker(
+    coordinator: str,
+    worker_id: Optional[str] = None,
+    poll: Optional[float] = None,
+    max_units: Optional[int] = None,
+    connect_timeout: float = 60.0,
+    request_timeout: float = 30.0,
+    transport_faults: Optional[TransportFaultPlan] = None,
+) -> WorkerStats:
+    """Pull-execute-push units from ``coordinator`` until it says "done".
+
+    The complete worker half of remote dispatch: register (retrying until
+    ``connect_timeout`` if the coordinator is not up yet), then loop
+    claim → fetch → :func:`~repro.exec.executor.execute_unit` → push, with a
+    daemon heartbeat thread keeping the held lease alive.  A unit whose
+    execution raises is reported via ``/api/fail`` (releasing the lease for
+    an immediate retry elsewhere) and the loop continues.  ``max_units``
+    bounds the work taken (for tests); ``transport_faults`` injects
+    deterministic push-path faults (for the chaos suite).
+    """
+    worker = worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+    client = CoordinatorClient(coordinator, timeout=request_timeout)
+    terms = _register_with_retry(client, worker, connect_timeout)
+    interval = poll if poll is not None else max(terms.poll_interval, 0.01)
+    stats = WorkerStats(worker=worker)
+
+    held: set[str] = set()
+    held_lock = threading.Lock()
+    stop = threading.Event()
+    heartbeat_interval = min(max(terms.lease_ttl / 4.0, 0.05), 15.0)
+
+    def heartbeat_loop() -> None:
+        while not stop.wait(heartbeat_interval):
+            with held_lock:
+                keys = tuple(held)
+            if not keys:
+                continue
+            try:
+                client.request(
+                    "/api/heartbeat", HeartbeatRequest(worker=worker, keys=keys).as_json()
+                )
+            except OSError:
+                pass  # the claim loop owns connection-failure policy
+
+    heartbeat_thread = threading.Thread(
+        target=heartbeat_loop, name=f"{worker}-heartbeat", daemon=True
+    )
+    heartbeat_thread.start()
+
+    push_attempts: dict[str, int] = {}
+    consecutive_failures = 0
+    try:
+        while True:
+            if max_units is not None and stats.executed >= max_units:
+                break
+            try:
+                status, body = client.request(
+                    "/api/claim", ClaimRequest(worker=worker).as_json()
+                )
+            except OSError:
+                consecutive_failures += 1
+                if consecutive_failures > _CONNECTION_FAILURE_LIMIT:
+                    if stats.executed or stats.idle_polls:
+                        break  # the coordinator went away after we served it
+                    raise
+                time.sleep(interval)
+                continue
+            consecutive_failures = 0
+            if status != 200:
+                raise RuntimeError(f"claim rejected ({status}): {body.get('error', body)}")
+            claim = ClaimResponse.from_json(body)
+            if claim.status == "done":
+                break
+            if claim.status == "idle":
+                stats.idle_polls += 1
+                time.sleep(claim.retry_after if claim.retry_after > 0 else interval)
+                continue
+            assert claim.key is not None and claim.fingerprint is not None
+            status, body = client.request(f"/api/unit/{claim.key}")
+            if status != 200:
+                continue  # completed or stolen between claim and fetch
+            unit = decode_unit(body.get("unit"))
+            with held_lock:
+                held.add(claim.key)
+            try:
+                record = execute_unit(unit)
+            except Exception as exc:
+                stats.failures += 1
+                with held_lock:
+                    held.discard(claim.key)
+                try:
+                    client.request(
+                        "/api/fail",
+                        FailureReport(
+                            worker=worker,
+                            key=claim.key,
+                            error=f"{type(exc).__name__}: {exc}",
+                        ).as_json(),
+                    )
+                except OSError:
+                    pass
+                continue
+            stats.executed += 1
+            try:
+                _push_with_faults(
+                    client,
+                    PushRequest(
+                        worker=worker,
+                        key=claim.key,
+                        fingerprint=claim.fingerprint,
+                        record=record,
+                    ),
+                    transport_faults,
+                    push_attempts,
+                    stats,
+                )
+            finally:
+                with held_lock:
+                    held.discard(claim.key)
+    finally:
+        stop.set()
+        heartbeat_thread.join(timeout=2.0)
+    return stats
+
+
+def _register_with_retry(
+    client: CoordinatorClient, worker: str, connect_timeout: float
+) -> RegisterResponse:
+    """Register, retrying connection failures until the deadline passes."""
+    request = RegisterRequest(worker=worker, pid=os.getpid(), host=socket.gethostname())
+    deadline = time.monotonic() + connect_timeout
+    while True:
+        try:
+            status, body = client.request("/api/register", request.as_json())
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.2)
+            continue
+        if status != 200:
+            raise RuntimeError(
+                f"registration rejected ({status}): {body.get('error', body)}"
+            )
+        return RegisterResponse.from_json(body)
+
+
+def _push_with_faults(
+    client: CoordinatorClient,
+    push: PushRequest,
+    plan: Optional[TransportFaultPlan],
+    attempts: dict[str, int],
+    stats: WorkerStats,
+) -> None:
+    """Push a record, applying any scheduled transport faults, until acked.
+
+    ``"slow"`` sleeps before the push (long enough, under a short TTL, for
+    the lease to be stolen); ``"drop"`` performs the push but discards the
+    response and retries (the coordinator answers the retry "duplicate");
+    ``"dup_push"`` sends an extra push first.  Every path ends with an
+    acknowledged ``stored`` or ``duplicate``.
+    """
+    document = push.as_json()
+    connection_failures = 0
+    while True:
+        submission = attempts.get(push.key, 0)
+        attempts[push.key] = submission + 1
+        fault = plan.fault_for(push.key, submission) if plan is not None else None
+        if fault == "slow" and plan is not None:
+            time.sleep(plan.slow_seconds)
+        if fault == "dup_push":
+            try:
+                client.request("/api/push", document)
+            except OSError:
+                pass  # the authoritative push below carries the retry logic
+        try:
+            status, body = client.request("/api/push", document)
+        except OSError:
+            connection_failures += 1
+            if connection_failures > _CONNECTION_FAILURE_LIMIT:
+                raise
+            time.sleep(0.2)
+            continue
+        if fault == "drop":
+            continue  # response "lost": push again, expect a duplicate ack
+        if status == 200:
+            response = PushResponse.from_json(body)
+            stats.pushed += 1
+            if response.status == "duplicate":
+                stats.duplicates += 1
+            return
+        raise RuntimeError(f"push rejected ({status}): {body.get('error', body)}")
+
+
+def cleanup_store_directory(path: Union[str, os.PathLike]) -> None:
+    """Remove a temporary coordinator-owned store directory (best effort)."""
+    shutil.rmtree(path, ignore_errors=True)

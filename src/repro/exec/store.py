@@ -196,6 +196,18 @@ class ResultStore:
         return len(self.keys())
 
 
+def fingerprints_match(stored: dict[str, Any], expected: dict[str, Any]) -> bool:
+    """Whether two unit fingerprints denote the same unit.
+
+    The comparison is canonical-JSON equality with the ``stored`` side
+    already JSON-round-tripped (tuples became lists, int keys became
+    strings) — the exact check :meth:`ResultStore.get` applies to stored
+    records.  The remote coordinator uses the same predicate to verify a
+    pushed record's fingerprint server-side before it may touch the store.
+    """
+    return _fingerprints_match(stored, expected)
+
+
 def _fingerprints_match(stored: dict[str, Any], expected: dict[str, Any]) -> bool:
     """Compare fingerprints canonically (the stored one is JSON-round-tripped)."""
     try:
