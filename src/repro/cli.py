@@ -86,6 +86,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "replication count; never affects results)",
     )
     run_parser.add_argument(
+        "--pool-chunk",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="work units dispatched to a pool worker per task: chunks of N "
+        "units share one pickle/submit round-trip and one group-committed "
+        "store write, amortising dispatch overhead for many-tiny-units "
+        "sweeps; retries, timeouts and leases still apply per unit, and "
+        "results stay bit-for-bit identical (default: 1)",
+    )
+    run_parser.add_argument(
         "--retries",
         type=_non_negative_int,
         default=0,
@@ -225,6 +236,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="exit after executing N units (default: run until done)",
     )
     worker_parser.add_argument(
+        "--claim-batch",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="work units claimed per v2 batch request; with N > 1 the worker "
+        "also pipelines (prefetches the next batch while executing the "
+        "current one); against a v1-only coordinator the worker falls back "
+        "to one-unit claims (default: 1)",
+    )
+    worker_parser.add_argument(
+        "--push-batch",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="completed records buffered before a batched push; each record "
+        "in a batch is validated and acknowledged independently "
+        "(default: the --claim-batch size)",
+    )
+    worker_parser.add_argument(
+        "--idle-cap",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="ceiling for the exponential idle-poll backoff; lower it for "
+        "latency-sensitive workers that must pick up new work quickly "
+        "(default: 2.0)",
+    )
+    worker_parser.add_argument(
         "--connect-timeout",
         type=float,
         default=60.0,
@@ -267,7 +306,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         jobs=args.jobs, chunk_size=args.chunk_size, store=args.resume,
         retries=args.retries, unit_timeout=args.unit_timeout,
         aggregate=args.aggregate, dispatch=args.dispatch, listen=args.listen,
-        lease_ttl=args.lease_ttl,
+        lease_ttl=args.lease_ttl, pool_chunk=args.pool_chunk,
     )
     if executor is not None and executor.coordinator is not None:
         # Tell the operator (on stderr: stdout stays byte-identical) where
@@ -338,6 +377,9 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             max_units=args.max_units,
             connect_timeout=args.connect_timeout,
             transport_faults=plan,
+            claim_batch=args.claim_batch,
+            push_batch=args.push_batch,
+            idle_cap=args.idle_cap,
         )
     print(stats.render(), file=sys.stderr)
     return 0

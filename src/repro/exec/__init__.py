@@ -24,10 +24,16 @@ Public surface of the ``repro.exec`` subsystem:
   :class:`TransportFaultPlan` — the deterministic fault-injection harness
   the chaos suite drives (process faults and HTTP transport faults);
 * :class:`Coordinator` / :func:`run_worker` — the multi-host transport:
-  an embedded HTTP coordinator serving the unit lifecycle, and the worker
-  loop behind ``repro worker --coordinator URL``;
+  an embedded HTTP coordinator serving the unit lifecycle (v1 one-unit
+  endpoints and v2 batched claim/push), and the worker loop behind
+  ``repro worker --coordinator URL`` (batched, pipelined, keep-alive);
+* :class:`CoordinatorClient` — the persistent JSON-over-HTTP client the
+  worker (and tests) speak to a coordinator with
+  (:mod:`repro.exec.transport`);
 * :func:`encode_unit` / :func:`decode_unit` / :func:`unit_is_remotable` —
-  the wire codecs (:mod:`repro.exec.protocol`).
+  the wire codecs, plus the v2 batch message types
+  (:class:`ClaimBatchRequest` … :class:`PushBatchResponse`) and the
+  version constants (:mod:`repro.exec.protocol`).
 
 See ``docs/PARALLEL.md`` for the work-unit model, the determinism contract,
 resume semantics and the fault-tolerance layer, and ``docs/DISTRIBUTED.md``
@@ -52,13 +58,28 @@ from repro.exec.faults import FaultInjectionError, FaultPlan, TransportFaultPlan
 from repro.exec.leases import LeaseTable
 from repro.exec.protocol import (
     PROTOCOL_VERSION,
+    PROTOCOL_VERSION_BATCH,
+    SUPPORTED_PROTOCOL_VERSIONS,
+    ClaimBatchRequest,
+    ClaimBatchResponse,
+    LeaseGrant,
     ProtocolError,
+    PushAck,
+    PushBatchRequest,
+    PushBatchResponse,
+    PushEntry,
     canonical_json,
     decode_unit,
     encode_unit,
     unit_is_remotable,
 )
-from repro.exec.remote import Coordinator, CoordinatorClient, WorkerStats, run_worker
+from repro.exec.remote import (
+    Coordinator,
+    CoordinatorClient,
+    WorkerStats,
+    idle_backoff_delay,
+    run_worker,
+)
 from repro.exec.seeds import SeedStreamSpec
 from repro.exec.store import ResultStore
 from repro.exec.units import (
@@ -73,9 +94,18 @@ __all__ = [
     "AGGREGATES",
     "DISPATCH_MODES",
     "PROTOCOL_VERSION",
+    "PROTOCOL_VERSION_BATCH",
+    "SUPPORTED_PROTOCOL_VERSIONS",
+    "ClaimBatchRequest",
+    "ClaimBatchResponse",
     "Coordinator",
     "CoordinatorClient",
     "ExecutionReport",
+    "LeaseGrant",
+    "PushAck",
+    "PushBatchRequest",
+    "PushBatchResponse",
+    "PushEntry",
     "check_aggregate",
     "check_dispatch",
     "FaultInjectionError",
@@ -97,6 +127,7 @@ __all__ = [
     "encode_unit",
     "execute_unit",
     "execution_override",
+    "idle_backoff_delay",
     "map_replications",
     "record_matches_unit",
     "run_unit_with_faults",

@@ -332,6 +332,32 @@ def _pool_run_unit(
     return run_unit_with_faults(unit, submission, plan, in_worker=True)
 
 
+def _pool_run_chunk(
+    units: Sequence[WorkUnit],
+    submissions: Sequence[int],
+    plan: Optional[FaultPlan],
+) -> list[dict[str, Any]]:
+    """Chunked pool task: one submitted future carries several units.
+
+    Amortizes the pickle/IPC/future overhead of ``ProcessPoolExecutor``
+    across ``pool_chunk`` units.  Each unit's outcome is captured
+    independently — ``{"record": ...}`` on success, ``{"error": exc}`` on a
+    raised exception — so one failing unit cannot poison its chunk-mates;
+    the dispatcher applies the retry policy per unit.  Crash and hang
+    faults still take down the whole task, exactly like a crashed worker
+    under single-unit dispatch (its chunk-mates are requeued as innocents).
+    """
+    outcomes: list[dict[str, Any]] = []
+    for unit, submission in zip(units, submissions):
+        try:
+            outcomes.append(
+                {"record": run_unit_with_faults(unit, submission, plan, in_worker=True)}
+            )
+        except Exception as exc:
+            outcomes.append({"error": exc})
+    return outcomes
+
+
 def _execute_simulation_unit(unit: WorkUnit) -> dict[str, Any]:
     from repro.core.runner import run_broadcast_replications, run_gossip_replications
 
@@ -542,6 +568,14 @@ class SweepExecutor:
         dispatch only; port 0 picks a free port — read it back from
         ``executor.coordinator.address``).  Defaults to loopback; the
         coordinator is unauthenticated, so never bind a public interface.
+    pool_chunk:
+        Units per submitted pool task (default ``1``, the classic
+        one-future-per-unit dispatch).  Larger values amortize the
+        pickle/IPC/future overhead across many tiny units; retry, timeout
+        and lease semantics still apply per unit inside the chunk, and
+        results stay bit-for-bit identical to ``--jobs 1``.  Chunks are
+        assembled per dispatch round, so ``pool_chunk`` never changes unit
+        keys (unlike ``chunk_size``).
     """
 
     def __init__(
@@ -556,13 +590,17 @@ class SweepExecutor:
         aggregate: str = "buffered",
         dispatch: str = "auto",
         listen: Optional[str] = None,
+        pool_chunk: int = 1,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if pool_chunk < 1:
+            raise ValueError(f"pool_chunk must be >= 1, got {pool_chunk}")
         self.jobs = int(jobs)
         self.chunk_size = chunk_size
+        self.pool_chunk = int(pool_chunk)
         self.store = ResultStore(store) if isinstance(store, (str, os.PathLike)) else store
         self.start_method = start_method or os.environ.get(START_METHOD_ENV) or None
         self.retry = retry if retry is not None else RetryPolicy()
@@ -591,6 +629,11 @@ class SweepExecutor:
         self._counters = _ExecCounters(self.metrics)
         self._unit_seconds = self.metrics.histogram(
             "repro_exec_unit_seconds", help="Wall-clock seconds per executed work unit."
+        )
+        self._dispatch_seconds = self.metrics.histogram(
+            "repro_exec_dispatch_seconds",
+            help="Wall-clock seconds spent submitting work to the dispatch layer.",
+            buckets=(0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.05, 0.25, 1.0),
         )
         if self.store is not None:
             for counter in self.store.stats.counters():
@@ -625,17 +668,18 @@ class SweepExecutor:
         dispatch: str = "auto",
         listen: Optional[str] = None,
         lease_ttl: Optional[float] = None,
+        pool_chunk: Optional[int] = None,
     ) -> Optional["SweepExecutor"]:
         """An executor when any option departs from the defaults, else ``None``.
 
         The single activation rule behind ``--jobs`` / ``--resume`` /
         ``--chunk-size`` / ``--retries`` / ``--unit-timeout`` /
-        ``--aggregate`` / ``--dispatch`` / ``--listen``: all-default options
-        mean "keep the classic in-process path" (``None`` composes with
-        :func:`execution_override` as a true no-op).
-        ``aggregate="streaming"`` alone activates an in-process executor,
-        since streaming needs the unit machinery; a non-``"auto"`` dispatch
-        or a listen address activates one because dispatch needs it.
+        ``--aggregate`` / ``--dispatch`` / ``--listen`` / ``--pool-chunk``:
+        all-default options mean "keep the classic in-process path"
+        (``None`` composes with :func:`execution_override` as a true
+        no-op).  ``aggregate="streaming"`` alone activates an in-process
+        executor, since streaming needs the unit machinery; a non-``"auto"``
+        dispatch or a listen address activates one because dispatch needs it.
         """
         check_aggregate(aggregate)
         check_dispatch(dispatch)
@@ -648,6 +692,7 @@ class SweepExecutor:
             and aggregate == "buffered"
             and dispatch == "auto"
             and listen is None
+            and pool_chunk in (None, 1)
         ):
             return None
         return cls(
@@ -659,6 +704,7 @@ class SweepExecutor:
             dispatch=dispatch,
             listen=listen,
             lease_ttl=lease_ttl if lease_ttl is not None else DEFAULT_LEASE_TTL,
+            pool_chunk=pool_chunk if pool_chunk is not None else 1,
         )
 
     # -- lifecycle ---------------------------------------------------------- #
@@ -834,7 +880,7 @@ class SweepExecutor:
         # here, exactly as the jobs=1 reference path would run it.
         remote_keys: list[str] = []
         if self.coordinator is not None and pending:
-            from repro.exec.protocol import unit_is_remotable
+            from repro.exec.protocol import ProtocolError
 
             def remote_callback(index: int) -> Callable[[dict[str, Any]], None]:
                 def on_record(record: dict[str, Any]) -> None:
@@ -846,15 +892,25 @@ class SweepExecutor:
             local: list[int] = []
             for index in pending:
                 key = keys[index]
-                if key is None or not storable[index] or not unit_is_remotable(units[index]):
+                if key is None or not storable[index]:
                     local.append(index)
                     continue
-                self.coordinator.submit(
-                    units[index],
-                    key,
-                    fingerprints[index],
-                    on_record=remote_callback(index),
-                )
+                began = time.monotonic()
+                try:
+                    # submit() encodes the unit before touching any state, so
+                    # a non-remotable unit (map payload, non-JSON-able config)
+                    # rejects cleanly here — one encode per unit instead of a
+                    # unit_is_remotable probe followed by a second encode.
+                    self.coordinator.submit(
+                        units[index],
+                        key,
+                        fingerprints[index],
+                        on_record=remote_callback(index),
+                    )
+                except ProtocolError:
+                    local.append(index)
+                    continue
+                self._dispatch_seconds.observe(time.monotonic() - began)
                 self._counters.submissions.inc()
                 remote_keys.append(key)
             pending = local
@@ -895,6 +951,7 @@ class SweepExecutor:
     ) -> None:
         policy = self.retry
         crash_limit = max(3, policy.max_attempts)
+        chunk_cap = max(1, self.pool_chunk)
         tokens = {
             i: keys[i] or f"{units[i].label}[{units[i].start}:{units[i].stop}]"
             for i in indices
@@ -905,7 +962,7 @@ class SweepExecutor:
         crash_requeues = {i: 0 for i in indices}
         delayed: list[tuple[float, int]] = []  # backoff heap (ready_time, index)
         blocked: dict[int, float] = {}  # lease-blocked -> next poll time
-        in_flight: dict[Future, int] = {}
+        in_flight: dict[Future, tuple[int, ...]] = {}
         deadlines: dict[Future, Optional[float]] = {}
         started: dict[Future, float] = {}
         timed_out: set[int] = set()
@@ -921,57 +978,87 @@ class SweepExecutor:
             ready = time.monotonic() + policy.delay(failures[index], tokens[index])
             heapq.heappush(delayed, (ready, index))
 
-        def settle(future: Future, index: int) -> bool:
+        def settle(future: Future, chunk: tuple[int, ...]) -> bool:
             """Process one finished future; returns True if the pool broke."""
             nonlocal completed_since_rebuild
             try:
-                record = future.result()
+                result = future.result()
             except BrokenProcessPool:
-                if index in timed_out:
-                    # This unit was killed on purpose: its deadline passed.
-                    timed_out.discard(index)
-                    self._counters.timeouts.inc()
-                    emit_progress("unit_timeout", unit=tokens[index])
-                    fail(
-                        index,
-                        TimeoutError(
-                            f"unit {tokens[index]} exceeded "
-                            f"{policy.unit_timeout}s wall-clock timeout"
-                        ),
-                    )
-                else:
-                    # Innocent bystander of a crashed worker: requeue without
-                    # consuming an attempt, bounded so a unit that keeps
-                    # losing its pool cannot spin forever.
-                    crash_requeues[index] += 1
-                    self._counters.requeues.inc()
-                    emit_progress("unit_requeued", unit=tokens[index])
-                    if crash_requeues[index] > crash_limit:
-                        raise RuntimeError(
-                            f"unit {tokens[index]} lost to {crash_requeues[index]} "
-                            "worker-pool failures"
+                for index in chunk:
+                    if index in timed_out:
+                        # Killed on purpose: the chunk's deadline passed.
+                        timed_out.discard(index)
+                        self._counters.timeouts.inc()
+                        emit_progress("unit_timeout", unit=tokens[index])
+                        fail(
+                            index,
+                            TimeoutError(
+                                f"unit {tokens[index]} exceeded "
+                                f"{policy.unit_timeout}s wall-clock timeout"
+                            ),
                         )
-                    queue.append(index)
+                    else:
+                        # Innocent bystander of a crashed worker: requeue
+                        # without consuming an attempt, bounded so a unit that
+                        # keeps losing its pool cannot spin forever.
+                        crash_requeues[index] += 1
+                        self._counters.requeues.inc()
+                        emit_progress("unit_requeued", unit=tokens[index])
+                        if crash_requeues[index] > crash_limit:
+                            raise RuntimeError(
+                                f"unit {tokens[index]} lost to {crash_requeues[index]} "
+                                "worker-pool failures"
+                            )
+                        queue.append(index)
                 return True
             except Exception as exc:
-                fail(index, exc)
+                for index in chunk:
+                    fail(index, exc)
                 return False
-            timed_out.discard(index)
-            if not record_matches_unit(units[index], record):
-                fail(
-                    index,
-                    RuntimeError(
-                        f"unit {tokens[index]} returned a corrupt record "
-                        f"(expected {units[index].n_trials} trials)"
-                    ),
-                )
-                return False
+            # A single-unit future returns the bare record; a chunk future
+            # returns one outcome dict per unit, in chunk order.
+            outcomes = result if isinstance(result, list) else [{"record": result}]
             began = started.get(future)
-            if began is not None:
-                self._unit_seconds.observe(time.monotonic() - began)
-            deliver(index, self._complete(keys[index], fingerprints[index], record))
-            emit_progress("unit_completed", unit=tokens[index])
-            completed_since_rebuild = True
+            per_unit = (
+                (time.monotonic() - began) / max(1, len(chunk))
+                if began is not None
+                else None
+            )
+            completions: list[tuple[int, dict[str, Any]]] = []
+            failed: list[tuple[int, BaseException]] = []
+            for index, outcome in zip(chunk, outcomes):
+                timed_out.discard(index)
+                error = outcome.get("error")
+                if error is not None:
+                    failed.append((index, error))
+                    continue
+                record = outcome["record"]
+                if not record_matches_unit(units[index], record):
+                    failed.append(
+                        (
+                            index,
+                            RuntimeError(
+                                f"unit {tokens[index]} returned a corrupt record "
+                                f"(expected {units[index].n_trials} trials)"
+                            ),
+                        )
+                    )
+                    continue
+                completions.append((index, record))
+            # Group-commit the chunk's completions first, so an
+            # exhausted-attempts raise below cannot lose finished siblings.
+            if completions:
+                self._complete_many(
+                    [(keys[i], fingerprints[i], record) for i, record in completions]
+                )
+                for index, record in completions:
+                    if per_unit is not None:
+                        self._unit_seconds.observe(per_unit)
+                    deliver(index, record)
+                    emit_progress("unit_completed", unit=tokens[index])
+                completed_since_rebuild = True
+            for index, error in failed:
+                fail(index, error)
             return False
 
         def rebuild_pool() -> None:
@@ -979,8 +1066,8 @@ class SweepExecutor:
             nonlocal consecutive_rebuilds, completed_since_rebuild
             # Once broken, every remaining future resolves (with
             # BrokenProcessPool or its real result).
-            for future, index in list(in_flight.items()):
-                settle(future, index)
+            for future, chunk in list(in_flight.items()):
+                settle(future, chunk)
             in_flight.clear()
             deadlines.clear()
             started.clear()
@@ -1039,32 +1126,51 @@ class SweepExecutor:
 
             submit_broken = False
             while queue and len(in_flight) < self.jobs:
-                index = queue.popleft()
-                key = keys[index]
-                if (
-                    key is not None
-                    and self.leases is not None
-                    and not self.leases.claim(key)
-                ):
-                    blocked[index] = time.monotonic() + self._lease_poll_interval()
-                    continue
+                # Assemble up to pool_chunk claimable units into one task.
+                batch: list[int] = []
+                while queue and len(batch) < chunk_cap:
+                    index = queue.popleft()
+                    key = keys[index]
+                    if (
+                        key is not None
+                        and self.leases is not None
+                        and not self.leases.claim(key)
+                    ):
+                        blocked[index] = time.monotonic() + self._lease_poll_interval()
+                        continue
+                    batch.append(index)
+                if not batch:
+                    break  # everything claimable went to `blocked`
                 try:
-                    future = self._pool_instance().submit(
-                        _pool_run_unit, units[index], submissions[index], self.fault_plan
-                    )
+                    submitted = time.monotonic()
+                    if chunk_cap == 1:
+                        index = batch[0]
+                        future = self._pool_instance().submit(
+                            _pool_run_unit, units[index], submissions[index], self.fault_plan
+                        )
+                    else:
+                        future = self._pool_instance().submit(
+                            _pool_run_chunk,
+                            [units[i] for i in batch],
+                            [submissions[i] for i in batch],
+                            self.fault_plan,
+                        )
+                    self._dispatch_seconds.observe(time.monotonic() - submitted)
                 except BrokenProcessPool:
                     # A worker died between settles and the pool noticed at
-                    # submit time.  The unit never started (keep its lease,
-                    # don't count a submission); recover like any break.
-                    queue.appendleft(index)
+                    # submit time.  The units never started (keep their
+                    # leases, count no submissions); recover like any break.
+                    for index in reversed(batch):
+                        queue.appendleft(index)
                     submit_broken = True
                     break
-                submissions[index] += 1
-                self._counters.submissions.inc()
-                in_flight[future] = index
+                for index in batch:
+                    submissions[index] += 1
+                    self._counters.submissions.inc()
+                in_flight[future] = tuple(batch)
                 started[future] = time.monotonic()
                 deadlines[future] = (
-                    time.monotonic() + policy.unit_timeout
+                    time.monotonic() + policy.unit_timeout * len(batch)
                     if policy.unit_timeout is not None
                     else None
                 )
@@ -1086,7 +1192,12 @@ class SweepExecutor:
             )
             if self.leases is not None:
                 self.leases.heartbeat(
-                    [keys[i] for i in in_flight.values() if keys[i] is not None]
+                    [
+                        keys[i]
+                        for chunk in in_flight.values()
+                        for i in chunk
+                        if keys[i] is not None
+                    ]
                 )
 
             now = time.monotonic()
@@ -1100,14 +1211,14 @@ class SweepExecutor:
                 # (breaking the pool), let every in-flight future resolve,
                 # and sort timed-out units from innocent requeues below.
                 for future in expired:
-                    timed_out.add(in_flight[future])
+                    timed_out.update(in_flight[future])
                 self._kill_pool_workers()
 
             pool_broken = bool(expired)
             for future in done:
-                index = in_flight.pop(future)
+                chunk = in_flight.pop(future)
                 deadlines.pop(future, None)
-                pool_broken |= settle(future, index)
+                pool_broken |= settle(future, chunk)
                 started.pop(future, None)
             if pool_broken:
                 rebuild_pool()
@@ -1235,6 +1346,28 @@ class SweepExecutor:
                 self.leases.release(key)
         self._counters.executed.inc()
         return record
+
+    def _complete_many(
+        self, items: Sequence[tuple[Optional[str], Optional[dict[str, Any]], dict[str, Any]]]
+    ) -> None:
+        """Persist a chunk's records through one store group commit.
+
+        Same durability point as per-unit :meth:`_complete` calls (every
+        record file is individually fsynced) at one directory fsync per
+        chunk; leases release only after their records are durable.
+        """
+        if self.store is not None:
+            stored = [
+                (key, record, fingerprint)
+                for key, fingerprint, record in items
+                if key is not None
+            ]
+            if stored:
+                self.store.put_many(stored)
+                if self.leases is not None:
+                    for key, _record, _fingerprint in stored:
+                        self.leases.release(key)
+        self._counters.executed.inc(len(items))
 
     def _wait_timeout(
         self,

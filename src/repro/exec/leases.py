@@ -172,6 +172,47 @@ class LeaseTable:
                 except OSError:
                     pass
 
+    def claim_many(self, keys: "list[str] | tuple[str, ...]") -> list[str]:
+        """Claim a batch of keys in one sweep; returns the keys now owned.
+
+        The batched fast path writes the claim payload to **one** temp file
+        and hard-links it to every lease name that does not exist yet — one
+        payload write and one temp unlink for the whole batch instead of one
+        per key.  The linked names share an inode, so the batch shares one
+        mtime: a heartbeat on any of them refreshes them all, which is
+        exactly the liveness the owner (who heartbeats every held key
+        together) already provides.  Keys whose lease file already exists
+        fall back to the ordinary :meth:`claim` path (re-claim, conflict or
+        steal) one at a time.
+        """
+        if not keys:
+            return []
+        payload = json.dumps({"owner": self.owner, "claimed_at": time.time()})
+        # The name matches the ``*.lease.steal-*`` pattern so an abandoned
+        # copy is swept by ``_sweep_stale_temps`` like any claim temp.
+        tmp = Path(self.directory) / f".batch.lease.steal-{self.owner}"
+        tmp.write_text(payload, encoding="utf-8")
+        won: list[str] = []
+        contested: list[str] = []
+        try:
+            for key in keys:
+                try:
+                    os.link(tmp, self.path_for(key))
+                except FileExistsError:
+                    contested.append(key)
+                else:
+                    self.stats.claims += 1
+                    won.append(key)
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        for key in contested:
+            if self.claim(key):
+                won.append(key)
+        return won
+
     def holder(self, key: str) -> Optional[str]:
         """Owner id recorded in the lease file, or ``None`` if absent/corrupt."""
         try:

@@ -38,9 +38,20 @@ from repro.exec.seeds import SeedStreamSpec
 from repro.exec.units import UNIT_KINDS, WorkUnit
 from repro.util.serialization import to_jsonable
 
-#: Version stamped on every encoded unit and register handshake; a worker
-#: and coordinator must agree exactly (the protocol has no compat shims).
+#: Version stamped on every encoded unit document.  The unit wire format has
+#: never changed, so v1 and v2 peers exchange identical unit documents; only
+#: the coordinator API grew (see :data:`PROTOCOL_VERSION_BATCH`).
 PROTOCOL_VERSION = 1
+
+#: Highest coordinator-API capability version this side implements.  v2 adds
+#: the batched endpoints (``/api/v2/claim`` with inlined unit payloads,
+#: ``/api/v2/push`` with per-unit acks); unit documents stay v1.  The
+#: register handshake negotiates ``min(worker, coordinator)``.
+PROTOCOL_VERSION_BATCH = 2
+
+#: Handshake versions a coordinator accepts (a v1 worker keeps working
+#: against a v2 coordinator over the single-unit endpoints).
+SUPPORTED_PROTOCOL_VERSIONS = (1, 2)
 
 #: Unit kinds whose payloads survive JSON encoding (see module docstring).
 REMOTE_KINDS = ("broadcast", "gossip", "process")
@@ -256,26 +267,40 @@ class RegisterRequest:
 
 @dataclass(frozen=True)
 class RegisterResponse:
-    """``POST /api/register`` response: the coordinator's operating terms."""
+    """``POST /api/register`` response: the coordinator's operating terms.
+
+    ``protocol`` is the negotiated coordinator-API capability version
+    (``min(worker, coordinator)``): ``>= 2`` means the batched
+    ``/api/v2/claim`` / ``/api/v2/push`` endpoints are available.  A pre-v2
+    coordinator omits the field, which decodes as ``1``.
+    """
 
     worker: str
     lease_ttl: float
     poll_interval: float
+    protocol: int = 1
 
     def as_json(self) -> dict[str, Any]:
         return {
             "worker": self.worker,
             "lease_ttl": self.lease_ttl,
             "poll_interval": self.poll_interval,
+            "protocol": self.protocol,
         }
 
     @classmethod
     def from_json(cls, document: Any) -> "RegisterResponse":
         document = _expect_mapping(document, "register response")
+        protocol = document.get("protocol", 1)
+        if isinstance(protocol, bool) or not isinstance(protocol, int):
+            raise ProtocolError(
+                f"register response.protocol must be an integer, got {protocol!r}"
+            )
         return cls(
             worker=_str_field(document, "worker", "register response"),
             lease_ttl=float(_field(document, "lease_ttl", "register response")),
             poll_interval=float(_field(document, "poll_interval", "register response")),
+            protocol=protocol,
         )
 
 
@@ -445,3 +470,194 @@ class PushResponse:
         if status not in cls.STATUSES:
             raise ProtocolError(f"push status must be one of {cls.STATUSES}, got {status!r}")
         return cls(status=status)
+
+
+# --------------------------------------------------------------------------- #
+# Coordinator API v2: batched claim and push
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ClaimBatchRequest:
+    """``POST /api/v2/claim`` body: ask for up to ``max_units`` leases at once."""
+
+    worker: str
+    max_units: int = 1
+
+    def as_json(self) -> dict[str, Any]:
+        return {"worker": self.worker, "max_units": self.max_units}
+
+    @classmethod
+    def from_json(cls, document: Any) -> "ClaimBatchRequest":
+        document = _expect_mapping(document, "claim batch request")
+        max_units = _int_field(document, "max_units", "claim batch request")
+        if max_units < 1:
+            raise ProtocolError(
+                f"claim batch request.max_units must be >= 1, got {max_units!r}"
+            )
+        return cls(
+            worker=_str_field(document, "worker", "claim batch request"),
+            max_units=max_units,
+        )
+
+
+@dataclass(frozen=True)
+class LeaseGrant:
+    """One lease inside a :class:`ClaimBatchResponse`.
+
+    The encoded unit document rides along (``unit``), so a v2 worker never
+    needs the separate ``GET /api/unit/<key>`` round-trip.
+    """
+
+    key: str
+    fingerprint: dict[str, Any]
+    unit: dict[str, Any]
+
+    def as_json(self) -> dict[str, Any]:
+        return {"key": self.key, "fingerprint": self.fingerprint, "unit": self.unit}
+
+    @classmethod
+    def from_json(cls, document: Any) -> "LeaseGrant":
+        document = _expect_mapping(document, "lease grant")
+        return cls(
+            key=_str_field(document, "key", "lease grant"),
+            fingerprint=_dict_field(document, "fingerprint", "lease grant"),
+            unit=_dict_field(document, "unit", "lease grant"),
+        )
+
+
+@dataclass(frozen=True)
+class ClaimBatchResponse:
+    """``POST /api/v2/claim`` response.
+
+    ``status`` is ``"units"`` (``leases`` holds 1..max_units grants, unit
+    payloads inlined), ``"idle"`` (nothing claimable right now — poll again
+    after ``retry_after``) or ``"done"`` (the sweep is finished).
+    """
+
+    status: str
+    leases: tuple[LeaseGrant, ...] = ()
+    retry_after: float = 0.5
+
+    STATUSES = ("units", "idle", "done")
+
+    def as_json(self) -> dict[str, Any]:
+        return {
+            "status": self.status,
+            "leases": [lease.as_json() for lease in self.leases],
+            "retry_after": self.retry_after,
+        }
+
+    @classmethod
+    def from_json(cls, document: Any) -> "ClaimBatchResponse":
+        document = _expect_mapping(document, "claim batch response")
+        status = _str_field(document, "status", "claim batch response")
+        if status not in cls.STATUSES:
+            raise ProtocolError(
+                f"claim batch status must be one of {cls.STATUSES}, got {status!r}"
+            )
+        raw = document.get("leases", [])
+        if not isinstance(raw, list):
+            raise ProtocolError(f"claim batch response.leases must be a list, got {raw!r}")
+        leases = tuple(LeaseGrant.from_json(item) for item in raw)
+        if status == "units" and not leases:
+            raise ProtocolError("claim batch status 'units' requires at least one lease")
+        if status != "units" and leases:
+            raise ProtocolError(f"claim batch status {status!r} must carry no leases")
+        retry_after = document.get("retry_after", 0.5)
+        if not isinstance(retry_after, (int, float)) or isinstance(retry_after, bool):
+            raise ProtocolError(
+                f"claim batch response.retry_after must be a number, got {retry_after!r}"
+            )
+        return cls(status=status, leases=leases, retry_after=float(retry_after))
+
+
+@dataclass(frozen=True)
+class PushEntry:
+    """One completed unit's record inside a :class:`PushBatchRequest`."""
+
+    key: str
+    fingerprint: dict[str, Any]
+    record: dict[str, Any]
+
+    def as_json(self) -> dict[str, Any]:
+        return {"key": self.key, "fingerprint": self.fingerprint, "record": self.record}
+
+    @classmethod
+    def from_json(cls, document: Any) -> "PushEntry":
+        document = _expect_mapping(document, "push entry")
+        return cls(
+            key=_str_field(document, "key", "push entry"),
+            fingerprint=_dict_field(document, "fingerprint", "push entry"),
+            record=_dict_field(document, "record", "push entry"),
+        )
+
+
+@dataclass(frozen=True)
+class PushBatchRequest:
+    """``POST /api/v2/push`` body: a batch of completed-unit records.
+
+    Entries are validated independently server-side — one bad record is
+    quarantined and acknowledged ``"rejected"`` without poisoning its
+    batch-mates, which are stored through one group commit.
+    """
+
+    worker: str
+    entries: tuple[PushEntry, ...]
+
+    def as_json(self) -> dict[str, Any]:
+        return {"worker": self.worker, "entries": [entry.as_json() for entry in self.entries]}
+
+    @classmethod
+    def from_json(cls, document: Any) -> "PushBatchRequest":
+        document = _expect_mapping(document, "push batch request")
+        raw = _field(document, "entries", "push batch request")
+        if not isinstance(raw, list) or not raw:
+            raise ProtocolError(
+                f"push batch request.entries must be a non-empty list, got {raw!r}"
+            )
+        return cls(
+            worker=_str_field(document, "worker", "push batch request"),
+            entries=tuple(PushEntry.from_json(item) for item in raw),
+        )
+
+
+@dataclass(frozen=True)
+class PushAck:
+    """Per-unit acknowledgement inside a :class:`PushBatchResponse`."""
+
+    key: str
+    status: str
+    error: str = ""
+
+    STATUSES = ("stored", "duplicate", "rejected")
+
+    def as_json(self) -> dict[str, Any]:
+        return {"key": self.key, "status": self.status, "error": self.error}
+
+    @classmethod
+    def from_json(cls, document: Any) -> "PushAck":
+        document = _expect_mapping(document, "push ack")
+        status = _str_field(document, "status", "push ack")
+        if status not in cls.STATUSES:
+            raise ProtocolError(f"push ack status must be one of {cls.STATUSES}, got {status!r}")
+        error = document.get("error", "")
+        if not isinstance(error, str):
+            raise ProtocolError(f"push ack.error must be a string, got {error!r}")
+        return cls(key=_str_field(document, "key", "push ack"), status=status, error=error)
+
+
+@dataclass(frozen=True)
+class PushBatchResponse:
+    """``POST /api/v2/push`` response: one :class:`PushAck` per entry, in order."""
+
+    acks: tuple[PushAck, ...]
+
+    def as_json(self) -> dict[str, Any]:
+        return {"acks": [ack.as_json() for ack in self.acks]}
+
+    @classmethod
+    def from_json(cls, document: Any) -> "PushBatchResponse":
+        document = _expect_mapping(document, "push batch response")
+        raw = _field(document, "acks", "push batch response")
+        if not isinstance(raw, list):
+            raise ProtocolError(f"push batch response.acks must be a list, got {raw!r}")
+        return cls(acks=tuple(PushAck.from_json(item) for item in raw))

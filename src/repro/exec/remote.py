@@ -27,7 +27,19 @@ dead worker's leases expire and are *stolen* through the ordinary claim
 path, and a double-run after a steal pushes a byte-equal record the
 coordinator accepts idempotently.
 
-Everything here is stdlib-only (``http.server`` / ``urllib.request``); no
+Throughput (PR 10): the coordinator also serves the **batched v2 API** —
+``POST /api/v2/claim`` hands out up to ``max_units`` leases with unit
+payloads inlined (no separate fetch round-trip) and ``POST /api/v2/push``
+accepts a batch of records validated independently per unit (per-unit
+stored/duplicate/rejected acks, stored entries group-committed through
+:meth:`~repro.exec.store.ResultStore.put_many`).  The v1 single-unit
+endpoints stay served unchanged, and the register handshake negotiates
+``min(worker, coordinator)`` so old and new peers interoperate either way.
+Workers ride a persistent keep-alive connection
+(:class:`~repro.exec.transport.CoordinatorClient`) and back off
+exponentially while idle.
+
+Everything here is stdlib-only (``http.server`` / ``http.client``); no
 new runtime dependencies.
 
 Security: the coordinator implements **no authentication, authorization or
@@ -38,14 +50,14 @@ only — never to an internet-facing interface.  See ``docs/DISTRIBUTED.md``.
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
+import queue
 import shutil
 import socket
 import threading
 import time
-import urllib.error
-import urllib.request
 import uuid
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -56,11 +68,20 @@ from repro.exec.faults import TransportFaultPlan
 from repro.exec.leases import DEFAULT_LEASE_TTL, LeaseTable
 from repro.exec.protocol import (
     PROTOCOL_VERSION,
+    PROTOCOL_VERSION_BATCH,
+    SUPPORTED_PROTOCOL_VERSIONS,
+    ClaimBatchRequest,
+    ClaimBatchResponse,
     ClaimRequest,
     ClaimResponse,
     FailureReport,
     HeartbeatRequest,
+    LeaseGrant,
     ProtocolError,
+    PushAck,
+    PushBatchRequest,
+    PushBatchResponse,
+    PushEntry,
     PushRequest,
     PushResponse,
     RegisterRequest,
@@ -70,6 +91,7 @@ from repro.exec.protocol import (
     encode_unit,
 )
 from repro.exec.store import ResultStore, fingerprints_match
+from repro.exec.transport import GZIP_THRESHOLD, CoordinatorClient
 from repro.exec.units import WorkUnit, record_matches_unit
 from repro.obs.metrics import MetricsRegistry, render_registries
 from repro.obs.progress import emit_progress
@@ -170,6 +192,25 @@ class Coordinator:
 
         self._condition = threading.Condition()
         self._pending: dict[str, _PendingUnit] = {}
+        #: key -> canonical record bytes of a batch push whose group commit
+        #: is in flight (written outside the condition, so claims and other
+        #: pushes are not stalled behind the batch's fsyncs).
+        self._committing: dict[str, str] = {}
+        #: key -> (worker, monotonic grant time) of an unresolved grant.  The
+        #: map serves two purposes on the claim path.  First, a pipelined
+        #: worker claims its next batch while the current one is still
+        #: executing; without the map the lease table would happily re-grant
+        #: the worker its *own* in-flight units (re-claiming an owned lease
+        #: is legal — it is how a restarted worker recovers) and every batch
+        #: would be executed twice.  Second, probing another live worker's
+        #: lease costs file operations (temp write + link + stat) under the
+        #: coordinator lock; the map answers "granted and fresh" from memory,
+        #: so a claim scan past N in-flight units is N dict lookups, not N
+        #: disk probes.  A grant older than the lease TTL is *not* trusted —
+        #: the scan falls through to the lease table, whose heartbeat-backed
+        #: expiry decides whether the unit is genuinely stealable.  Entries
+        #: clear on push, failure, rejection, and (re-)registration.
+        self._granted: dict[str, tuple[str, float]] = {}
         self._completed: set[str] = set()
         self._failed: dict[str, str] = {}
         self._failures: dict[str, int] = {}
@@ -221,6 +262,24 @@ class Coordinator:
         self._units_pending = reg.gauge(
             "repro_remote_units_pending", help="Units submitted and not yet completed."
         )
+        batch_buckets = (1, 2, 4, 8, 16, 32, 64, 128)
+        self._claim_batch_size = reg.histogram(
+            "repro_remote_batch_size",
+            help="Units per batched v2 request, by operation.",
+            labels={"op": "claim"},
+            buckets=batch_buckets,
+        )
+        self._push_batch_size = reg.histogram(
+            "repro_remote_batch_size",
+            help="Units per batched v2 request, by operation.",
+            labels={"op": "push"},
+            buckets=batch_buckets,
+        )
+
+        #: Handshake versions this coordinator accepts.  Tests shrink this to
+        #: ``(1,)`` to emulate a pre-batch coordinator and exercise the
+        #: worker's version-fallback path.
+        self.supported_versions: tuple[int, ...] = SUPPORTED_PROTOCOL_VERSIONS
 
         host, port = _parse_listen(listen)
         self._server = _CoordinatorServer((host, port), _CoordinatorHandler)
@@ -338,10 +397,11 @@ class Coordinator:
 
     # -- worker-facing operations (called from handler threads) -------------- #
     def register(self, request: RegisterRequest) -> RegisterResponse:
-        if request.version != PROTOCOL_VERSION:
+        if request.version not in self.supported_versions:
+            supported = ", ".join(f"v{v}" for v in self.supported_versions)
             raise ProtocolError(
                 f"protocol version mismatch: worker speaks v{request.version}, "
-                f"coordinator speaks v{PROTOCOL_VERSION}"
+                f"coordinator supports {supported}"
             )
         with self._condition:
             if request.worker not in self._tables:
@@ -350,12 +410,37 @@ class Coordinator:
                 )
                 self._workers_total.inc()
                 emit_progress("worker_registered", worker=request.worker, host=request.host)
+            else:
+                # A re-registration is a restarted worker: whatever its
+                # previous life had claimed is no longer in flight, and it
+                # must be able to re-claim its own (still-held) leases.
+                for key, (holder, _) in list(self._granted.items()):
+                    if holder == request.worker:
+                        del self._granted[key]
             self._active_workers.add(request.worker)
         return RegisterResponse(
             worker=request.worker,
             lease_ttl=self.lease_ttl,
             poll_interval=self.poll_interval,
+            protocol=min(request.version, PROTOCOL_VERSION_BATCH),
         )
+
+    def _grant_is_fresh(self, key: str, worker: str, now: float) -> bool:
+        """Whether ``key`` has an in-flight grant a claim by ``worker`` must skip.
+
+        The worker's own grants are always skipped (a pipelined claim must
+        never re-receive units it is still executing).  Another worker's
+        grant is skipped only while younger than the lease TTL; past that
+        the claim falls through to the lease table, whose heartbeat-backed
+        expiry decides whether the unit is genuinely stealable.
+        """
+        grant = self._granted.get(key)
+        if grant is None:
+            return False
+        holder, granted_at = grant
+        if holder == worker:
+            return True
+        return (now - granted_at) <= self.lease_ttl
 
     def _table_for(self, worker: str) -> LeaseTable:
         table = self._tables.get(worker)
@@ -366,7 +451,10 @@ class Coordinator:
     def claim(self, request: ClaimRequest) -> ClaimResponse:
         with self._condition:
             table = self._table_for(request.worker)
+            now = time.monotonic()
             for key, entry in list(self._pending.items()):
+                if self._grant_is_fresh(key, request.worker, now):
+                    continue
                 steals_before = table.stats.steals
                 if not table.claim(key):
                     continue
@@ -374,6 +462,7 @@ class Coordinator:
                     self._lease_steals_total.inc()
                     emit_progress("remote_lease_stolen", key=key, worker=request.worker)
                 self._claims_total.inc()
+                self._granted[key] = (request.worker, now)
                 return ClaimResponse(
                     status="unit",
                     key=key,
@@ -386,6 +475,56 @@ class Coordinator:
                 return ClaimResponse(status="done")
             self._idle_polls_total.inc()
             return ClaimResponse(status="idle", retry_after=self.poll_interval)
+
+    def claim_batch(self, request: ClaimBatchRequest) -> ClaimBatchResponse:
+        """Lease up to ``max_units`` pending units, unit payloads inlined.
+
+        One request replaces up to ``max_units`` claim + unit-fetch
+        round-trip pairs of the v1 API; lease, steal and idle/done
+        semantics are identical to :meth:`claim` applied repeatedly.
+        """
+        with self._condition:
+            table = self._table_for(request.worker)
+            now = time.monotonic()
+            # Phase 1: pick candidates with in-memory checks only, then take
+            # their lease files in one claim_many sweep — a single payload
+            # write for the whole batch instead of one per key.
+            candidates: list[tuple[str, _PendingUnit]] = []
+            for key, entry in self._pending.items():
+                if len(candidates) >= request.max_units:
+                    break
+                if self._grant_is_fresh(key, request.worker, now):
+                    continue
+                candidates.append((key, entry))
+            steals_before = table.stats.steals
+            won = set(table.claim_many([key for key, _ in candidates]))
+            stolen = table.stats.steals - steals_before
+            if stolen:
+                self._lease_steals_total.inc(stolen)
+                emit_progress(
+                    "remote_lease_stolen", count=stolen, worker=request.worker
+                )
+            leases: list[LeaseGrant] = []
+            for key, entry in candidates:
+                if key not in won:
+                    continue
+                self._claims_total.inc()
+                self._unit_fetches_total.inc()
+                self._granted[key] = (request.worker, now)
+                leases.append(
+                    LeaseGrant(key=key, fingerprint=entry.fingerprint, unit=entry.document)
+                )
+            if leases:
+                self._claim_batch_size.observe(len(leases))
+                return ClaimBatchResponse(
+                    status="units", leases=tuple(leases), retry_after=self.poll_interval
+                )
+            if self._finished and not self._pending:
+                self._active_workers.discard(request.worker)
+                self._condition.notify_all()
+                return ClaimBatchResponse(status="done")
+            self._idle_polls_total.inc()
+            return ClaimBatchResponse(status="idle", retry_after=self.poll_interval)
 
     def unit_document(self, key: str) -> Optional[dict[str, Any]]:
         with self._condition:
@@ -414,6 +553,9 @@ class Coordinator:
                 error=request.error,
             )
             table.release(request.key)
+            grant = self._granted.get(request.key)
+            if grant is not None and grant[0] == request.worker:
+                del self._granted[request.key]
             if request.key not in self._pending:
                 return
             self._failures[request.key] = self._failures.get(request.key, 0) + 1
@@ -427,42 +569,179 @@ class Coordinator:
         """Verify and store a pushed record; returns ``(status, body)``."""
         with self._condition:
             table = self._table_for(request.worker)
-            entry = self._pending.get(request.key)
-            if entry is None:
-                if request.key in self._completed:
-                    stored = self._raw_stored_record(request.key)
-                    if stored is not None and canonical_json(stored) == canonical_json(
-                        request.record
-                    ):
-                        self._duplicate_pushes_total.inc()
-                        return 200, PushResponse(status="duplicate").as_json()
-                    self._quarantine_push(request)
-                    return 409, {
-                        "error": f"unit {request.key} already completed with different bytes"
-                    }
-                return 404, {"error": f"unknown unit {request.key}"}
-            if not fingerprints_match(request.fingerprint, entry.fingerprint):
-                self._quarantine_push(request)
-                return 409, {"error": f"fingerprint mismatch for unit {request.key}"}
-            if not record_matches_unit(entry.unit, request.record):
-                self._quarantine_push(request)
-                return 409, {
-                    "error": f"corrupt record for unit {request.key} "
-                    f"(expected {entry.unit.n_trials} trials)"
-                }
+            verdict, error = self._evaluate_push(
+                request.worker, request.key, request.fingerprint, request.record
+            )
+            if verdict == "duplicate":
+                return 200, PushResponse(status="duplicate").as_json()
+            if verdict == "unknown":
+                return 404, {"error": error}
+            if verdict == "rejected":
+                return 409, {"error": error}
+            entry = self._pending.pop(request.key)
             self.store.put(request.key, request.record, fingerprint=entry.fingerprint)
-            table.release(request.key)
-            self._pending.pop(request.key, None)
-            self._completed.add(request.key)
-            self._failures.pop(request.key, None)
-            self._units_pending.set(len(self._pending))
-            self._pushes_total.inc()
-            self._units_completed_total.inc()
-            emit_progress("unit_completed", unit=request.key, worker=request.worker)
-            for callback in entry.callbacks:
-                callback(request.record)
+            self._finalize_stored(
+                request.worker, table, request.key, request.record, entry
+            )
             self._condition.notify_all()
             return 200, PushResponse(status="stored").as_json()
+
+    def push_batch(self, request: PushBatchRequest) -> tuple[int, dict[str, Any]]:
+        """Validate a batch of pushed records independently; group-commit the good ones.
+
+        Every entry gets its own :class:`~repro.exec.protocol.PushAck` —
+        one corrupt record is quarantined and acknowledged ``"rejected"``
+        without poisoning its batch-mates.  All accepted records are
+        persisted through a single :meth:`ResultStore.put_many` group
+        commit (one directory fsync for the whole batch), issued *outside*
+        the coordinator lock so concurrent claims and pushes are not
+        stalled behind the batch's fsyncs.  While the commit is in flight
+        the affected units are parked in a committing set: a concurrent
+        re-push of the same bytes (a lease steal racing the original
+        owner) is answered ``"duplicate"``, conflicting bytes
+        ``"rejected"`` — exactly the answers an already-completed unit
+        gives.
+        """
+        with self._condition:
+            table = self._table_for(request.worker)
+            self._push_batch_size.observe(len(request.entries))
+            acks: list[PushAck] = []
+            stored: list[tuple[PushEntry, _PendingUnit]] = []
+            seen: dict[str, str] = {}
+            for entry in request.entries:
+                if entry.key in seen:
+                    # A within-batch repeat: byte-equal is the idempotent
+                    # duplicate; conflicting bytes are a corrupt sibling.
+                    if canonical_json(entry.record) == seen[entry.key]:
+                        self._duplicate_pushes_total.inc()
+                        acks.append(PushAck(key=entry.key, status="duplicate"))
+                    else:
+                        self._quarantine_record(
+                            request.worker, entry.key, entry.fingerprint, entry.record
+                        )
+                        acks.append(
+                            PushAck(
+                                key=entry.key,
+                                status="rejected",
+                                error=f"conflicting record for unit {entry.key} in batch",
+                            )
+                        )
+                    continue
+                verdict, error = self._evaluate_push(
+                    request.worker, entry.key, entry.fingerprint, entry.record
+                )
+                if verdict == "store":
+                    seen[entry.key] = canonical_json(entry.record)
+                    self._committing[entry.key] = seen[entry.key]
+                    stored.append((entry, self._pending.pop(entry.key)))
+                    acks.append(PushAck(key=entry.key, status="stored"))
+                elif verdict == "duplicate":
+                    acks.append(PushAck(key=entry.key, status="duplicate"))
+                else:  # "unknown" and "rejected" both ack rejected per-unit
+                    acks.append(PushAck(key=entry.key, status="rejected", error=error))
+            self._units_pending.set(len(self._pending))
+        if stored:
+            try:
+                self.store.put_many(
+                    [
+                        (entry.key, entry.record, pending.fingerprint)
+                        for entry, pending in stored
+                    ]
+                )
+            except BaseException:
+                # The group commit failed (disk full, store gone): the units
+                # are not durable, so put them back on offer instead of
+                # losing them.
+                with self._condition:
+                    for entry, pending in stored:
+                        self._committing.pop(entry.key, None)
+                        self._granted.pop(entry.key, None)
+                        self._pending[entry.key] = pending
+                    self._units_pending.set(len(self._pending))
+                    self._condition.notify_all()
+                raise
+        with self._condition:
+            for entry, pending in stored:
+                self._committing.pop(entry.key, None)
+                self._finalize_stored(
+                    request.worker, table, entry.key, entry.record, pending
+                )
+            self._condition.notify_all()
+        return 200, PushBatchResponse(acks=tuple(acks)).as_json()
+
+    def _evaluate_push(
+        self, worker: str, key: str, fingerprint: dict[str, Any], record: dict[str, Any]
+    ) -> tuple[str, str]:
+        """Classify one pushed record; callers hold ``self._condition``.
+
+        Returns ``(verdict, error)`` with verdict one of ``"store"`` (valid
+        and pending — caller persists then finalizes), ``"duplicate"``,
+        ``"unknown"`` or ``"rejected"`` (already quarantined here).
+        """
+        entry = self._pending.get(key)
+        if entry is None:
+            committing = self._committing.get(key)
+            if committing is not None:
+                if canonical_json(record) == committing:
+                    self._duplicate_pushes_total.inc()
+                    return "duplicate", ""
+                self._quarantine_record(worker, key, fingerprint, record)
+                return "rejected", f"unit {key} already completed with different bytes"
+            if key in self._completed:
+                existing = self._raw_stored_record(key)
+                if existing is not None and canonical_json(existing) == canonical_json(record):
+                    self._duplicate_pushes_total.inc()
+                    return "duplicate", ""
+                self._quarantine_record(worker, key, fingerprint, record)
+                return "rejected", f"unit {key} already completed with different bytes"
+            return "unknown", f"unknown unit {key}"
+        if not fingerprints_match(fingerprint, entry.fingerprint):
+            self._reject_pending_push(worker, key, fingerprint, record)
+            return "rejected", f"fingerprint mismatch for unit {key}"
+        if not record_matches_unit(entry.unit, record):
+            self._reject_pending_push(worker, key, fingerprint, record)
+            return "rejected", (
+                f"corrupt record for unit {key} (expected {entry.unit.n_trials} trials)"
+            )
+        return "store", ""
+
+    def _reject_pending_push(
+        self, worker: str, key: str, fingerprint: dict[str, Any], record: dict[str, Any]
+    ) -> None:
+        """Quarantine a rejected push whose unit stays pending (condition held).
+
+        The rejecting worker will not push this unit again, so its
+        in-flight grant is dropped — it (or, once the lease expires, any
+        other worker) may immediately re-claim and re-execute the unit.
+        """
+        self._quarantine_record(worker, key, fingerprint, record)
+        grant = self._granted.get(key)
+        if grant is not None and grant[0] == worker:
+            del self._granted[key]
+
+    def _finalize_stored(
+        self,
+        worker: str,
+        table: LeaseTable,
+        key: str,
+        record: dict[str, Any],
+        entry: "_PendingUnit",
+    ) -> None:
+        """Post-persist bookkeeping for one stored push (condition held).
+
+        ``entry`` is the unit's pending entry, already popped from
+        ``self._pending`` by the caller (before the durable write).
+        """
+        table.release(key)
+        self._granted.pop(key, None)
+        self._completed.add(key)
+        self._failures.pop(key, None)
+        self._units_pending.set(len(self._pending))
+        self._pushes_total.inc()
+        self._units_completed_total.inc()
+        emit_progress("unit_completed", unit=key, worker=worker)
+        for callback in entry.callbacks:
+            callback(record)
 
     def status_document(self) -> dict[str, Any]:
         with self._condition:
@@ -491,17 +770,20 @@ class Coordinator:
         record = document.get("record") if isinstance(document, dict) else None
         return record if isinstance(record, dict) else None
 
-    def _quarantine_push(self, request: PushRequest) -> None:
+    def _quarantine_record(
+        self, worker: str, key: str, fingerprint: dict[str, Any], record: dict[str, Any]
+    ) -> None:
         """Keep a rejected push body on disk for forensics, off the store path.
 
         ``<key>.pushrejected-<ns>`` never matches the store's ``*.json``
         glob, so a rejected body can never satisfy a later lookup.
         """
         self._rejected_pushes_total.inc()
-        emit_progress("remote_push_rejected", key=request.key, worker=request.worker)
-        target = self.store.directory / f"{request.key}.pushrejected-{time.time_ns()}"
+        emit_progress("remote_push_rejected", key=key, worker=worker)
+        body = PushRequest(worker=worker, key=key, fingerprint=fingerprint, record=record)
+        target = self.store.directory / f"{key}.pushrejected-{time.time_ns()}"
         try:
-            target.write_text(canonical_json(request.as_json()) + "\n", encoding="utf-8")
+            target.write_text(canonical_json(body.as_json()) + "\n", encoding="utf-8")
         except (OSError, ProtocolError):
             pass
 
@@ -513,6 +795,10 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
     """Routes the coordinator API; every response is canonical JSON."""
 
     protocol_version = "HTTP/1.1"
+    # Keep-alive connections carry many small JSON exchanges; without
+    # TCP_NODELAY each response can stall ~40 ms behind the peer's delayed
+    # ACK (the client side sets the same option on its socket).
+    disable_nagle_algorithm = True
     server: _CoordinatorServer
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
@@ -522,6 +808,10 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
         body = (canonical_json(document) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        accepts_gzip = "gzip" in self.headers.get("Accept-Encoding", "").lower()
+        if accepts_gzip and len(body) >= GZIP_THRESHOLD:
+            body = gzip.compress(body, compresslevel=1)
+            self.send_header("Content-Encoding", "gzip")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -542,6 +832,11 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
         raw = self.rfile.read(length) if length > 0 else b""
         if not raw:
             raise ProtocolError("request body is empty")
+        if self.headers.get("Content-Encoding", "").lower() == "gzip":
+            try:
+                raw = gzip.decompress(raw)
+            except (OSError, EOFError) as exc:
+                raise ProtocolError(f"request body is not valid gzip: {exc}") from exc
         try:
             return json.loads(raw)
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
@@ -584,6 +879,12 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
             elif self.path == "/api/push":
                 status, document = coordinator.push(PushRequest.from_json(body))
                 self._send_json(status, document)
+            elif self.path == "/api/v2/claim":
+                response = coordinator.claim_batch(ClaimBatchRequest.from_json(body))
+                self._send_json(200, response.as_json())
+            elif self.path == "/api/v2/push":
+                status, document = coordinator.push_batch(PushBatchRequest.from_json(body))
+                self._send_json(status, document)
             elif self.path == "/api/fail":
                 coordinator.fail(FailureReport.from_json(body))
                 self._send_json(200, {"ok": True})
@@ -604,46 +905,6 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
         except OSError:
             pass
-
-
-class CoordinatorClient:
-    """Minimal JSON-over-HTTP client for the coordinator API (stdlib only)."""
-
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
-        self.base_url = base_url.rstrip("/")
-        self.timeout = timeout
-
-    def request(
-        self, path: str, payload: Optional[dict[str, Any]] = None
-    ) -> tuple[int, dict[str, Any]]:
-        """``GET`` (no payload) or ``POST`` (JSON payload) -> ``(status, body)``.
-
-        HTTP error statuses are returned, not raised; connection-level
-        failures (refused, reset, timeout) propagate as :class:`OSError`
-        for the caller's retry logic.
-        """
-        url = self.base_url + path
-        data = None
-        headers = {}
-        if payload is not None:
-            data = canonical_json(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            url, data=data, headers=headers, method="POST" if payload is not None else "GET"
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return response.status, self._parse(response.read())
-        except urllib.error.HTTPError as exc:
-            return exc.code, self._parse(exc.read())
-
-    @staticmethod
-    def _parse(raw: bytes) -> dict[str, Any]:
-        try:
-            document = json.loads(raw) if raw else {}
-        except (json.JSONDecodeError, UnicodeDecodeError):
-            return {"error": raw.decode("utf-8", errors="replace")}
-        return document if isinstance(document, dict) else {"value": document}
 
 
 # --------------------------------------------------------------------------- #
@@ -683,6 +944,54 @@ class WorkerStats:
 _CONNECTION_FAILURE_LIMIT = 20
 
 
+def idle_backoff_delay(streak: int, base: float, cap: float = 2.0) -> float:
+    """Sleep before the ``streak``-th consecutive idle claim poll.
+
+    Doubles from ``base`` per empty poll and saturates at ``max(cap,
+    base)`` (an explicit long poll interval is never shortened), so a fleet
+    of idle workers stops hammering the coordinator near sweep completion.
+    The caller resets the streak to zero on any successful claim.
+    """
+    if streak <= 1:
+        return base
+    return min(max(cap, base), base * (2.0 ** (streak - 1)))
+
+
+class _Prefetch:
+    """One pipelined v2 claim in flight on its own connection.
+
+    Started right after a batch is received, so the next batch travels the
+    wire while the current one executes; :meth:`take` joins and yields the
+    response (or re-raises the transport failure) exactly as a synchronous
+    claim would.
+    """
+
+    def __init__(self, client: CoordinatorClient, worker: str, max_units: int) -> None:
+        self._result: Optional[tuple[int, dict[str, Any]]] = None
+        self._error: Optional[OSError] = None
+
+        def fetch() -> None:
+            try:
+                self._result = client.request(
+                    "/api/v2/claim",
+                    ClaimBatchRequest(worker=worker, max_units=max_units).as_json(),
+                )
+            except OSError as exc:
+                self._error = exc
+
+        self._thread = threading.Thread(
+            target=fetch, name=f"{worker}-prefetch", daemon=True
+        )
+        self._thread.start()
+
+    def take(self) -> tuple[int, dict[str, Any]]:
+        self._thread.join()
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+
 def run_worker(
     coordinator: str,
     worker_id: Optional[str] = None,
@@ -691,21 +1000,44 @@ def run_worker(
     connect_timeout: float = 60.0,
     request_timeout: float = 30.0,
     transport_faults: Optional[TransportFaultPlan] = None,
+    claim_batch: int = 1,
+    push_batch: Optional[int] = None,
+    protocol: Optional[int] = None,
+    idle_cap: float = 2.0,
 ) -> WorkerStats:
     """Pull-execute-push units from ``coordinator`` until it says "done".
 
     The complete worker half of remote dispatch: register (retrying until
-    ``connect_timeout`` if the coordinator is not up yet), then loop
-    claim → fetch → :func:`~repro.exec.executor.execute_unit` → push, with a
-    daemon heartbeat thread keeping the held lease alive.  A unit whose
-    execution raises is reported via ``/api/fail`` (releasing the lease for
-    an immediate retry elsewhere) and the loop continues.  ``max_units``
-    bounds the work taken (for tests); ``transport_faults`` injects
-    deterministic push-path faults (for the chaos suite).
+    ``connect_timeout`` if the coordinator is not up yet, and falling back
+    to protocol v1 against a pre-batch coordinator), then loop
+    claim → :func:`~repro.exec.executor.execute_unit` → push over one
+    keep-alive connection, with a daemon heartbeat thread (its own
+    connection) keeping every held lease alive.  Under the negotiated v2
+    protocol the worker claims up to ``claim_batch`` units per request
+    (unit payloads inlined), pushes records in batches of ``push_batch``
+    (default: ``claim_batch``), and *pipelines* both directions — the next
+    batch is claimed, and the previous batch's records pushed, on their own
+    connections while the current batch executes.  Idle polls back
+    off exponentially up to ``idle_cap`` seconds (see
+    :func:`idle_backoff_delay`); an explicit ``poll`` beats the
+    coordinator's idle ``retry_after`` hint, so a low-latency worker can be
+    asked for 20 ms polling regardless of the server's default.
+
+    A unit whose execution raises is reported via ``/api/fail`` (releasing
+    the lease for an immediate retry elsewhere) and its batch-mates
+    continue.  ``max_units`` bounds the work taken (for tests);
+    ``transport_faults`` injects deterministic push-path faults (for the
+    chaos suite); ``protocol`` forces a handshake version (for compat
+    tests).
     """
+    if claim_batch < 1:
+        raise ValueError(f"claim_batch must be >= 1, got {claim_batch}")
+    if push_batch is not None and push_batch < 1:
+        raise ValueError(f"push_batch must be >= 1, got {push_batch}")
     worker = worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:8]}"
     client = CoordinatorClient(coordinator, timeout=request_timeout)
-    terms = _register_with_retry(client, worker, connect_timeout)
+    requested = PROTOCOL_VERSION_BATCH if protocol is None else int(protocol)
+    terms = _register_with_retry(client, worker, connect_timeout, requested)
     interval = poll if poll is not None else max(terms.poll_interval, 0.01)
     stats = WorkerStats(worker=worker)
 
@@ -713,6 +1045,7 @@ def run_worker(
     held_lock = threading.Lock()
     stop = threading.Event()
     heartbeat_interval = min(max(terms.lease_ttl / 4.0, 0.05), 15.0)
+    heartbeat_client = client.clone()
 
     def heartbeat_loop() -> None:
         while not stop.wait(heartbeat_interval):
@@ -721,7 +1054,7 @@ def run_worker(
             if not keys:
                 continue
             try:
-                client.request(
+                heartbeat_client.request(
                     "/api/heartbeat", HeartbeatRequest(worker=worker, keys=keys).as_json()
                 )
             except OSError:
@@ -732,89 +1065,345 @@ def run_worker(
     )
     heartbeat_thread.start()
 
-    push_attempts: dict[str, int] = {}
-    consecutive_failures = 0
+    # An explicitly requested poll interval beats the coordinator's
+    # ``retry_after`` hint on idle claims — a bench or test that asks for
+    # 20 ms polling must not be slept for the server's (1 s) default.
+    honor_retry_hint = poll is None
     try:
-        while True:
-            if max_units is not None and stats.executed >= max_units:
-                break
-            try:
-                status, body = client.request(
-                    "/api/claim", ClaimRequest(worker=worker).as_json()
-                )
-            except OSError:
-                consecutive_failures += 1
-                if consecutive_failures > _CONNECTION_FAILURE_LIMIT:
-                    if stats.executed or stats.idle_polls:
-                        break  # the coordinator went away after we served it
-                    raise
-                time.sleep(interval)
-                continue
-            consecutive_failures = 0
-            if status != 200:
-                raise RuntimeError(f"claim rejected ({status}): {body.get('error', body)}")
-            claim = ClaimResponse.from_json(body)
-            if claim.status == "done":
-                break
-            if claim.status == "idle":
-                stats.idle_polls += 1
-                time.sleep(claim.retry_after if claim.retry_after > 0 else interval)
-                continue
-            assert claim.key is not None and claim.fingerprint is not None
-            status, body = client.request(f"/api/unit/{claim.key}")
-            if status != 200:
-                continue  # completed or stolen between claim and fetch
-            unit = decode_unit(body.get("unit"))
-            with held_lock:
-                held.add(claim.key)
-            try:
-                record = execute_unit(unit)
-            except Exception as exc:
-                stats.failures += 1
-                with held_lock:
-                    held.discard(claim.key)
-                try:
-                    client.request(
-                        "/api/fail",
-                        FailureReport(
-                            worker=worker,
-                            key=claim.key,
-                            error=f"{type(exc).__name__}: {exc}",
-                        ).as_json(),
-                    )
-                except OSError:
-                    pass
-                continue
-            stats.executed += 1
-            try:
-                _push_with_faults(
-                    client,
-                    PushRequest(
-                        worker=worker,
-                        key=claim.key,
-                        fingerprint=claim.fingerprint,
-                        record=record,
-                    ),
-                    transport_faults,
-                    push_attempts,
-                    stats,
-                )
-            finally:
-                with held_lock:
-                    held.discard(claim.key)
+        if terms.protocol >= PROTOCOL_VERSION_BATCH:
+            _worker_loop_v2(
+                client,
+                worker,
+                stats,
+                interval,
+                max_units,
+                claim_batch,
+                push_batch,
+                transport_faults,
+                held,
+                held_lock,
+                honor_retry_hint,
+                idle_cap,
+            )
+        else:
+            _worker_loop_v1(
+                client,
+                worker,
+                stats,
+                interval,
+                max_units,
+                transport_faults,
+                held,
+                held_lock,
+                honor_retry_hint,
+                idle_cap,
+            )
     finally:
         stop.set()
         heartbeat_thread.join(timeout=2.0)
+        heartbeat_client.close()
+        client.close()
     return stats
 
 
+def _worker_loop_v1(
+    client: CoordinatorClient,
+    worker: str,
+    stats: WorkerStats,
+    interval: float,
+    max_units: Optional[int],
+    transport_faults: Optional[TransportFaultPlan],
+    held: set[str],
+    held_lock: threading.Lock,
+    honor_retry_hint: bool = True,
+    idle_cap: float = 2.0,
+) -> None:
+    """The single-unit claim → fetch → execute → push loop (protocol v1)."""
+    push_attempts: dict[str, int] = {}
+    consecutive_failures = 0
+    idle_streak = 0
+    while True:
+        if max_units is not None and stats.executed >= max_units:
+            return
+        try:
+            status, body = client.request(
+                "/api/claim", ClaimRequest(worker=worker).as_json()
+            )
+        except OSError:
+            consecutive_failures += 1
+            if consecutive_failures > _CONNECTION_FAILURE_LIMIT:
+                if stats.executed or stats.idle_polls:
+                    return  # the coordinator went away after we served it
+                raise
+            time.sleep(interval)
+            continue
+        consecutive_failures = 0
+        if status != 200:
+            raise RuntimeError(f"claim rejected ({status}): {body.get('error', body)}")
+        claim = ClaimResponse.from_json(body)
+        if claim.status == "done":
+            return
+        if claim.status == "idle":
+            stats.idle_polls += 1
+            idle_streak += 1
+            base = (
+                claim.retry_after
+                if honor_retry_hint and claim.retry_after > 0
+                else interval
+            )
+            time.sleep(idle_backoff_delay(idle_streak, base, cap=idle_cap))
+            continue
+        idle_streak = 0
+        assert claim.key is not None and claim.fingerprint is not None
+        status, body = client.request(f"/api/unit/{claim.key}")
+        if status != 200:
+            continue  # completed or stolen between claim and fetch
+        unit = decode_unit(body.get("unit"))
+        with held_lock:
+            held.add(claim.key)
+        try:
+            record = execute_unit(unit)
+        except Exception as exc:
+            stats.failures += 1
+            with held_lock:
+                held.discard(claim.key)
+            try:
+                client.request(
+                    "/api/fail",
+                    FailureReport(
+                        worker=worker,
+                        key=claim.key,
+                        error=f"{type(exc).__name__}: {exc}",
+                    ).as_json(),
+                )
+            except OSError:
+                pass
+            continue
+        stats.executed += 1
+        try:
+            _push_with_faults(
+                client,
+                PushRequest(
+                    worker=worker,
+                    key=claim.key,
+                    fingerprint=claim.fingerprint,
+                    record=record,
+                ),
+                transport_faults,
+                push_attempts,
+                stats,
+            )
+        finally:
+            with held_lock:
+                held.discard(claim.key)
+
+
+def _worker_loop_v2(
+    client: CoordinatorClient,
+    worker: str,
+    stats: WorkerStats,
+    interval: float,
+    max_units: Optional[int],
+    claim_batch: int,
+    push_batch: Optional[int],
+    transport_faults: Optional[TransportFaultPlan],
+    held: set[str],
+    held_lock: threading.Lock,
+    honor_retry_hint: bool = True,
+    idle_cap: float = 2.0,
+) -> None:
+    """The batched, pipelined claim → execute → push loop (protocol v2)."""
+    push_attempts: dict[str, int] = {}
+    buffer: list[PushEntry] = []
+    flush_at = push_batch if push_batch is not None else claim_batch
+    consecutive_failures = 0
+    idle_streak = 0
+    prefetch: Optional[_Prefetch] = None
+    # Pipelining claims ahead only makes sense for an unbounded worker
+    # pulling real batches; a max_units test budget claims exactly on demand.
+    prefetch_client = client.clone() if max_units is None and claim_batch > 1 else None
+
+    # Pushes are pipelined too: completed batches queue to a dedicated pusher
+    # thread with its own connection, so the execute loop never waits out a
+    # push round trip — the cycle costs max(execute, push) even when several
+    # pushes are outstanding.  One thread draining a FIFO queue over one
+    # connection means pushes can never reorder; the queue is bounded so a
+    # slow coordinator backpressures execution instead of buffering results
+    # without limit.  A push failure parks in ``push_failures`` and re-raises
+    # on the worker thread at the next flush (or the final drain).
+    # Fault-injection runs stay synchronous — the chaos suite asserts on
+    # strict request ordering.
+    push_client = (
+        client.clone()
+        if prefetch_client is not None and transport_faults is None
+        else None
+    )
+    push_queue: Optional[queue.Queue] = (
+        queue.Queue(maxsize=4) if push_client is not None else None
+    )
+    pusher: Optional[threading.Thread] = None
+    push_failures: list[BaseException] = []
+
+    def pusher_main() -> None:
+        assert push_queue is not None and push_client is not None
+        while True:
+            entries = push_queue.get()
+            if entries is None:
+                push_queue.task_done()
+                return
+            try:
+                # After a failure the loop only drains (releasing held keys);
+                # the worker thread re-raises at its next flush.
+                if not push_failures:
+                    _push_batch_with_faults(
+                        push_client, worker, entries, transport_faults, push_attempts, stats
+                    )
+            except BaseException as exc:  # re-raised on the worker thread
+                push_failures.append(exc)
+            finally:
+                with held_lock:
+                    for entry in entries:
+                        held.discard(entry.key)
+                push_queue.task_done()
+
+    def drain() -> None:
+        """Wait for every queued push to finish; surface any push failure."""
+        if push_queue is not None:
+            push_queue.join()
+        if push_failures:
+            raise push_failures.pop()
+
+    def flush() -> None:
+        nonlocal pusher
+        if not buffer:
+            return
+        entries = tuple(buffer)
+        buffer.clear()
+        if push_queue is None:
+            try:
+                _push_batch_with_faults(
+                    client, worker, entries, transport_faults, push_attempts, stats
+                )
+            finally:
+                with held_lock:
+                    for entry in entries:
+                        held.discard(entry.key)
+            return
+        if push_failures:
+            raise push_failures.pop()
+        if pusher is None:
+            pusher = threading.Thread(
+                target=pusher_main, name=f"{worker}-push", daemon=True
+            )
+            pusher.start()
+        push_queue.put(entries)
+
+    try:
+        while True:
+            remaining = None if max_units is None else max_units - stats.executed
+            if remaining is not None and remaining <= 0:
+                flush()
+                drain()
+                return
+            want = claim_batch if remaining is None else min(claim_batch, remaining)
+            try:
+                if prefetch is not None:
+                    status, body = prefetch.take()
+                else:
+                    status, body = client.request(
+                        "/api/v2/claim",
+                        ClaimBatchRequest(worker=worker, max_units=want).as_json(),
+                    )
+            except OSError:
+                prefetch = None
+                consecutive_failures += 1
+                if consecutive_failures > _CONNECTION_FAILURE_LIMIT:
+                    if stats.executed or stats.idle_polls:
+                        return  # the coordinator went away after we served it
+                    raise
+                time.sleep(interval)
+                continue
+            prefetch = None
+            consecutive_failures = 0
+            if status != 200:
+                raise RuntimeError(f"claim rejected ({status}): {body.get('error', body)}")
+            claim = ClaimBatchResponse.from_json(body)
+            if claim.status == "done":
+                flush()
+                drain()
+                return
+            if claim.status == "idle":
+                flush()  # push held results before sleeping on them
+                stats.idle_polls += 1
+                idle_streak += 1
+                base = (
+                    claim.retry_after
+                    if honor_retry_hint and claim.retry_after > 0
+                    else interval
+                )
+                time.sleep(idle_backoff_delay(idle_streak, base, cap=idle_cap))
+                continue
+            idle_streak = 0
+            with held_lock:
+                held.update(lease.key for lease in claim.leases)
+            if prefetch_client is not None:
+                prefetch = _Prefetch(prefetch_client, worker, claim_batch)
+            for lease in claim.leases:
+                try:
+                    record = execute_unit(decode_unit(lease.unit))
+                except Exception as exc:
+                    stats.failures += 1
+                    with held_lock:
+                        held.discard(lease.key)
+                    try:
+                        client.request(
+                            "/api/fail",
+                            FailureReport(
+                                worker=worker,
+                                key=lease.key,
+                                error=f"{type(exc).__name__}: {exc}",
+                            ).as_json(),
+                        )
+                    except OSError:
+                        pass
+                    continue
+                stats.executed += 1
+                buffer.append(
+                    PushEntry(key=lease.key, fingerprint=lease.fingerprint, record=record)
+                )
+                if len(buffer) >= flush_at:
+                    flush()
+            flush()
+    finally:
+        if pusher is not None and push_queue is not None:
+            # Sentinel after any queued batches: never abandon a pending push.
+            push_queue.put(None)
+            pusher.join()
+        if push_client is not None:
+            push_client.close()
+        if prefetch is None and prefetch_client is not None:
+            # An in-flight prefetch still owns the connection; closing here
+            # would block on its lock, so leave it to the daemon thread.
+            prefetch_client.close()
+
+
 def _register_with_retry(
-    client: CoordinatorClient, worker: str, connect_timeout: float
+    client: CoordinatorClient,
+    worker: str,
+    connect_timeout: float,
+    version: int = PROTOCOL_VERSION_BATCH,
 ) -> RegisterResponse:
-    """Register, retrying connection failures until the deadline passes."""
-    request = RegisterRequest(worker=worker, pid=os.getpid(), host=socket.gethostname())
+    """Register, retrying connection failures until the deadline passes.
+
+    A 400 "version mismatch" answer from a pre-batch coordinator downgrades
+    the handshake to v1 and retries, so a new worker keeps serving an old
+    coordinator over the single-unit endpoints.
+    """
     deadline = time.monotonic() + connect_timeout
     while True:
+        request = RegisterRequest(
+            worker=worker, pid=os.getpid(), host=socket.gethostname(), version=version
+        )
         try:
             status, body = client.request("/api/register", request.as_json())
         except OSError:
@@ -822,11 +1411,80 @@ def _register_with_retry(
                 raise
             time.sleep(0.2)
             continue
+        if (
+            status == 400
+            and version != PROTOCOL_VERSION
+            and "version mismatch" in str(body.get("error", ""))
+        ):
+            version = PROTOCOL_VERSION
+            continue
         if status != 200:
             raise RuntimeError(
                 f"registration rejected ({status}): {body.get('error', body)}"
             )
         return RegisterResponse.from_json(body)
+
+
+def _push_batch_with_faults(
+    client: CoordinatorClient,
+    worker: str,
+    entries: Sequence[PushEntry],
+    plan: Optional[TransportFaultPlan],
+    attempts: dict[str, int],
+    stats: WorkerStats,
+) -> None:
+    """Push a batch of records, applying scheduled transport faults, until acked.
+
+    Fault semantics mirror :func:`_push_with_faults`, aggregated per batch:
+    an entry scheduled ``"slow"`` sleeps once before the push, a
+    ``"dup_push"`` sends one extra batch push first, and a ``"drop"``
+    discards the response and re-pushes the whole batch (the coordinator
+    answers the repeats ``"duplicate"``).  A ``"rejected"`` ack raises
+    *after* the sibling acks are counted — one bad record never un-stores
+    its batch-mates.
+    """
+    connection_failures = 0
+    while True:
+        faults: list[Optional[str]] = []
+        for entry in entries:
+            submission = attempts.get(entry.key, 0)
+            attempts[entry.key] = submission + 1
+            faults.append(plan.fault_for(entry.key, submission) if plan is not None else None)
+        document = PushBatchRequest(worker=worker, entries=tuple(entries)).as_json()
+        if plan is not None and "slow" in faults:
+            time.sleep(plan.slow_seconds)
+        if "dup_push" in faults:
+            try:
+                client.request("/api/v2/push", document)
+            except OSError:
+                pass  # the authoritative push below carries the retry logic
+        try:
+            status, body = client.request("/api/v2/push", document)
+        except OSError:
+            connection_failures += 1
+            if connection_failures > _CONNECTION_FAILURE_LIMIT:
+                raise
+            time.sleep(0.2)
+            continue
+        if "drop" in faults:
+            continue  # response "lost": push again, expect duplicate acks
+        if status != 200:
+            raise RuntimeError(f"push rejected ({status}): {body.get('error', body)}")
+        response = PushBatchResponse.from_json(body)
+        rejected = []
+        for ack in response.acks:
+            if ack.status == "rejected":
+                rejected.append(ack)
+                continue
+            stats.pushed += 1
+            if ack.status == "duplicate":
+                stats.duplicates += 1
+        if rejected:
+            details = "; ".join(f"{ack.key}: {ack.error}" for ack in rejected[:3])
+            raise RuntimeError(
+                f"{len(rejected)} record(s) rejected in batch push ({details})"
+            )
+        return
 
 
 def _push_with_faults(

@@ -1,0 +1,147 @@
+"""Persistent JSON-over-HTTP client for the coordinator API.
+
+Before the throughput PR every coordinator request opened (and tore down) a
+fresh TCP connection through ``urllib.request``.  For many-tiny-units sweeps
+the connection setup dominated the claim/push path, so this module replaces
+it with one keep-alive ``http.client.HTTPConnection`` per client:
+
+* **Connection reuse.**  The coordinator handler speaks HTTP/1.1 with
+  explicit ``Content-Length`` on every response, so a single connection
+  carries the whole claim → push lifecycle.  A request that fails on a
+  *reused* connection (the server may close an idle keep-alive at any time)
+  is retried exactly once on a fresh connection; a failure on a fresh
+  connection propagates as :class:`OSError` for the caller's retry logic —
+  the same contract the urllib client had.
+* **Optional gzip.**  Request bodies at or above ``gzip_threshold`` bytes
+  are sent ``Content-Encoding: gzip``; every request advertises
+  ``Accept-Encoding: gzip`` and transparently decodes a gzipped response.
+  Batched push bodies (many unit records per request) are where this pays.
+* **Thread safety.**  One connection serves one request at a time (an
+  internal lock serialises callers).  Threads that must not block each
+  other — the worker's heartbeat loop, the claim prefetcher — use
+  :meth:`CoordinatorClient.clone` for a connection of their own.
+
+The HTTP status of an error response is *returned*, never raised; only
+connection-level failures raise.
+"""
+
+from __future__ import annotations
+
+import gzip
+import http.client
+import json
+import socket
+import threading
+import urllib.parse
+from typing import Any, Optional
+
+from repro.exec.protocol import canonical_json
+
+#: Request/response bodies at or above this many bytes are gzip-compressed.
+GZIP_THRESHOLD = 4096
+
+
+class CoordinatorClient:
+    """JSON-over-HTTP client for the coordinator API on one keep-alive connection."""
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        gzip_threshold: int = GZIP_THRESHOLD,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.gzip_threshold = int(gzip_threshold)
+        parts = urllib.parse.urlsplit(self.base_url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"coordinator URL must be http://, got {base_url!r}")
+        if not parts.hostname:
+            raise ValueError(f"coordinator URL has no host: {base_url!r}")
+        self._host = parts.hostname
+        self._port = parts.port or 80
+        self._prefix = parts.path.rstrip("/")
+        self._connection: Optional[http.client.HTTPConnection] = None
+        self._lock = threading.Lock()
+
+    def clone(self) -> "CoordinatorClient":
+        """A client with its own connection (for helper threads)."""
+        return CoordinatorClient(
+            self.base_url, timeout=self.timeout, gzip_threshold=self.gzip_threshold
+        )
+
+    def close(self) -> None:
+        """Drop the underlying connection (the next request reconnects)."""
+        with self._lock:
+            self._drop()
+
+    def request(
+        self, path: str, payload: Optional[dict[str, Any]] = None
+    ) -> tuple[int, dict[str, Any]]:
+        """``GET`` (no payload) or ``POST`` (JSON payload) -> ``(status, body)``.
+
+        HTTP error statuses are returned, not raised; connection-level
+        failures (refused, reset, timeout) propagate as :class:`OSError`
+        for the caller's retry logic.
+        """
+        method = "POST" if payload is not None else "GET"
+        headers = {"Accept-Encoding": "gzip"}
+        data: Optional[bytes] = None
+        if payload is not None:
+            data = canonical_json(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+            if len(data) >= self.gzip_threshold:
+                data = gzip.compress(data, compresslevel=1)
+                headers["Content-Encoding"] = "gzip"
+        with self._lock:
+            for attempt in (0, 1):
+                reused = self._connection is not None
+                connection = self._ensure_connection()
+                try:
+                    connection.request(method, self._prefix + path, body=data, headers=headers)
+                    response = connection.getresponse()
+                    raw = response.read()
+                except (http.client.HTTPException, OSError) as exc:
+                    self._drop()
+                    # A reused keep-alive connection may have been closed by
+                    # the server between requests: retry once on a fresh one.
+                    if reused and attempt == 0:
+                        continue
+                    if isinstance(exc, OSError):
+                        raise
+                    raise OSError(f"HTTP transport failure: {exc}") from exc
+                if response.getheader("Content-Encoding", "").lower() == "gzip":
+                    raw = gzip.decompress(raw)
+                if response.will_close:
+                    self._drop()
+                return response.status, self._parse(raw)
+        raise OSError("unreachable")  # pragma: no cover - loop always returns/raises
+
+    def _ensure_connection(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout
+            )
+            connection.connect()
+            # A persistent connection carrying many small JSON requests hits
+            # the Nagle/delayed-ACK interaction (~40 ms stalls per exchange)
+            # unless small writes are flushed immediately.
+            connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._connection = connection
+        return self._connection
+
+    def _drop(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except OSError:
+                pass
+            self._connection = None
+
+    @staticmethod
+    def _parse(raw: bytes) -> dict[str, Any]:
+        try:
+            document = json.loads(raw) if raw else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return {"error": raw.decode("utf-8", errors="replace")}
+        return document if isinstance(document, dict) else {"value": document}
